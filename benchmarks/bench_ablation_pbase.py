@@ -1,0 +1,50 @@
+"""Pbase ablation: the protection/overhead knob (DESIGN.md section 6).
+
+The paper pins ``RefInt * Pbase`` to PARA's effective 0.001.  Scaling
+``Pbase`` trades activation overhead against flood reaction time; this
+bench regenerates that tradeoff curve for LoLiPRoMi.
+"""
+
+from benchmarks.conftest import BENCH_INTERVALS, run_once
+from repro.analysis.report import render_table
+from repro.sim.experiment import default_trace_factory
+from repro.sim.sweep import sweep_pbase
+
+
+def test_ablation_pbase(benchmark, paper_config):
+    factory = default_trace_factory(paper_config, total_intervals=BENCH_INTERVALS)
+
+    def compute():
+        return sweep_pbase(
+            paper_config, factory, technique="LoLiPRoMi",
+            scales=(0.25, 1.0, 4.0), seeds=(0,),
+            check_flooding=True, flood_seeds=(0, 1, 2, 3, 4),
+        )
+
+    points = run_once(benchmark, compute)
+    print("\n=== Pbase ablation for LoLiPRoMi ===")
+    rows = []
+    for point in points:
+        flood = (
+            f"{point.flood_median_acts:,.0f}"
+            if point.flood_median_acts is not None
+            else "no trigger"
+        )
+        rows.append(
+            (f"{point.value:g}x", f"{point.overhead_pct:.4f}%", flood,
+             str(point.flips))
+        )
+        benchmark.extra_info[f"{point.value:g}x"] = {
+            "overhead_pct": round(point.overhead_pct, 5),
+            "flood_median_acts": point.flood_median_acts,
+        }
+    print(render_table(
+        ("Pbase scale", "overhead", "flood acts to 1st mitigation", "flips"),
+        rows,
+    ))
+    # overhead grows monotonically with Pbase
+    assert points[0].overhead_pct <= points[1].overhead_pct <= points[2].overhead_pct
+    # stronger Pbase reacts to floods sooner (where both measured)
+    strong, weak = points[2], points[0]
+    if strong.flood_median_acts and weak.flood_median_acts:
+        assert strong.flood_median_acts < weak.flood_median_acts

@@ -1,0 +1,101 @@
+"""Section II extensions: the alternatives the paper argues against.
+
+Beyond the nine Table III techniques, Section II discusses two more
+defence families and dismisses both with specific arguments; these
+benches measure those arguments:
+
+* **software-level detection** (ANVIL [1], ML detectors [4]): "the
+  detection is slow and normally requires the length of several
+  refresh windows, and until then, bit flipping might already start" --
+  measured as flips landing before the detector's confirmation;
+* **adaptive trees of counters** [16]/[10]: covered by
+  ``bench_vulnerability.py``'s saturation experiment; here the tree
+  joins the overhead comparison to show where it sits on the Fig. 4
+  axes (storage near 1 KB, overhead near the tabled counters).
+"""
+
+from benchmarks.conftest import BENCH_INTERVALS, BENCH_SEEDS, run_once
+from repro.analysis.report import render_table
+from repro.config import small_test_config
+from repro.sim.attacks import software_detection_experiment
+from repro.sim.experiment import default_trace_factory, run_technique
+
+
+def test_extension_software_detection_latency(benchmark):
+    config = small_test_config(rows_per_bank=4096, flip_threshold=30_000)
+    outcome = run_once(
+        benchmark,
+        lambda: software_detection_experiment(config, windows=4, rate=120),
+    )
+    print("\n=== software detection vs hardware mitigation (Section II) ===")
+    rows = [
+        ("detection latency (refresh windows)", str(outcome.latency_windows)),
+        ("flips before detection", str(outcome.software_flips_before_detection)),
+        ("flips after quarantine", str(outcome.software_flips_after_detection)),
+        ("hardware (LoLiPRoMi) flips", str(outcome.hardware_flips)),
+    ]
+    print(render_table(("quantity", "value"), rows))
+    benchmark.extra_info["latency_windows"] = outcome.latency_windows
+    benchmark.extra_info["flips_before"] = outcome.software_flips_before_detection
+    assert outcome.detected
+    assert outcome.software_flips_before_detection > 0
+    assert outcome.software_flips_after_detection == 0
+    assert outcome.hardware_flips == 0
+
+
+def test_extension_counter_tree_overhead(benchmark, paper_config):
+    factory = default_trace_factory(paper_config, total_intervals=BENCH_INTERVALS)
+
+    def compute():
+        return {
+            name: run_technique(paper_config, name, factory, seeds=BENCH_SEEDS)
+            for name in ("CounterTree", "TWiCe", "LoLiPRoMi")
+        }
+
+    results = run_once(benchmark, compute)
+    print("\n=== adaptive counter tree vs TWiCe vs LoLiPRoMi ===")
+    rows = [
+        (name, aggregate.overhead_cell(), f"{aggregate.table_bytes:,} B",
+         str(aggregate.total_flips))
+        for name, aggregate in results.items()
+    ]
+    print(render_table(("technique", "overhead", "table/bank", "flips"), rows))
+    for name, aggregate in results.items():
+        benchmark.extra_info[name] = {
+            "overhead_pct": round(aggregate.overhead_mean, 5),
+            "table_bytes": aggregate.table_bytes,
+        }
+    tree = results["CounterTree"]
+    assert tree.total_flips == 0
+    # the tree sits between TiVaPRoMi and TWiCe in storage (Fig. 4 axes)
+    assert results["LoLiPRoMi"].table_bytes < tree.table_bytes
+    assert tree.table_bytes < results["TWiCe"].table_bytes
+
+def test_extension_half_double_coupling(benchmark):
+    """Beyond-paper extension: with Half-Double-style distance-2
+    coupling, distance-1 mitigations keep every direct victim clean but
+    cannot reach the second-neighbour rows."""
+    from repro.sim.attacks import half_double_experiment
+
+    config = small_test_config(rows_per_bank=4096, flip_threshold=2_000)
+    points = run_once(
+        benchmark,
+        lambda: half_double_experiment(
+            config, technique="TWiCe", distance2_rates=(0.0, 0.1, 0.3)
+        ),
+    )
+    print("\n=== distance-2 (Half-Double) coupling sweep, TWiCe ===")
+    rows = [
+        (f"{point.distance2_rate:g}", str(point.direct_flips),
+         str(point.distance2_flips), f"{point.max_disturbance:,}")
+        for point in points
+    ]
+    print(render_table(
+        ("coupling", "direct flips", "distance-2 flips", "max disturbance"),
+        rows,
+    ))
+    for point in points:
+        benchmark.extra_info[f"{point.distance2_rate:g}"] = point.distance2_flips
+    assert points[0].direct_flips == 0 and points[0].distance2_flips == 0
+    assert all(point.direct_flips == 0 for point in points)
+    assert points[-1].distance2_flips > 0

@@ -1,0 +1,68 @@
+"""Section IV flooding experiment -- activations to first mitigation.
+
+The paper floods one row and reports the first mitigating activation:
+LoPRoMi/LoLiPRoMi within ~10 K activations, CaPRoMi ~15 K, LiPRoMi only
+around ~40 K -- all below the 69 K safety margin (half the 139 K
+threshold), but LiPRoMi's late reaction is its documented weakness.
+
+The reaction time depends on the flooded row's starting weight (the
+paper does not pin it; see EXPERIMENTS.md).  We report the weight-aware
+worst case (start weight 0) and a blind mid-window flood, and assert
+the ordering and safety-margin claims.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.report import render_flooding
+from repro.config import HALF_FLIP_THRESHOLD
+from repro.mitigations.registry import TIVAPROMI_VARIANTS
+from repro.sim.attacks import flooding_experiment
+
+SEEDS = tuple(range(9))
+
+
+def test_flooding_worst_phase(benchmark, paper_config):
+    def compute():
+        return {
+            technique: flooding_experiment(
+                paper_config, technique, start_weight=0, seeds=SEEDS,
+                max_windows=2,
+            )
+            for technique in TIVAPROMI_VARIANTS
+        }
+
+    outcomes = run_once(benchmark, compute)
+    print("\n=== flooding, weight-aware worst phase (start weight 0) ===")
+    print("paper reports: Lo/LoLi ~10K, Ca ~15K, Li ~40K activations")
+    print(render_flooding(list(outcomes.values())))
+    for technique, outcome in outcomes.items():
+        benchmark.extra_info[technique] = outcome.median_acts
+
+    li = outcomes["LiPRoMi"].median_acts
+    assert li is not None
+    # LiPRoMi is the slowest to react: the Section III-A vulnerability
+    for other in ("LoPRoMi", "LoLiPRoMi", "CaPRoMi"):
+        median = outcomes[other].median_acts
+        assert median is not None, other
+        assert median < li, other
+    # the log-weighted variants stay within the 69 K safety margin
+    assert outcomes["LoLiPRoMi"].median_acts < HALF_FLIP_THRESHOLD
+    assert outcomes["CaPRoMi"].median_acts < HALF_FLIP_THRESHOLD
+
+
+def test_flooding_blind_mid_window(benchmark, paper_config):
+    def compute():
+        return {
+            technique: flooding_experiment(
+                paper_config, technique, start_weight=4096, seeds=SEEDS[:5],
+            )
+            for technique in TIVAPROMI_VARIANTS
+        }
+
+    outcomes = run_once(benchmark, compute)
+    print("\n=== flooding, blind mid-window start (weight 4096) ===")
+    print(render_flooding(list(outcomes.values())))
+    for technique, outcome in outcomes.items():
+        benchmark.extra_info[technique] = outcome.median_acts
+        # a mid-window flood runs at ~PARA-level probability: caught fast
+        assert outcome.median_acts is not None, technique
+        assert outcome.median_acts < 10_000, technique

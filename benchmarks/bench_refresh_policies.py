@@ -1,0 +1,68 @@
+"""Section IV refresh-policy robustness experiment.
+
+TiVaPRoMi's Eq. 1 assumes refresh interval ``i`` restores rows
+``i*RowsPI .. (i+1)*RowsPI - 1``.  The paper validates the technique
+under four policies -- (i) sequential neighbours, (ii) neighbours with
+defective-row remapping, (iii) fully random, (iv) counter + mask -- and
+reports "no significant change in the performance of TiVaPRoMi".
+
+This bench reruns LoLiPRoMi (and CaPRoMi) under all four policies on
+the same traces and checks overhead stability and protection.
+"""
+
+from benchmarks.conftest import BENCH_INTERVALS, BENCH_SEEDS, run_once
+from repro.analysis.report import render_table
+from repro.dram.refresh import all_policies
+from repro.sim.experiment import default_trace_factory, run_technique
+
+
+def _run_policy_matrix(paper_config, technique):
+    factory = default_trace_factory(paper_config, total_intervals=BENCH_INTERVALS)
+    outcomes = {}
+    for policy in all_policies(paper_config.geometry, seed=0):
+        outcomes[policy.name] = run_technique(
+            paper_config,
+            technique,
+            factory,
+            seeds=BENCH_SEEDS,
+            policy_factory=lambda seed, p=policy: p,
+        )
+    return outcomes
+
+
+def test_refresh_policies_lolipromi(benchmark, paper_config):
+    outcomes = run_once(
+        benchmark, lambda: _run_policy_matrix(paper_config, "LoLiPRoMi")
+    )
+    print("\n=== LoLiPRoMi under the four refresh policies ===")
+    print("(overhead is policy-independent by construction: the policy only")
+    print(" changes which rows the device restores; protection margin varies)")
+    rows = [
+        (name, aggregate.overhead_cell(), f"{aggregate.fpr_mean:.4f}%",
+         str(aggregate.total_flips),
+         f"{aggregate.min_protection_margin:.3f}")
+        for name, aggregate in outcomes.items()
+    ]
+    print(render_table(("policy", "overhead", "FPR", "flips", "margin"), rows))
+    overheads = [aggregate.overhead_mean for aggregate in outcomes.values()]
+    for name, aggregate in outcomes.items():
+        benchmark.extra_info[name] = round(aggregate.overhead_mean, 5)
+    # protection holds under every policy
+    assert all(aggregate.total_flips == 0 for aggregate in outcomes.values())
+    # "no significant change": the spread stays within the mean
+    assert max(overheads) - min(overheads) < max(overheads)
+
+
+def test_refresh_policies_capromi(benchmark, paper_config):
+    outcomes = run_once(
+        benchmark, lambda: _run_policy_matrix(paper_config, "CaPRoMi")
+    )
+    print("\n=== CaPRoMi under the four refresh policies ===")
+    rows = [
+        (name, aggregate.overhead_cell(), str(aggregate.total_flips))
+        for name, aggregate in outcomes.items()
+    ]
+    print(render_table(("policy", "overhead", "flips"), rows))
+    overheads = [aggregate.overhead_mean for aggregate in outcomes.values()]
+    assert all(aggregate.total_flips == 0 for aggregate in outcomes.values())
+    assert max(overheads) - min(overheads) < max(overheads)

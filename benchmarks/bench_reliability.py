@@ -1,0 +1,46 @@
+"""Section IV reliability claim -- "no active attacks were successful".
+
+Runs the paper's mixed workload (whose attacker would flip bits on an
+unprotected device) under all nine techniques and checks that none of
+them lets a single victim reach the 139 K disturbance threshold.  Also
+reports each technique's worst-case protection margin (how close the
+worst victim came to flipping).
+"""
+
+from benchmarks.conftest import paper_comparison, run_once
+from repro.analysis.report import render_table
+
+
+def test_reliability_no_attack_succeeds(benchmark, paper_config):
+    comparison = run_once(benchmark, lambda: paper_comparison(paper_config))
+
+    print("\n=== reliability: flips and worst protection margins ===")
+    rows = []
+    for name, aggregate in comparison.items():
+        worst = max(result.max_disturbance for result in aggregate.results)
+        rows.append(
+            (
+                name,
+                str(aggregate.total_flips),
+                f"{worst:,}",
+                f"{aggregate.min_protection_margin:.3f}"
+                if name != "none"
+                else "-",
+            )
+        )
+        benchmark.extra_info[name] = {
+            "flips": aggregate.total_flips,
+            "worst_disturbance": worst,
+        }
+    print(render_table(
+        ("technique", "flips", "worst disturbance", "margin"), rows
+    ))
+
+    # the attack is real: unmitigated, it flips bits
+    assert comparison["none"].total_flips > 0
+    # with any of the nine techniques, it never does
+    for name, aggregate in comparison.items():
+        if name == "none":
+            continue
+        assert aggregate.total_flips == 0, name
+        assert aggregate.min_protection_margin > 0.0, name

@@ -1,0 +1,20 @@
+"""Table I -- simulated system specification.
+
+Regenerates the configuration table and verifies the derived values the
+paper quotes (RefInt 8192, 165 activations per interval, the 54/420
+cycle budgets, RefInt * Pbase = 9.8e-4).
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.report import render_table1
+
+
+def test_table1_system_specification(benchmark, paper_config):
+    text = run_once(benchmark, lambda: render_table1(paper_config))
+    print("\n=== Table I: simulated system specifications ===")
+    print(text)
+    benchmark.extra_info["refint"] = paper_config.geometry.refint
+    benchmark.extra_info["max_probability"] = paper_config.max_probability
+    assert paper_config.geometry.refint == 8192
+    assert paper_config.timing.max_acts_per_interval == 165
+    assert abs(paper_config.max_probability - 9.8e-4) < 2e-5

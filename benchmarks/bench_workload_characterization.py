@@ -1,0 +1,90 @@
+"""Table I workload aggregates -- validating the gem5 substitution.
+
+The paper characterises its trace by a handful of aggregates: an
+average of ~40 activations per refresh interval per bank against the
+physical maximum of 165, an attacker ramping from 1 to 20 aggressors
+per targeted bank, and an attacker share consistent with PARA's
+overhead/FPR split (~38 %).  This bench characterises both trace
+sources of the reproduction:
+
+* the direct synthetic mixer (`repro.traces.mixer`), used by all other
+  benchmarks, and
+* the full cpu+cache+scheduler pipeline (`repro.cpu` +
+  `repro.controller.scheduler`), whose DRAM behaviour *emerges* from
+  the cache hierarchy and whose command stream is checked against the
+  DDR4 timing rules.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.report import render_table
+from repro.analysis.trace_stats import characterize
+from repro.controller import CommandTimingChecker, schedule_system_trace
+from repro.cpu import (
+    DRAMAddressLayout,
+    HammerKernel,
+    MultiCoreSystem,
+    pick_aggressor_rows,
+    spec_mixed_load,
+)
+from repro.traces.mixer import paper_mixed_workload
+
+
+def _print_stats(title, stats):
+    print(f"\n=== {title} ===")
+    print(render_table(("statistic", "value"), stats.summary_rows()))
+
+
+def test_mixer_workload_characterization(benchmark, paper_config):
+    def compute():
+        trace = paper_mixed_workload(
+            paper_config, total_intervals=1024, seed=0
+        )
+        return characterize(trace)
+
+    stats = run_once(benchmark, compute)
+    _print_stats("synthetic mixer workload (per-bank buckets)", stats)
+    benchmark.extra_info["acts_per_interval_mean"] = round(
+        stats.acts_per_interval_mean, 1
+    )
+    benchmark.extra_info["attack_fraction"] = round(stats.attack_fraction, 3)
+    # the paper's regime: tens of activations per interval on average,
+    # never exceeding the physical cap
+    assert 15 < stats.acts_per_interval_mean < 80
+    assert stats.acts_per_interval_max <= paper_config.timing.max_acts_per_interval
+    # the ramp reaches 20 aggressors on the targeted bank
+    assert stats.aggressors_per_bank[0] == 20
+    # the attacker share sits in the band implied by PARA's FPR split
+    assert 0.3 < stats.attack_fraction < 0.7
+
+
+def test_full_pipeline_characterization(benchmark, paper_config):
+    def compute():
+        layout = DRAMAddressLayout(paper_config.geometry)
+        workloads = spec_mixed_load(region_size_per_core=1 << 23, seed=0)
+        kernel = HammerKernel(
+            layout, bank=0,
+            aggressor_rows=pick_aggressor_rows(layout, 30_000, sided=2),
+        )
+        system = MultiCoreSystem(paper_config, workloads, attacker=kernel)
+        trace = schedule_system_trace(system, total_intervals=128)
+        trace.materialize()
+        stats = characterize(trace)
+        checker = CommandTimingChecker(paper_config.geometry.num_banks)
+        violations = checker.check(
+            [(record.time_ns, record.bank) for record in trace.records]
+        )
+        return stats, violations, trace.scheduler
+
+    stats, violations, scheduler = run_once(benchmark, compute)
+    _print_stats("cpu + caches + FR-FCFS pipeline", stats)
+    print(f"DDR4 command-timing violations: {len(violations)}")
+    print(f"row-buffer hit rate at the scheduler: "
+          f"{scheduler.row_hit_rate:.1%}")
+    benchmark.extra_info["acts_per_interval_mean"] = round(
+        stats.acts_per_interval_mean, 1
+    )
+    assert violations == []
+    assert stats.total_activations > 0
+    assert stats.attack_activations > 0
+    # the clflush kernel's aggressor pair is visible in the trace
+    assert stats.aggressors_per_bank[0] == 2

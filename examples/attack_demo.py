@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Anatomy of a Row-Hammer attack and its mitigation.
+
+Launches a pure double-sided attack against one victim row and shows
+the victim's disturbance counter over time -- first on an unprotected
+device (the counter marches to the flip threshold), then under every
+TiVaPRoMi variant (mitigating ``act_n`` refreshes keep resetting it).
+
+Run:  python examples/attack_demo.py
+"""
+
+import argparse
+
+from repro import SimConfig, run_simulation
+from repro.mitigations import TIVAPROMI_VARIANTS, make_factory
+from repro.traces import build_trace, double_sided
+
+
+def sparkline(samples, width=60):
+    """Render a disturbance timeline as a unicode sparkline."""
+    if not samples:
+        return ""
+    blocks = " .:-=+*#%@"
+    top = max(samples) or 1
+    step = max(1, len(samples) // width)
+    picked = samples[::step][:width]
+    return "".join(blocks[min(int(v / top * (len(blocks) - 1)), 9)] for v in picked)
+
+
+def run_with_probe(config, trace, factory, victim, seed=0):
+    """Run the simulation, sampling the victim's disturbance per interval."""
+    from repro.controller.controller import MemoryController
+
+    controller = MemoryController(
+        config=config, mitigation_factory=factory, seed=seed
+    )
+    samples = []
+    interval_ns = int(config.timing.refresh_interval_ns)
+    current = -1
+    for record in trace:
+        while current < record.time_ns // interval_ns:
+            current += 1
+            controller.refresh_tick()
+            samples.append(
+                controller.device.banks[0].disturbance.disturbance(victim)
+            )
+        controller.activate(record.bank, record.row, record.time_ns,
+                            record.is_attack)
+    controller.finish()
+    return samples, controller
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--intervals", type=int, default=2048)
+    parser.add_argument("--rate", type=int, default=140,
+                        help="attacker activations per refresh interval")
+    args = parser.parse_args()
+
+    config = SimConfig()
+    victim = 3 * config.geometry.rows_per_bank // 4
+    attack = double_sided(
+        config.geometry, bank=0, victim=victim, acts_per_interval=args.rate
+    )
+    print(f"double-sided attack: aggressors {attack.aggressors} hammer "
+          f"victim {victim} at {args.rate} acts/interval "
+          f"(flip threshold {config.flip_threshold:,})\n")
+
+    make_trace = lambda: build_trace(
+        config, total_intervals=args.intervals, attacks=[attack], seed=0
+    )
+
+    samples, controller = run_with_probe(config, make_trace(), None, victim)
+    flips = len(controller.device.flips)
+    print(f"{'unprotected':<12} peak {max(samples):>7,}  flips {flips}")
+    print(f"  {sparkline(samples)}\n")
+
+    for name in TIVAPROMI_VARIANTS:
+        samples, controller = run_with_probe(
+            config, make_trace(), make_factory(name), victim
+        )
+        flips = len(controller.device.flips)
+        extras = controller.extra_activations
+        print(f"{name:<12} peak {max(samples):>7,}  flips {flips}  "
+              f"extra acts {extras}")
+        print(f"  {sparkline(samples)}")
+
+    print("\nEach sawtooth reset is a mitigating act_n; the unprotected "
+          "run climbs monotonically to the threshold.")
+
+
+if __name__ == "__main__":
+    main()

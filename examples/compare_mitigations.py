@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Compare all nine mitigation techniques on the paper's workload.
+
+Regenerates a reduced-scale version of the paper's central comparison:
+activation overhead, false-positive rate, reliability, table size and
+estimated LUTs for PARA, ProHit, MRLoc, TWiCe, CRA and the four
+TiVaPRoMi variants, on identical traces (paired seeds).
+
+Run:  python examples/compare_mitigations.py [--intervals N] [--seeds K]
+"""
+
+import argparse
+
+from repro import SimConfig, compare_techniques, default_trace_factory
+from repro.analysis.area import fig4_points, table3_resources
+from repro.analysis.report import render_fig4, render_table, render_table3
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--intervals", type=int, default=2048,
+                        help="refresh intervals per run (8192 = full window)")
+    parser.add_argument("--seeds", type=int, default=2)
+    args = parser.parse_args()
+
+    config = SimConfig()
+    factory = default_trace_factory(config, total_intervals=args.intervals)
+    print(f"running 9 techniques + unmitigated baseline, "
+          f"{args.seeds} seeds x {args.intervals} intervals ...\n")
+    comparison = compare_techniques(
+        config, factory, seeds=tuple(range(args.seeds)), include_unmitigated=True
+    )
+
+    unmitigated = comparison.pop("none")
+    print(f"unmitigated baseline: {unmitigated.total_flips} bit flip(s) -- "
+          "the attack works\n")
+
+    print("=== Table III (reproduced) ===")
+    print(render_table3(config, comparison, table3_resources(config)))
+
+    print("\n=== Fig. 4: table size vs activation overhead ===")
+    overheads = {
+        name: aggregate.overhead_mean for name, aggregate in comparison.items()
+    }
+    print(render_fig4(fig4_points(config, overheads)))
+
+    print("\n=== reliability ===")
+    rows = [
+        (name, "PROTECTED" if aggregate.total_flips == 0 else "FLIPPED",
+         f"{aggregate.min_protection_margin:.2f}")
+        for name, aggregate in comparison.items()
+    ]
+    print(render_table(("technique", "verdict", "worst margin"), rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The Section IV flooding experiment: time to first mitigation.
+
+An attacker floods a single row at the maximum DDR4 rate.  How many
+activations pass before each TiVaPRoMi variant issues its first
+mitigating refresh?  The answer depends on the row's *starting weight*
+(how many refresh intervals before the flood the row was last
+refreshed):
+
+* ``start_weight = 0`` is the worst case -- the weight-aware attacker
+  of Section III-A picks a row that was just refreshed, which is the
+  scenario where LiPRoMi reacts only after ~40 K activations;
+* larger starting weights model blind floods; the time-varying
+  probability is already high, so the flood is caught quickly.
+
+Run:  python examples/flooding_attack.py
+"""
+
+import argparse
+
+from repro import SimConfig, flooding_experiment
+from repro.analysis.report import render_flooding
+from repro.config import HALF_FLIP_THRESHOLD
+from repro.mitigations import TIVAPROMI_VARIANTS
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=5)
+    parser.add_argument(
+        "--start-weights", type=int, nargs="+", default=[0, 384, 4096]
+    )
+    args = parser.parse_args()
+
+    config = SimConfig()
+    print(f"flooding one row at {config.timing.max_acts_per_interval} "
+          f"acts/interval; safety margin {HALF_FLIP_THRESHOLD:,} activations "
+          "(half the flip threshold)\n")
+
+    outcomes = []
+    for start_weight in args.start_weights:
+        for technique in TIVAPROMI_VARIANTS:
+            outcomes.append(
+                flooding_experiment(
+                    config,
+                    technique,
+                    start_weight=start_weight,
+                    seeds=tuple(range(args.seeds)),
+                )
+            )
+    print(render_flooding(outcomes))
+
+    print("\nReading the table: at start weight 0 (weight-aware attacker) "
+          "LiPRoMi is the slowest to react -- its documented weakness; "
+          "the log-weighted variants close most of that window, and at "
+          "realistic mid-window weights every variant reacts within a "
+          "few thousand activations.")
+
+
+if __name__ == "__main__":
+    main()

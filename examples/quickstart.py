@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: protect a DRAM bank with TiVaPRoMi in ~20 lines.
+
+Builds the paper's mixed workload (SPEC-like benign load plus a ramping
+Row-Hammer attacker) at a reduced scale, then runs it three ways:
+unprotected, with classic PARA, and with LoLiPRoMi (the paper's
+best-for-area variant).
+
+Run:  python examples/quickstart.py [--intervals N]
+"""
+
+import argparse
+
+from repro import SimConfig, paper_mixed_workload, run_simulation
+from repro.mitigations import make_factory
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--intervals",
+        type=int,
+        default=1024,
+        help="refresh intervals to simulate (8192 = one full 64 ms window)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    config = SimConfig()  # the exact Table I system
+    print(f"DDR4 device: {config.geometry.num_banks} banks x "
+          f"{config.geometry.rows_per_bank} rows, RefInt = {config.geometry.refint}")
+
+    trace = paper_mixed_workload(
+        config, total_intervals=args.intervals, seed=args.seed
+    ).materialize()
+    print(f"workload: {trace.count():,} activations over "
+          f"{args.intervals} refresh intervals\n")
+
+    for technique in (None, "PARA", "LoLiPRoMi"):
+        factory = make_factory(technique) if technique else None
+        result = run_simulation(config, trace, factory, seed=args.seed)
+        label = technique or "no mitigation"
+        flips = len(result.flips)
+        print(f"{label:<14} extra activations: {result.extra_activations:>6} "
+              f"({result.overhead_pct:.4f}%)   bit flips: {flips}   "
+              f"worst disturbance: {result.max_disturbance:,}/{config.flip_threshold:,}")
+
+    print("\nLoLiPRoMi reaches flip-free protection at a fraction of "
+          "PARA's extra activations, with a 120 B table per bank.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""repro: a reproduction of *TiVaPRoMi: Time-Varying Probabilistic
+Row-Hammer Mitigation* (Nassar, Bauer, Henkel -- DATE 2021).
+
+The package implements the paper's contribution (the four TiVaPRoMi
+variants) together with every substrate its evaluation depends on:
+
+* :mod:`repro.dram` -- DRAM geometry, refresh policies, and the
+  Row-Hammer disturbance model (139 K activation threshold);
+* :mod:`repro.traces` -- synthetic SPEC-like workloads and attack
+  pattern generators replacing the paper's gem5 traces;
+* :mod:`repro.mitigations` -- the five state-of-the-art baselines
+  (PARA, ProHit, MRLoc, TWiCe, CRA) behind one interface;
+* :mod:`repro.core` -- LiPRoMi, LoPRoMi, LoLiPRoMi and CaPRoMi, plus
+  the Table II FSM cycle model;
+* :mod:`repro.controller` / :mod:`repro.sim` -- the trace-driven
+  memory-controller simulation and the experiment harness;
+* :mod:`repro.analysis` -- the structural area model (Table III,
+  Fig. 4) and report rendering.
+
+Quick start::
+
+    from repro import SimConfig, compare_techniques, default_trace_factory
+
+    config = SimConfig()
+    traces = default_trace_factory(config, total_intervals=2048)
+    results = compare_techniques(config, traces, seeds=(0,))
+    for name, aggregate in results.items():
+        print(aggregate.summary())
+"""
+
+from repro.config import (
+    DDR3_TIMING,
+    DRAMGeometry,
+    DRAMTiming,
+    FLIP_THRESHOLD,
+    HALF_FLIP_THRESHOLD,
+    PBASE_PAPER,
+    SimConfig,
+    ddr4_paper_config,
+    small_test_config,
+)
+from repro.mitigations import make_mitigation, technique_names
+from repro.sim import (
+    compare_techniques,
+    default_trace_factory,
+    flooding_experiment,
+    run_simulation,
+    run_technique,
+)
+from repro.traces import build_trace, paper_mixed_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DDR3_TIMING",
+    "DRAMGeometry",
+    "DRAMTiming",
+    "FLIP_THRESHOLD",
+    "HALF_FLIP_THRESHOLD",
+    "PBASE_PAPER",
+    "SimConfig",
+    "build_trace",
+    "compare_techniques",
+    "ddr4_paper_config",
+    "default_trace_factory",
+    "flooding_experiment",
+    "make_mitigation",
+    "paper_mixed_workload",
+    "run_simulation",
+    "run_technique",
+    "small_test_config",
+    "technique_names",
+    "__version__",
+]

@@ -1,0 +1,67 @@
+"""Analysis layer: area model, statistics, report rendering."""
+
+from repro.analysis.area import (
+    AreaEstimate,
+    PRIMITIVES,
+    TechniqueArea,
+    area_estimate,
+    fig4_points,
+    search_parallelism,
+    storage_reduction_vs_twice,
+    table3_resources,
+)
+from repro.analysis.pareto import (
+    ParetoPoint,
+    classify,
+    dominated_by,
+    from_fig4,
+    pareto_frontier,
+)
+from repro.analysis.report import (
+    render_comparison,
+    render_fig4,
+    render_flooding,
+    render_table,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from repro.analysis.stats import mean, mean_pm_std, median, std
+from repro.analysis.theory import (
+    flood_median_acts,
+    miss_probability,
+    para_overhead_pct,
+)
+from repro.analysis.trace_stats import TraceStatistics, characterize
+
+__all__ = [
+    "AreaEstimate",
+    "ParetoPoint",
+    "PRIMITIVES",
+    "TechniqueArea",
+    "area_estimate",
+    "classify",
+    "dominated_by",
+    "fig4_points",
+    "from_fig4",
+    "mean",
+    "mean_pm_std",
+    "pareto_frontier",
+    "median",
+    "render_comparison",
+    "render_fig4",
+    "render_flooding",
+    "render_table",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "search_parallelism",
+    "std",
+    "storage_reduction_vs_twice",
+    "table3_resources",
+    "TraceStatistics",
+    "characterize",
+    "flood_median_acts",
+    "miss_probability",
+    "para_overhead_pct",
+]

@@ -1,0 +1,224 @@
+"""Structural area model: LUT estimates for Table III and Fig. 4 sizes.
+
+The paper synthesises VHDL for a Virtex UltraScale+ XCVU9P and reports
+LUTs for two targets: the 1.2 GHz DDR4 controller and a 320 MHz DDR3
+FPGA controller whose tighter cycle budgets force table-searching
+techniques to check several entries per cycle ("increasing their
+parallelism per cycle, which also increases their area requirements",
+Section IV).
+
+Synthesis is unavailable offline, so this module substitutes a
+*structural* model (see DESIGN.md section 2): each technique is an
+inventory of primitives -- RNG + comparator core, table storage/readout
+logic per entry, search lanes, weight units, CAM bits, per-row counter
+bits -- whose LUT costs are calibrated once against the paper's DDR4
+column.  The DDR3 column is then *derived*: the cycle model computes
+the search parallelism each technique needs to fit the 14-cycle act /
+112-cycle ref budgets at 320 MHz, and the scalable part of the
+inventory is replicated accordingly.  DDR4 numbers land within ~1 % of
+the paper; derived DDR3 numbers reproduce the ordering and
+order-of-magnitude ratios (exact values depended on the authors'
+synthesis flow; EXPERIMENTS.md tabulates the deviations).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.config import DDR3_TIMING, DRAMTiming, SimConfig
+from repro.mitigations.registry import TECHNIQUES, make_mitigation
+
+#: calibrated primitive LUT costs (DDR4 column of Table III)
+PRIMITIVES = {
+    # PARA's stateless core: LFSR random source + probability comparator
+    "para_core": 349,
+    # history table: storage/FIFO/readout logic per entry, and one
+    # sequential-search lane (comparator + read mux)
+    "history_entry": 135,
+    "search_lane": 477,
+    # weight units of the Fig. 2 variants
+    "linear_weight": 20,
+    "log_encoder": 73,
+    "weight_mux": 146,
+    # CaPRoMi: counter-table entry logic, per-search-lane cost, and the
+    # cnt * w_log * Pbase decision datapath (real multiplier)
+    "counter_entry": 200,
+    "counter_lane": 960,
+    "decision_unit": 718,
+    # ProHit / MRLoc: control core + one full table-search lane
+    "prohit_control": 357,
+    "prohit_lane": 1296,
+    "mrloc_control": 569,
+    "mrloc_lane": 1296,
+    # TWiCe: CAM cell cost per stored bit (match logic dominates)
+    "cam_bit": 10.2,
+    # CRA: per counter bit (increment + threshold compare, replicated
+    # per row because any row can be active)
+    "counter_bit": 5.43,
+}
+
+
+@dataclass(frozen=True)
+class AreaEstimate:
+    """LUT estimate split into fixed and per-lane scalable parts."""
+
+    technique: str
+    fixed_luts: float
+    lane_luts: float
+    lanes: int
+
+    @property
+    def total(self) -> int:
+        return int(round(self.fixed_luts + self.lane_luts * self.lanes))
+
+
+def _budget_parallelism(work_cycles: int, overhead_cycles: int, budget: int) -> int:
+    """Lanes needed so ``work/lanes + overhead <= budget``."""
+    available = budget - overhead_cycles
+    if available < 1:
+        raise ValueError(
+            f"cycle budget {budget} cannot even cover the fixed "
+            f"{overhead_cycles}-cycle control path"
+        )
+    return max(1, math.ceil(work_cycles / available))
+
+
+def search_parallelism(name: str, config: SimConfig, timing: DRAMTiming) -> int:
+    """Entries-per-cycle search replication *name* needs under *timing*.
+
+    Coarse per-technique cycle shapes: the four TiVaPRoMi variants use
+    the Table II model's structure; ProHit/MRLoc sequentially search
+    their small tables per activation; TWiCe's pruning sweep must fit
+    the ref budget; PARA and CRA are search-free (the paper notes only
+    they fit the DDR3 budget unmodified).
+    """
+    act_budget = timing.act_cycle_budget
+    ref_budget = timing.ref_cycle_budget
+    history = config.history_table_entries
+    counters = config.counter_table_entries
+    if name == "PARA" or name == "CRA":
+        return 1
+    if name in ("LiPRoMi", "LoPRoMi", "LoLiPRoMi"):
+        return _budget_parallelism(history, 5, act_budget)
+    if name == "CaPRoMi":
+        # the baseline datapath already searches two entries per cycle
+        # (Table II model), so one "lane" covers two entries
+        act_lanes = _budget_parallelism((counters + history) // 2, 2, act_budget)
+        ref_lanes = _budget_parallelism(counters * 4, 2, ref_budget)
+        return max(act_lanes, ref_lanes)
+    if name == "ProHit":
+        return _budget_parallelism(16, 4, act_budget)
+    if name == "MRLoc":
+        return _budget_parallelism(32, 4, act_budget)  # two victims per act
+    if name == "TWiCe":
+        capacity = make_mitigation("TWiCe", config).analytic_capacity
+        return _budget_parallelism(capacity, 2, ref_budget)
+    raise ValueError(f"unknown technique {name!r}")
+
+
+def area_estimate(name: str, config: SimConfig, timing: DRAMTiming) -> AreaEstimate:
+    """LUT estimate of *name* for a controller with *timing* budgets."""
+    p = PRIMITIVES
+    lanes = search_parallelism(name, config, timing)
+    history_storage = config.history_table_entries * p["history_entry"]
+    if name == "PARA":
+        return AreaEstimate(name, p["para_core"], 0.0, 1)
+    if name in ("LiPRoMi", "LoPRoMi", "LoLiPRoMi"):
+        fixed = p["para_core"] + history_storage + p["linear_weight"]
+        if name in ("LoPRoMi", "LoLiPRoMi"):
+            fixed += p["log_encoder"]
+        if name == "LoLiPRoMi":
+            fixed += p["weight_mux"]
+        return AreaEstimate(name, fixed, p["search_lane"], lanes)
+    if name == "CaPRoMi":
+        fixed = (
+            p["para_core"]
+            + history_storage
+            + config.counter_table_entries * p["counter_entry"]
+        )
+        # DDR4 baseline: two-per-cycle search lanes on both tables and
+        # one decision unit; scaling replicates all three.
+        lane_cost = 2 * p["search_lane"] + 2 * p["counter_lane"] + p["decision_unit"]
+        return AreaEstimate(name, fixed, lane_cost, lanes)
+    if name == "ProHit":
+        return AreaEstimate(name, p["prohit_control"], p["prohit_lane"], lanes)
+    if name == "MRLoc":
+        return AreaEstimate(name, p["mrloc_control"], p["mrloc_lane"], lanes)
+    if name == "TWiCe":
+        instance = make_mitigation("TWiCe", config)
+        cam_bits = instance.table_bytes * 8
+        cam_area = cam_bits * p["cam_bit"]
+        # The CAM match network is the scalable part: the prune sweep
+        # replicates comparator banks to fit the ref budget (baseline
+        # DDR4 synthesis checks two entries per cycle).
+        baseline_lanes = 2
+        per_lane = cam_area / baseline_lanes
+        return AreaEstimate(name, 0.0, per_lane, max(lanes, baseline_lanes))
+    if name == "CRA":
+        instance = make_mitigation("CRA", config)
+        counter_bits = instance.table_bytes * 8
+        return AreaEstimate(name, counter_bits * p["counter_bit"], 0.0, 1)
+    raise ValueError(f"unknown technique {name!r}")
+
+
+@dataclass(frozen=True)
+class TechniqueArea:
+    """One Table III resource row."""
+
+    technique: str
+    luts_ddr4: int
+    luts_ddr3: int
+    table_bytes: int
+
+    def relative_to(self, reference: "TechniqueArea") -> float:
+        return self.luts_ddr4 / max(reference.luts_ddr4, 1)
+
+
+def table3_resources(config: SimConfig) -> Dict[str, TechniqueArea]:
+    """Resource columns of Table III for all nine techniques."""
+    rows: Dict[str, TechniqueArea] = {}
+    for name in TECHNIQUES:
+        ddr4 = area_estimate(name, config, config.timing)
+        ddr3 = area_estimate(name, config, DDR3_TIMING)
+        table_bytes = make_mitigation(name, config).table_bytes
+        rows[name] = TechniqueArea(
+            technique=name,
+            luts_ddr4=ddr4.total,
+            luts_ddr3=ddr3.total,
+            table_bytes=table_bytes,
+        )
+    return rows
+
+
+def fig4_points(
+    config: SimConfig, overheads: Dict[str, float]
+) -> List[Dict[str, float]]:
+    """Fig. 4 scatter: (table size per bank, activation overhead %).
+
+    *overheads* maps technique name to measured overhead %; stateless
+    PARA is plotted at 1 B so it survives the log axis, as in the
+    paper's figure.
+    """
+    points = []
+    for name in TECHNIQUES:
+        table_bytes = make_mitigation(name, config).table_bytes
+        points.append(
+            {
+                "technique": name,
+                "table_bytes": float(max(table_bytes, 1)),
+                "overhead_pct": overheads.get(name, float("nan")),
+            }
+        )
+    return points
+
+
+def storage_reduction_vs_twice(config: SimConfig) -> Dict[str, float]:
+    """The headline 9x-27x storage-reduction claim vs TWiCe."""
+    twice_bytes = make_mitigation("TWiCe", config).table_bytes
+    reductions = {}
+    for name in ("LiPRoMi", "LoPRoMi", "LoLiPRoMi", "CaPRoMi"):
+        ours = make_mitigation(name, config).table_bytes
+        reductions[name] = twice_bytes / max(ours, 1)
+    return reductions

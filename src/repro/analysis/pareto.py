@@ -1,0 +1,78 @@
+"""Pareto-frontier analysis of the Fig. 4 tradeoff.
+
+The paper's central claim about Fig. 4: "our TiVaPRoMi variants provide
+a very good Pareto-optimal compromise" between table size and
+activation overhead.  This module computes the frontier of the measured
+(table bytes, overhead %) points so the claim can be *checked* rather
+than eyeballed: a technique is Pareto-optimal when no other technique
+is at least as good on both axes and strictly better on one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    technique: str
+    table_bytes: float
+    overhead_pct: float
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """True when self is no worse on both axes and better on one."""
+        no_worse = (
+            self.table_bytes <= other.table_bytes
+            and self.overhead_pct <= other.overhead_pct
+        )
+        better = (
+            self.table_bytes < other.table_bytes
+            or self.overhead_pct < other.overhead_pct
+        )
+        return no_worse and better
+
+
+def pareto_frontier(points: Sequence[ParetoPoint]) -> List[ParetoPoint]:
+    """The non-dominated subset, sorted by table size."""
+    frontier = [
+        point
+        for point in points
+        if not any(other.dominates(point) for other in points)
+    ]
+    return sorted(frontier, key=lambda point: (point.table_bytes, point.overhead_pct))
+
+
+def classify(points: Sequence[ParetoPoint]) -> Dict[str, bool]:
+    """Map technique -> is it on the Pareto frontier?"""
+    frontier_names = {point.technique for point in pareto_frontier(points)}
+    return {point.technique: point.technique in frontier_names for point in points}
+
+
+def from_fig4(points: Sequence[Mapping[str, float]]) -> List[ParetoPoint]:
+    """Adapt :func:`repro.analysis.area.fig4_points` output."""
+    return [
+        ParetoPoint(
+            technique=str(point["technique"]),
+            table_bytes=float(point["table_bytes"]),
+            overhead_pct=float(point["overhead_pct"]),
+        )
+        for point in points
+    ]
+
+
+def dominated_by(
+    points: Sequence[ParetoPoint], technique: str
+) -> List[Tuple[str, str]]:
+    """(dominator, dominated) pairs involving *technique*."""
+    by_name = {point.technique: point for point in points}
+    target = by_name[technique]
+    out = []
+    for other in points:
+        if other.technique == technique:
+            continue
+        if other.dominates(target):
+            out.append((other.technique, technique))
+        if target.dominates(other):
+            out.append((technique, other.technique))
+    return out

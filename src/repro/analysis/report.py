@@ -1,0 +1,181 @@
+"""Render the paper's tables and figure series as ASCII reports.
+
+Every benchmark prints through these helpers so the regenerated rows
+look like the paper's tables and can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Mapping, Sequence
+
+from repro.analysis.area import TechniqueArea, table3_resources
+from repro.config import SimConfig
+from repro.core.timing import cycle_report
+
+if TYPE_CHECKING:  # imported lazily at call time: sim imports analysis
+    from repro.sim.attacks import FloodingOutcome
+    from repro.sim.experiment import TechniqueAggregate
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Minimal fixed-width table renderer."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = []
+    fmt = "  ".join(f"{{:<{width}}}" for width in widths)
+    lines.append(fmt.format(*headers))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(fmt.format(*row))
+    return "\n".join(lines)
+
+
+def render_table1(config: SimConfig) -> str:
+    """Table I: simulated system specification."""
+    timing = config.timing
+    geometry = config.geometry
+    rows = [
+        ("Refresh window", f"{timing.refresh_window_ms} ms"),
+        ("Refresh interval", f"{timing.refresh_interval_us} us"),
+        ("Activation to activation", f"{timing.act_to_act_ns} ns"),
+        ("Refresh time", f"{timing.refresh_time_ns} ns"),
+        ("DRAM I/O frequency", f"{timing.io_freq_ghz} GHz"),
+        ("Banks", str(geometry.num_banks)),
+        ("Rows per bank", str(geometry.rows_per_bank)),
+        ("Rows per refresh interval", str(geometry.rows_per_interval)),
+        ("Refresh intervals per window (RefInt)", str(geometry.refint)),
+        ("Max activations per interval", str(timing.max_acts_per_interval)),
+        ("Bit-flip activation threshold", str(config.flip_threshold)),
+        ("Pbase", f"2^-{round(-__import__('math').log2(config.pbase))}"),
+        ("RefInt * Pbase", f"{config.max_probability:.2e}"),
+        ("History table entries", str(config.history_table_entries)),
+        ("CaPRoMi counter table entries", str(config.counter_table_entries)),
+    ]
+    return render_table(("parameter", "value"), rows)
+
+
+def render_table2(config: SimConfig) -> str:
+    """Table II: FSM cycles per observed act/ref command."""
+    return "\n".join(cycle_report(config))
+
+
+def render_table3(
+    config: SimConfig,
+    comparison: Mapping[str, "TechniqueAggregate"],
+    resources: Dict[str, TechniqueArea] = None,
+) -> str:
+    """Table III: resources, vulnerability, overhead, FPR."""
+    from repro.sim.attacks import vulnerability_verdicts
+
+    resources = resources or table3_resources(config)
+    verdicts = vulnerability_verdicts(list(resources))
+    para = resources["PARA"]
+    rows = []
+    for name, area in resources.items():
+        aggregate = comparison.get(name)
+        overhead = aggregate.overhead_cell() if aggregate else "n/a"
+        fpr = f"{aggregate.fpr_mean:.4f}%" if aggregate else "n/a"
+        vulnerable, _reason = verdicts[name]
+        rows.append(
+            (
+                name,
+                f"{area.luts_ddr4:,} ({area.relative_to(para):.1f}x)",
+                f"{area.luts_ddr3:,}",
+                "Yes" if vulnerable else "No",
+                overhead,
+                fpr,
+            )
+        )
+    return render_table(
+        (
+            "technique",
+            "LUTs DDR4 (vs PARA)",
+            "LUTs DDR3",
+            "vulnerable",
+            "overhead mu+-sigma",
+            "FPR",
+        ),
+        rows,
+    )
+
+
+def render_fig4(points: Sequence[Mapping[str, float]]) -> str:
+    """Fig. 4: table size vs activation overhead (log-log scatter data)."""
+    ordered = sorted(points, key=lambda point: point["table_bytes"])
+    rows = [
+        (
+            str(point["technique"]),
+            f"{point['table_bytes']:.0f}",
+            f"{point['overhead_pct']:.4f}",
+        )
+        for point in ordered
+    ]
+    table = render_table(
+        ("technique", "table bytes/bank", "overhead %"), rows
+    )
+    return table + "\n\n" + _ascii_scatter(ordered)
+
+
+def _ascii_scatter(
+    points: Sequence[Mapping[str, float]], width: int = 64, height: int = 16
+) -> str:
+    """Crude log-log scatter of the Fig. 4 tradeoff."""
+    import math
+
+    xs = [math.log10(max(point["table_bytes"], 1.0)) for point in points]
+    ys = []
+    for point in points:
+        overhead = point["overhead_pct"]
+        ys.append(math.log10(overhead) if overhead > 0 else -4.0)
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for point, x, y in zip(points, xs, ys):
+        column = int((x - x_low) / x_span * (width - 1))
+        row = int((y_high - y) / y_span * (height - 1))
+        marker = str(point["technique"])[0]
+        grid[row][column] = marker
+    lines = ["overhead% (log) ^  markers = technique initials"]
+    lines.extend("".join(row) for row in grid)
+    lines.append("-" * width + "> table bytes/bank (log)")
+    return "\n".join(lines)
+
+
+def render_flooding(outcomes: Sequence["FloodingOutcome"]) -> str:
+    """The Section IV flooding experiment summary."""
+    rows = []
+    for outcome in outcomes:
+        acts = outcome.median_acts
+        rows.append(
+            (
+                outcome.technique,
+                str(outcome.start_weight),
+                f"{acts:,.0f}" if acts is not None else "no trigger",
+                "yes" if outcome.below_safety_margin else "NO",
+            )
+        )
+    return render_table(
+        ("technique", "start weight", "median acts to 1st mitigation", "<69K?"),
+        rows,
+    )
+
+
+def render_comparison(comparison: Mapping[str, "TechniqueAggregate"]) -> str:
+    """Generic per-technique summary table."""
+    rows = [
+        (
+            name,
+            aggregate.overhead_cell(),
+            f"{aggregate.fpr_mean:.4f}%",
+            str(aggregate.total_flips),
+            f"{aggregate.table_bytes:,}",
+        )
+        for name, aggregate in comparison.items()
+    ]
+    return render_table(
+        ("technique", "overhead", "FPR", "flips", "table B/bank"), rows
+    )

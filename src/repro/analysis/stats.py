@@ -1,0 +1,35 @@
+"""Small statistics helpers for multi-seed experiment aggregation."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def std(values: Sequence[float]) -> float:
+    """Sample standard deviation (0 for fewer than two values)."""
+    if len(values) < 2:
+        return 0.0
+    center = mean(values)
+    return math.sqrt(sum((v - center) ** 2 for v in values) / (len(values) - 1))
+
+
+def median(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def mean_pm_std(values: Sequence[float], digits: int = 4) -> str:
+    """Format as the paper's ``(mu +- sigma)%`` cells of Table III."""
+    return f"({mean(values):.{digits}f} +- {std(values):.{digits}f})%"

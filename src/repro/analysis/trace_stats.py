@@ -1,0 +1,96 @@
+"""Trace statistics: the numbers Table I summarises about the workload.
+
+The paper characterises its gem5 trace by a few aggregates -- 175 M
+memory activations over 1.56 M refresh intervals, an average of ~40
+activations per interval (vs. the physical maximum of 165), and an
+attacker ramping to 20 aggressors.  This module computes the same
+statistics from any :class:`~repro.traces.record.Trace`, so the
+synthetic-workload substitution (DESIGN.md section 2) can be checked
+against the paper's characterisation, and externally converted traces
+can be validated before use.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.traces.record import Trace
+
+
+@dataclass
+class TraceStatistics:
+    """Aggregate characterisation of an activation trace."""
+
+    total_activations: int = 0
+    attack_activations: int = 0
+    total_intervals: int = 0
+    num_banks: int = 0
+    #: per-(bank) activation counts
+    per_bank: Dict[int, int] = field(default_factory=dict)
+    #: distribution of activations per (interval, bank) bucket
+    acts_per_interval_mean: float = 0.0
+    acts_per_interval_max: int = 0
+    #: distinct rows activated, and the share of the top 32 rows
+    distinct_rows: int = 0
+    top32_share: float = 0.0
+    #: distinct ground-truth aggressor rows per bank
+    aggressors_per_bank: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def attack_fraction(self) -> float:
+        if not self.total_activations:
+            return 0.0
+        return self.attack_activations / self.total_activations
+
+    def summary_rows(self) -> List[Tuple[str, str]]:
+        return [
+            ("activations", f"{self.total_activations:,}"),
+            ("refresh intervals", f"{self.total_intervals:,}"),
+            ("banks", str(self.num_banks)),
+            ("acts / interval / bank (mean)", f"{self.acts_per_interval_mean:.1f}"),
+            ("acts / interval / bank (max)", str(self.acts_per_interval_max)),
+            ("attacker share", f"{self.attack_fraction:.1%}"),
+            ("distinct rows", f"{self.distinct_rows:,}"),
+            ("top-32-row share", f"{self.top32_share:.1%}"),
+            ("aggressor rows per bank",
+             str(dict(sorted(self.aggressors_per_bank.items())))),
+        ]
+
+
+def characterize(trace: Trace) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` for *trace* (one pass)."""
+    trace.materialize()
+    stats = TraceStatistics(
+        total_intervals=trace.meta.total_intervals,
+        num_banks=trace.meta.num_banks,
+    )
+    interval_ns = trace.meta.interval_ns
+    per_bucket: Counter = Counter()
+    per_row: Counter = Counter()
+    per_bank: Counter = Counter()
+    aggressors = defaultdict(set)
+    for record in trace.records:
+        stats.total_activations += 1
+        per_bank[record.bank] += 1
+        per_bucket[(record.time_ns // interval_ns, record.bank)] += 1
+        per_row[(record.bank, record.row)] += 1
+        if record.is_attack:
+            stats.attack_activations += 1
+            aggressors[record.bank].add(record.row)
+    stats.per_bank = dict(per_bank)
+    buckets = trace.meta.total_intervals * max(trace.meta.num_banks, 1)
+    stats.acts_per_interval_mean = (
+        stats.total_activations / buckets if buckets else 0.0
+    )
+    stats.acts_per_interval_max = max(per_bucket.values(), default=0)
+    stats.distinct_rows = len(per_row)
+    top32 = sum(count for _, count in per_row.most_common(32))
+    stats.top32_share = (
+        top32 / stats.total_activations if stats.total_activations else 0.0
+    )
+    stats.aggressors_per_bank = {
+        bank: len(rows) for bank, rows in aggressors.items()
+    }
+    return stats

@@ -1,0 +1,199 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+    python -m repro table1                 # Table I
+    python -m repro table2                 # Table II + budgets
+    python -m repro table3 [--intervals N --seeds K]
+    python -m repro fig4   [--intervals N --seeds K]
+    python -m repro flood  [--start-weights 0 384 4096 --seeds K]
+    python -m repro policies [--intervals N]
+    python -m repro trace --out FILE [--intervals N --seed S]
+    python -m repro run --technique NAME --trace FILE
+
+The heavy subcommands accept the same scale knobs as the benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import SimConfig
+
+
+def _add_scale_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--intervals", type=int, default=2048,
+                        help="refresh intervals per run (8192 = full window)")
+    parser.add_argument("--seeds", type=int, default=2,
+                        help="seeds per technique")
+
+
+def _cmd_table1(args) -> int:
+    from repro.analysis.report import render_table1
+
+    print(render_table1(SimConfig()))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from repro.analysis.report import render_table2
+
+    print(render_table2(SimConfig()))
+    return 0
+
+
+def _comparison(args):
+    from repro.sim.experiment import compare_techniques, default_trace_factory
+
+    config = SimConfig()
+    factory = default_trace_factory(config, total_intervals=args.intervals)
+    return config, compare_techniques(
+        config, factory, seeds=tuple(range(args.seeds)),
+        include_unmitigated=True,
+    )
+
+
+def _cmd_table3(args) -> int:
+    from repro.analysis.area import table3_resources
+    from repro.analysis.report import render_table3
+
+    config, comparison = _comparison(args)
+    unmitigated = comparison.pop("none")
+    print(f"unmitigated flips: {unmitigated.total_flips}\n")
+    print(render_table3(config, comparison, table3_resources(config)))
+    return 0
+
+
+def _cmd_fig4(args) -> int:
+    from repro.analysis.area import fig4_points
+    from repro.analysis.report import render_fig4
+
+    config, comparison = _comparison(args)
+    comparison.pop("none")
+    overheads = {name: agg.overhead_mean for name, agg in comparison.items()}
+    print(render_fig4(fig4_points(config, overheads)))
+    return 0
+
+
+def _cmd_flood(args) -> int:
+    from repro.analysis.report import render_flooding
+    from repro.mitigations.registry import TIVAPROMI_VARIANTS
+    from repro.sim.attacks import flooding_experiment
+
+    config = SimConfig()
+    outcomes = []
+    for start_weight in args.start_weights:
+        for technique in TIVAPROMI_VARIANTS:
+            outcomes.append(
+                flooding_experiment(
+                    config, technique, start_weight=start_weight,
+                    seeds=tuple(range(args.seeds)),
+                )
+            )
+    print(render_flooding(outcomes))
+    return 0
+
+
+def _cmd_policies(args) -> int:
+    from repro.analysis.report import render_table
+    from repro.dram.refresh import all_policies
+    from repro.sim.experiment import default_trace_factory, run_technique
+
+    config = SimConfig()
+    factory = default_trace_factory(config, total_intervals=args.intervals)
+    rows = []
+    for policy in all_policies(config.geometry, seed=0):
+        aggregate = run_technique(
+            config, args.technique, factory,
+            seeds=tuple(range(args.seeds)),
+            policy_factory=lambda seed, p=policy: p,
+        )
+        rows.append(
+            (policy.name, aggregate.overhead_cell(),
+             str(aggregate.total_flips))
+        )
+    print(render_table(("policy", "overhead", "flips"), rows))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.traces.mixer import paper_mixed_workload
+    from repro.traces.trace_io import save_trace
+
+    config = SimConfig()
+    trace = paper_mixed_workload(
+        config, total_intervals=args.intervals, seed=args.seed
+    )
+    count = save_trace(trace, args.out)
+    print(f"wrote {count:,} activations to {args.out}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.mitigations.registry import make_factory
+    from repro.sim.engine import run_simulation
+    from repro.traces.trace_io import load_trace
+
+    config = SimConfig()
+    trace = load_trace(args.trace)
+    factory = make_factory(args.technique) if args.technique != "none" else None
+    result = run_simulation(config, trace, factory, seed=args.seed)
+    print(result.summary())
+    return 1 if result.attack_succeeded else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TiVaPRoMi (DATE 2021) reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("table1", help="Table I").set_defaults(func=_cmd_table1)
+    subparsers.add_parser("table2", help="Table II").set_defaults(func=_cmd_table2)
+
+    table3 = subparsers.add_parser("table3", help="Table III comparison")
+    _add_scale_args(table3)
+    table3.set_defaults(func=_cmd_table3)
+
+    fig4 = subparsers.add_parser("fig4", help="Fig. 4 tradeoff")
+    _add_scale_args(fig4)
+    fig4.set_defaults(func=_cmd_fig4)
+
+    flood = subparsers.add_parser("flood", help="flooding experiment")
+    flood.add_argument("--start-weights", type=int, nargs="+",
+                       default=[0, 384, 4096])
+    flood.add_argument("--seeds", type=int, default=5)
+    flood.set_defaults(func=_cmd_flood)
+
+    policies = subparsers.add_parser(
+        "policies", help="refresh-policy robustness"
+    )
+    _add_scale_args(policies)
+    policies.add_argument("--technique", default="LoLiPRoMi")
+    policies.set_defaults(func=_cmd_policies)
+
+    trace = subparsers.add_parser("trace", help="generate a workload trace")
+    trace.add_argument("--out", required=True)
+    trace.add_argument("--intervals", type=int, default=1024)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.set_defaults(func=_cmd_trace)
+
+    run = subparsers.add_parser("run", help="run one technique on a trace")
+    run.add_argument("--technique", required=True,
+                     help="technique name, or 'none' for unmitigated")
+    run.add_argument("--trace", required=True)
+    run.add_argument("--seed", type=int, default=0)
+    run.set_defaults(func=_cmd_run)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

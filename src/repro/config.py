@@ -1,0 +1,243 @@
+"""Simulation configuration mirroring Table I of the TiVaPRoMi paper.
+
+The paper evaluates against a DDR4 device simulated in gem5.  This module
+captures every parameter of that setup as frozen dataclasses so that a
+single :class:`SimConfig` value fully determines a simulation run.
+
+Two preset configurations are provided:
+
+* :func:`ddr4_paper_config` -- the exact Table I parameters (8192 refresh
+  intervals per 64 ms window, ``Pbase = 2**-23``, 139 K flip threshold).
+* :func:`small_test_config` -- a geometrically-shrunk configuration used
+  by the unit tests so that whole refresh windows stay cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+#: Row-Hammer bit-flip activation threshold from Kim et al. [12], used by
+#: the paper and by every mitigation work it compares against.
+FLIP_THRESHOLD = 139_000
+
+#: Half the flip threshold; the paper uses 69 K as the security margin for
+#: the case where both neighbours of a victim act as aggressors.
+HALF_FLIP_THRESHOLD = FLIP_THRESHOLD // 2
+
+#: Base probability constant chosen so that ``RefInt * Pbase ~= 0.001``
+#: (Table I: 2**-23, giving 9.8e-4 with RefInt = 8192).
+PBASE_PAPER = 2.0 ** -23
+
+
+@dataclass(frozen=True)
+class DRAMTiming:
+    """DRAM device timing parameters (Table I, DDR4 rows).
+
+    All durations are in nanoseconds; ``io_freq_ghz`` is the interface
+    clock used to convert durations into mitigation-FSM cycle budgets.
+    """
+
+    refresh_window_ms: float = 64.0
+    refresh_interval_us: float = 7.8
+    act_to_act_ns: float = 45.0
+    refresh_time_ns: float = 350.0
+    io_freq_ghz: float = 1.2
+
+    @property
+    def refresh_window_ns(self) -> float:
+        return self.refresh_window_ms * 1e6
+
+    @property
+    def refresh_interval_ns(self) -> float:
+        return self.refresh_interval_us * 1e3
+
+    @property
+    def act_cycle_budget(self) -> int:
+        """Clock cycles available to process an ``act`` command.
+
+        The paper derives 54 cycles for DDR4 (45 ns at 1.2 GHz).
+        """
+        return int(self.act_to_act_ns * self.io_freq_ghz)
+
+    @property
+    def ref_cycle_budget(self) -> int:
+        """Clock cycles available to process a ``ref`` command.
+
+        The paper derives 420 cycles for DDR4 (350 ns at 1.2 GHz).
+        """
+        return int(self.refresh_time_ns * self.io_freq_ghz)
+
+    @property
+    def max_acts_per_interval(self) -> int:
+        """Upper bound of activations fitting in one refresh interval.
+
+        TWiCe [13] derives 165 for DDR4; with Table I numbers
+        ``7.8 us / 45 ns = 173`` is the raw bound and the paper adopts
+        165 to account for refresh time.  We compute the raw bound and
+        subtract the refresh slot.
+        """
+        usable_ns = self.refresh_interval_ns - self.refresh_time_ns
+        return int(usable_ns // self.act_to_act_ns)
+
+
+#: DDR3 interface timing used for the paper's second synthesis target
+#: (320 MHz FPGA controller; Section IV).
+DDR3_TIMING = DRAMTiming(io_freq_ghz=0.32)
+
+
+@dataclass(frozen=True)
+class DRAMGeometry:
+    """Address geometry of the simulated device.
+
+    ``refint`` (number of refresh intervals per window) is derived as
+    ``rows_per_bank / rows_per_interval`` because every row is refreshed
+    exactly once per window and each interval refreshes a contiguous
+    group of ``rows_per_interval`` rows (Section III).
+    """
+
+    num_banks: int = 4
+    rows_per_bank: int = 65_536
+    rows_per_interval: int = 8
+
+    def __post_init__(self) -> None:
+        if self.rows_per_bank % self.rows_per_interval:
+            raise ValueError(
+                "rows_per_bank must be a multiple of rows_per_interval "
+                f"(got {self.rows_per_bank} / {self.rows_per_interval})"
+            )
+        if self.num_banks < 1 or self.rows_per_bank < 2:
+            raise ValueError("need at least one bank with two rows")
+
+    @property
+    def refint(self) -> int:
+        """Number of refresh intervals per refresh window (paper: 8192)."""
+        return self.rows_per_bank // self.rows_per_interval
+
+    def refresh_interval_of(self, row: int) -> int:
+        """Return ``f_r``, the interval within a window refreshing *row*.
+
+        This is the paper's ``f_r = r / RowsPI`` mapping; because
+        ``rows_per_interval`` is a power of two in every real device the
+        hardware implements it as a shift.
+        """
+        self._check_row(row)
+        return row // self.rows_per_interval
+
+    def rows_of_interval(self, interval: int) -> range:
+        """Rows refreshed during window-relative *interval* (sequential policy)."""
+        if not 0 <= interval < self.refint:
+            raise ValueError(f"interval {interval} outside [0, {self.refint})")
+        start = interval * self.rows_per_interval
+        return range(start, start + self.rows_per_interval)
+
+    def neighbors(self, row: int) -> tuple[int, ...]:
+        """Physical neighbours of *row*; edge rows have a single neighbour.
+
+        Subclasses (e.g. :class:`repro.dram.remap.RemappedGeometry`)
+        override this with the device's true internal adjacency.
+        """
+        self._check_row(row)
+        if row == 0:
+            return (1,)
+        if row == self.rows_per_bank - 1:
+            return (row - 1,)
+        return (row - 1, row + 1)
+
+    def assumed_neighbors(self, row: int) -> tuple[int, ...]:
+        """The N+-1 adjacency an *address-based* mitigation assumes.
+
+        PARA/ProHit/MRLoc compute victim addresses from the aggressor
+        address; they cannot see defective-row remapping (Section II),
+        so this always returns N+-1 regardless of the true adjacency.
+        ``act_n``-based techniques never call this -- the memory
+        resolves the neighbours internally.
+        """
+        self._check_row(row)
+        if row == 0:
+            return (1,)
+        if row == self.rows_per_bank - 1:
+            return (row - 1,)
+        return (row - 1, row + 1)
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows_per_bank:
+            raise ValueError(f"row {row} outside [0, {self.rows_per_bank})")
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Complete configuration of a trace-driven mitigation simulation."""
+
+    geometry: DRAMGeometry = field(default_factory=DRAMGeometry)
+    timing: DRAMTiming = field(default_factory=DRAMTiming)
+    #: activations of the two aggressors needed to flip bits in the victim
+    flip_threshold: int = FLIP_THRESHOLD
+    #: per-interval-weight base probability (Table I: 2**-23)
+    pbase: float = PBASE_PAPER
+    #: history-table entries per bank for the TiVaPRoMi variants
+    history_table_entries: int = 32
+    #: counter-table entries per bank for CaPRoMi (Section IV: 64,
+    #: chosen between the average 40 and maximum 165 acts per interval)
+    counter_table_entries: int = 64
+    #: counter value locking a CaPRoMi entry against random replacement;
+    #: the paper does not give a value, see DESIGN.md section 6
+    capromi_lock_threshold: int = 32
+    #: second-neighbour disturbance per activation (Half-Double
+    #: coupling); 0 = the paper's distance-1 model
+    distance2_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.distance2_rate < 1.0:
+            raise ValueError(
+                f"distance2_rate must be in [0, 1): {self.distance2_rate}"
+            )
+        if not 0.0 < self.pbase < 1.0:
+            raise ValueError(f"pbase must be in (0, 1), got {self.pbase}")
+        if self.flip_threshold < 1:
+            raise ValueError("flip_threshold must be positive")
+        if self.history_table_entries < 1 or self.counter_table_entries < 1:
+            raise ValueError("table sizes must be positive")
+
+    @property
+    def max_probability(self) -> float:
+        """``RefInt * Pbase`` -- the paper bounds this near PARA's 0.001."""
+        return self.geometry.refint * self.pbase
+
+    def scaled(self, **changes) -> "SimConfig":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **changes)
+
+
+def ddr4_paper_config() -> SimConfig:
+    """The exact configuration of Table I (DDR4, RefInt = 8192)."""
+    return SimConfig()
+
+
+def small_test_config(
+    rows_per_bank: int = 512,
+    rows_per_interval: int = 8,
+    num_banks: int = 1,
+    flip_threshold: int = 2_000,
+) -> SimConfig:
+    """A shrunk geometry for unit tests.
+
+    ``pbase`` is rescaled so that ``RefInt * Pbase`` keeps the paper's
+    ~0.001 bound, preserving every probability ratio the technique
+    depends on.
+    """
+    geometry = DRAMGeometry(
+        num_banks=num_banks,
+        rows_per_bank=rows_per_bank,
+        rows_per_interval=rows_per_interval,
+    )
+    refint = geometry.refint
+    pbase = 2.0 ** -(10 + int(math.log2(refint)))
+    return SimConfig(
+        geometry=geometry,
+        flip_threshold=flip_threshold,
+        pbase=pbase,
+        history_table_entries=8,
+        counter_table_entries=16,
+        capromi_lock_threshold=8,
+    )

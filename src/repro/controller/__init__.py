@@ -1,0 +1,37 @@
+"""Memory-controller layer: commands, controller model, DDR4 command
+timing, and the FR-FCFS request scheduler."""
+
+from repro.controller.commands import (
+    Activate,
+    ActivateNeighborsCmd,
+    Refresh,
+    RefreshRowCmd,
+)
+from repro.controller.controller import MemoryController, MitigationFactory
+from repro.controller.scheduler import (
+    DRAMRequestEvent,
+    FRFCFSScheduler,
+    schedule_system_trace,
+)
+from repro.controller.timing_model import (
+    BankTimer,
+    CommandTimingChecker,
+    DDR4CommandTiming,
+    RankTimer,
+)
+
+__all__ = [
+    "Activate",
+    "ActivateNeighborsCmd",
+    "BankTimer",
+    "CommandTimingChecker",
+    "DDR4CommandTiming",
+    "DRAMRequestEvent",
+    "FRFCFSScheduler",
+    "MemoryController",
+    "MitigationFactory",
+    "RankTimer",
+    "Refresh",
+    "RefreshRowCmd",
+    "schedule_system_trace",
+]

@@ -1,0 +1,43 @@
+"""Memory-controller command records (Fig. 1 signal vocabulary).
+
+The mitigation extension observes two controller commands -- ``act``
+and ``ref`` -- and responds through the RH interrupt logic with extra
+refreshes.  These records are what flows across that interface; the
+simulation engine can optionally log them for inspection.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Activate(NamedTuple):
+    """A normal row activation (``act``)."""
+
+    time_ns: int
+    bank: int
+    row: int
+
+
+class Refresh(NamedTuple):
+    """A periodic refresh command (``ref``) starting *interval*."""
+
+    time_ns: int
+    interval: int
+
+
+class ActivateNeighborsCmd(NamedTuple):
+    """``act_n``: the memory activates both neighbours of *row*."""
+
+    time_ns: int
+    bank: int
+    row: int
+
+
+class RefreshRowCmd(NamedTuple):
+    """A directed refresh of one row (PARA/ProHit/MRLoc style)."""
+
+    time_ns: int
+    bank: int
+    row: int
+    trigger_row: int

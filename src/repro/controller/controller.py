@@ -1,0 +1,149 @@
+"""Memory controller with the TiVaPRoMi extension interface (Fig. 1).
+
+The controller owns the DRAM device and the per-bank mitigation
+instances.  It forwards every ``act`` and ``ref`` command to the
+mitigation of the addressed bank; mitigating refreshes come back
+through a small **RH interrupt buffer** -- the paper buffers
+``(BA_RH, RA_RH, IRQ_RH)`` while ``wait`` is raised and issues the
+``act_n`` at the next opportunity.  We model that by queueing actions
+and draining the queue before the next command is processed, tracking
+the buffer's maximum occupancy (it stays tiny, which is why a
+single-entry hardware buffer suffices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional
+
+from collections import deque
+
+from repro.config import SimConfig
+from repro.dram.device import DRAMDevice
+from repro.dram.refresh import RefreshPolicy
+from repro.mitigations.base import (
+    ActivateNeighbors,
+    Mitigation,
+    MitigationAction,
+    RefreshRow,
+)
+from repro.rng import derive_seed
+
+#: factory signature: (config, bank, seed) -> Mitigation
+MitigationFactory = Callable[[SimConfig, int, int], Mitigation]
+
+
+@dataclass
+class PendingAction:
+    bank: int
+    action: MitigationAction
+    #: whether the triggering row was a known aggressor at decision time
+    trigger_was_attack: bool
+
+
+@dataclass
+class MemoryController:
+    config: SimConfig
+    mitigation_factory: Optional[MitigationFactory] = None
+    refresh_policy: Optional[RefreshPolicy] = None
+    seed: int = 0
+    device: DRAMDevice = field(init=False)
+    mitigations: List[Mitigation] = field(init=False)
+    #: the Fig. 1 buffer between the mitigation and the interrupt logic
+    _rh_buffer: Deque[PendingAction] = field(default_factory=deque)
+    max_buffer_occupancy: int = 0
+    #: (extra activations, false-positive extra activations) counters
+    extra_activations: int = 0
+    fp_extra_activations: int = 0
+    mitigation_triggers: int = 0
+    #: per-bank ground-truth aggressor rows seen so far (metrics only;
+    #: mitigations never see this)
+    _aggressors: List[set] = field(init=False)
+    _time_ns: int = 0
+
+    def __post_init__(self) -> None:
+        self.device = DRAMDevice(self.config, refresh_policy=self.refresh_policy)
+        banks = self.config.geometry.num_banks
+        if self.mitigation_factory is None:
+            self.mitigations = []
+        else:
+            self.mitigations = [
+                self.mitigation_factory(
+                    self.config, bank, derive_seed(self.seed, "mitigation", bank)
+                )
+                for bank in range(banks)
+            ]
+        self._aggressors = [set() for _ in range(banks)]
+
+    @property
+    def current_interval(self) -> int:
+        return self.device.interval
+
+    def activate(self, bank: int, row: int, time_ns: int, is_attack: bool = False) -> int:
+        """Process one ``act`` command; returns mitigation triggers caused.
+
+        The ground-truth *is_attack* flag is recorded for metrics and
+        never shown to the mitigation.
+        """
+        self._time_ns = time_ns
+        self._drain_buffer()
+        if is_attack:
+            self._aggressors[bank].add(row)
+        self.device.activate(bank, row, time_ns)
+        if not self.mitigations:
+            return 0
+        actions = self.mitigations[bank].on_activation(
+            row, self.device.interval
+        )
+        self._enqueue(bank, actions)
+        return len(actions)
+
+    def refresh_tick(self) -> None:
+        """Process the ``ref`` command starting the next interval."""
+        self._drain_buffer()
+        self.device.refresh_tick()
+        interval = self.device.interval
+        for bank, mitigation in enumerate(self.mitigations):
+            self._enqueue(bank, mitigation.on_refresh(interval))
+        self._drain_buffer()
+
+    def _enqueue(self, bank: int, actions) -> None:
+        for action in actions:
+            trigger = action.trigger_row
+            self._rh_buffer.append(
+                PendingAction(
+                    bank=bank,
+                    action=action,
+                    trigger_was_attack=trigger in self._aggressors[bank],
+                )
+            )
+        if len(self._rh_buffer) > self.max_buffer_occupancy:
+            self.max_buffer_occupancy = len(self._rh_buffer)
+
+    def _drain_buffer(self) -> None:
+        while self._rh_buffer:
+            pending = self._rh_buffer.popleft()
+            self._apply(pending)
+
+    def _apply(self, pending: PendingAction) -> None:
+        bank = self.device.banks[pending.bank]
+        action = pending.action
+        self.mitigation_triggers += 1
+        if isinstance(action, ActivateNeighbors):
+            cost = bank.activate_neighbors(action.row, self._time_ns)
+        elif isinstance(action, RefreshRow):
+            # A directed refresh is one extra activation of the victim
+            # row itself (which also disturbs the victim's neighbours).
+            bank.activate(action.row, self._time_ns)
+            bank.activations -= 1  # re-classify as extra, not normal
+            bank.extra_activations += 1
+            cost = 1
+        else:  # pragma: no cover - future action kinds
+            raise TypeError(f"unknown mitigation action {action!r}")
+        self.extra_activations += cost
+        if not pending.trigger_was_attack:
+            self.fp_extra_activations += cost
+
+    def finish(self) -> None:
+        """Flush any buffered mitigation actions at end of simulation."""
+        self._drain_buffer()

@@ -1,0 +1,170 @@
+"""DDR4 command timing: per-bank and per-rank legality rules.
+
+The paper uses gem5's DRAM controller model [6] targeting DDR4 [9].
+This module provides the timing core of such a controller: given the
+command history, when may the next PRE/ACT/RD/WR/REF legally issue?
+
+Parameters (nanoseconds) follow JESD79-4 for a DDR4-2400 grade, with
+the two values the paper pins in Table I taken verbatim: 45 ns
+activate-to-activate (tRC) and 350 ns refresh time (tRFC).
+
+Enforced constraints:
+
+========  =====================================================
+tRCD      ACT -> first RD/WR to the same bank
+tRP       PRE -> next ACT to the same bank
+tRAS      ACT -> earliest PRE of the same bank
+tRC       ACT -> next ACT of the same bank (tRAS + tRP)
+tRRD      ACT -> ACT across banks of one rank
+tFAW      any four ACTs within a rank must span >= tFAW
+tRFC      REF blocks the whole rank
+tREFI     refresh interval cadence (driven by the controller)
+========  =====================================================
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List
+
+
+@dataclass(frozen=True)
+class DDR4CommandTiming:
+    """DDR4 command timing parameters in nanoseconds."""
+
+    trcd: float = 14.16
+    trp: float = 14.16
+    tras: float = 30.84
+    trrd: float = 3.3
+    tfaw: float = 21.6
+    trfc: float = 350.0
+    trefi: float = 7800.0
+    #: column access latency + burst (RD/WR occupancy, simplified)
+    tcol: float = 15.0
+
+    @property
+    def trc(self) -> float:
+        """ACT-to-ACT, same bank -- the paper's Table I pins 45 ns."""
+        return self.tras + self.trp
+
+
+@dataclass
+class BankTimer:
+    """Command-legality clock for one bank."""
+
+    timing: DDR4CommandTiming
+    #: row currently open in the bank, -1 when precharged
+    open_row: int = -1
+    _earliest_act: float = 0.0
+    _earliest_pre: float = 0.0
+    _earliest_col: float = 0.0
+    acts_issued: int = 0
+
+    def can_act(self, now: float) -> bool:
+        return self.open_row == -1 and now >= self._earliest_act
+
+    def can_pre(self, now: float) -> bool:
+        return self.open_row != -1 and now >= self._earliest_pre
+
+    def can_col(self, now: float, row: int) -> bool:
+        return self.open_row == row and now >= self._earliest_col
+
+    def earliest_act(self) -> float:
+        return self._earliest_act
+
+    def issue_act(self, now: float, row: int) -> None:
+        if not self.can_act(now):
+            raise ValueError(
+                f"illegal ACT at {now} (bank open_row={self.open_row}, "
+                f"earliest {self._earliest_act})"
+            )
+        self.open_row = row
+        self.acts_issued += 1
+        timing = self.timing
+        self._earliest_pre = max(self._earliest_pre, now + timing.tras)
+        self._earliest_col = max(self._earliest_col, now + timing.trcd)
+        self._earliest_act = max(self._earliest_act, now + timing.trc)
+
+    def issue_pre(self, now: float) -> None:
+        if not self.can_pre(now):
+            raise ValueError(f"illegal PRE at {now}")
+        self.open_row = -1
+        self._earliest_act = max(self._earliest_act, now + self.timing.trp)
+
+    def issue_col(self, now: float, row: int) -> None:
+        if not self.can_col(now, row):
+            raise ValueError(f"illegal RD/WR at {now} (row {row})")
+        self._earliest_col = max(self._earliest_col, now + self.timing.tcol)
+
+    def block_until(self, time: float) -> None:
+        """REF: freeze the bank until *time* (rank-wide tRFC)."""
+        self._earliest_act = max(self._earliest_act, time)
+        self._earliest_pre = max(self._earliest_pre, time)
+        self._earliest_col = max(self._earliest_col, time)
+
+
+@dataclass
+class RankTimer:
+    """Cross-bank constraints: tRRD and the tFAW four-activate window."""
+
+    timing: DDR4CommandTiming
+    _last_act: float = float("-inf")
+    _act_window: Deque[float] = field(default_factory=deque)
+
+    def can_act(self, now: float) -> bool:
+        if now - self._last_act < self.timing.trrd:
+            return False
+        if len(self._act_window) >= 4:
+            if now - self._act_window[0] < self.timing.tfaw:
+                return False
+        return True
+
+    def earliest_act(self) -> float:
+        candidates = [self._last_act + self.timing.trrd]
+        if len(self._act_window) >= 4:
+            candidates.append(self._act_window[0] + self.timing.tfaw)
+        return max(candidates)
+
+    def issue_act(self, now: float) -> None:
+        if not self.can_act(now):
+            raise ValueError(f"illegal rank ACT at {now}")
+        self._last_act = now
+        self._act_window.append(now)
+        while len(self._act_window) > 4:
+            self._act_window.popleft()
+
+
+class CommandTimingChecker:
+    """Validates a recorded ACT stream against the timing rules.
+
+    Used by tests and by trace validation: returns the violations found
+    (empty for a legal stream).  Only ACT-level rules are checked,
+    because that is all a mitigation ever observes.
+    """
+
+    def __init__(self, num_banks: int, timing: DDR4CommandTiming = None):
+        self.timing = timing or DDR4CommandTiming()
+        self.num_banks = num_banks
+
+    def check(self, acts: List) -> List[str]:
+        """*acts* is a sequence of (time_ns, bank) pairs, time-sorted."""
+        problems: List[str] = []
+        last_bank_act = {}
+        window: Deque[float] = deque()
+        last_act = float("-inf")
+        for index, (time_ns, bank) in enumerate(acts):
+            previous = last_bank_act.get(bank)
+            if previous is not None and time_ns - previous < self.timing.trc:
+                problems.append(
+                    f"act {index}: bank {bank} tRC violation "
+                    f"({time_ns - previous:.1f} < {self.timing.trc:.1f} ns)"
+                )
+            if time_ns - last_act < self.timing.trrd and time_ns != last_act:
+                problems.append(f"act {index}: tRRD violation")
+            if len(window) >= 4 and time_ns - window[-4] < self.timing.tfaw:
+                problems.append(f"act {index}: tFAW violation")
+            last_bank_act[bank] = time_ns
+            window.append(time_ns)
+            last_act = time_ns
+        return problems

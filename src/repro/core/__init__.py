@@ -1,0 +1,36 @@
+"""TiVaPRoMi core: weights, tables, the four variants, FSM timing."""
+
+from repro.core.capromi import CaPRoMi
+from repro.core.counter_table import CounterEntry, CounterTable
+from repro.core.history_table import HistoryEntry, HistoryTable
+from repro.core.timing import (
+    act_cycles,
+    budget_check,
+    cycle_report,
+    ref_cycles,
+    required_parallelism,
+    table2,
+)
+from repro.core.tivapromi import LiPRoMi, LoLiPRoMi, LoPRoMi, TiVaPRoMiBase
+from repro.core.weights import linear_weight, log_weight, probability
+
+__all__ = [
+    "CaPRoMi",
+    "CounterEntry",
+    "CounterTable",
+    "HistoryEntry",
+    "HistoryTable",
+    "LiPRoMi",
+    "LoLiPRoMi",
+    "LoPRoMi",
+    "TiVaPRoMiBase",
+    "act_cycles",
+    "budget_check",
+    "cycle_report",
+    "linear_weight",
+    "log_weight",
+    "probability",
+    "ref_cycles",
+    "required_parallelism",
+    "table2",
+]

@@ -1,0 +1,90 @@
+"""CaPRoMi -- counter-assisted probabilistic weighting (Section III-D).
+
+CaPRoMi combines counters with time-varying probabilities (the paper
+notes no prior work had tried the combination):
+
+* During a refresh interval, a small counter table counts activations
+  per row.  On first sight a row is inserted (randomly evicting an
+  unlocked entry when full); entries whose count reaches a threshold
+  lock themselves against eviction.  In parallel the history table is
+  searched and, on a hit, the matching history index is linked into the
+  counter entry.
+* When the ``ref`` command arrives, the decision is made *collectively*
+  for the interval just finished: every counter entry computes
+  ``w_log`` (Eq. 2, from the linked history interval when available,
+  else the row's refresh slot) and triggers ``act_n`` with probability
+  ``p = cnt * w_log * Pbase``.  Positive decisions update the history
+  table; the counter table is then cleared for the next interval.
+
+The paper issues the resulting extra activations "during the next
+refresh interval"; we apply them at the decision point -- the
+sub-interval scheduling slack has no observable effect on the
+disturbance model (a row refreshed a few microseconds later is still
+refreshed thousands of activations before the threshold).
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, List, Sequence, Tuple
+
+from repro.config import SimConfig
+from repro.core.counter_table import CounterTable
+from repro.core.history_table import HistoryTable
+from repro.core.weights import linear_weight, log_weight, probability
+from repro.mitigations.base import ActivateNeighbors, Mitigation, MitigationAction
+from repro.rng import stream
+
+
+class CaPRoMi(Mitigation):
+    name: ClassVar[str] = "CaPRoMi"
+    known_vulnerabilities: ClassVar[Tuple[str, ...]] = ()
+
+    def __init__(self, config: SimConfig, bank: int = 0, seed: int = 0):
+        super().__init__(config, bank)
+        self.pbase = config.pbase
+        self.history = HistoryTable(
+            entries=config.history_table_entries, refint=self.refint
+        )
+        self.counters = CounterTable(
+            entries=config.counter_table_entries,
+            lock_threshold=config.capromi_lock_threshold,
+            seed=seed,
+        )
+        self._rng = stream(seed, self.name, bank)
+
+    def on_activation(self, row: int, interval: int) -> Sequence[MitigationAction]:
+        link = self.history.lookup_index(row)
+        self.counters.observe(row, history_link=link)
+        return ()
+
+    def on_refresh(self, interval: int) -> Sequence[MitigationAction]:
+        """Collective decision for the interval that just ended."""
+        window_now = self.window_interval(interval)
+        if window_now == 0:
+            self.history.clear()
+            self.counters.clear()
+            return ()
+        actions: List[MitigationAction] = []
+        for entry in self.counters.entries():
+            weight = self._entry_weight(entry.row, entry.history_link, window_now)
+            trigger_p = probability(entry.count * log_weight(weight), self.pbase)
+            if self._rng.random() < trigger_p:
+                actions.append(ActivateNeighbors(row=entry.row))
+                self.history.record(entry.row, window_now)
+        self.counters.clear()
+        return tuple(actions)
+
+    def _entry_weight(self, row: int, history_link: int, window_now: int) -> int:
+        """Eq. 1 weight from the linked history entry, else from f_r."""
+        if history_link >= 0:
+            linked = self.history.entry_at(history_link)
+            if linked is not None and linked.row == row:
+                return linear_weight(window_now, linked.interval, self.refint)
+        f_r = self.config.geometry.refresh_interval_of(row)
+        return linear_weight(window_now, f_r, self.refint)
+
+    @property
+    def table_bytes(self) -> int:
+        return self.history.table_bytes + self.counters.table_bytes(
+            self.history.capacity
+        )

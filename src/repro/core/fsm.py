@@ -1,0 +1,216 @@
+"""Executable FSMs of Fig. 2 and Fig. 3.
+
+:mod:`repro.core.timing` accounts cycles arithmetically; this module
+goes one level lower and *executes* the paper's FSMs state by state,
+with each state bound to the datapath operation the VHDL performs.
+Two uses:
+
+* a hardware-faithful alternative implementation of the TiVaPRoMi
+  variants, differentially tested against the behavioural classes in
+  :mod:`repro.core.tivapromi` (same inputs + same random stream must
+  give identical decisions);
+* cycle accounting cross-validation: the cycles consumed by an executed
+  loop must equal the Table II model.
+
+The FSM walks Fig. 2 for the probabilistic variants:
+
+    idle -> init -> search in table -> calculate weight -> decide
+         -> [activate neighbor & update table] -> idle        (on act)
+    idle -> update refresh interval -> same/new window check
+         -> [reset table] -> idle                             (on ref)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.config import SimConfig
+from repro.core.history_table import HistoryTable
+from repro.core.weights import linear_weight, log_weight, probability
+from repro.rng import stream
+
+
+@dataclass
+class FSMTrace:
+    """Record of one executed FSM loop."""
+
+    states: List[str] = field(default_factory=list)
+    cycles: int = 0
+
+    def enter(self, state: str, cycles: int) -> None:
+        self.states.append(state)
+        self.cycles += cycles
+
+
+class Fig2FSM:
+    """The Fig. 2 FSM, executing one of the three weighting variants.
+
+    The datapath mirrors the hardware: the table search walks one entry
+    per cycle; the weight unit computes linear and (for the log
+    variants) logarithmic weights; the decide state compares the scaled
+    weight against the random source; a positive decision performs the
+    table update in the same pass.
+    """
+
+    #: per-variant cycles of the "calculate weight" state (Table II:
+    #: LoLi selects between two speculative weights in one cycle)
+    WEIGHT_CYCLES = {"linear": 2, "log": 2, "loli": 1}
+
+    def __init__(self, config: SimConfig, weighting: str, bank: int = 0,
+                 seed: int = 0):
+        if weighting not in self.WEIGHT_CYCLES:
+            raise ValueError(f"unknown weighting {weighting!r}")
+        self.config = config
+        self.weighting = weighting
+        self.refint = config.geometry.refint
+        self.table = HistoryTable(
+            entries=config.history_table_entries, refint=self.refint
+        )
+        self.rng = stream(seed, "fig2-fsm", weighting, bank)
+        self.last_trace: Optional[FSMTrace] = None
+
+    # -- the two FSM loops --------------------------------------------------
+
+    def on_act(self, row: int, interval: int) -> bool:
+        """Process an ``act``; returns True when act_n is issued."""
+        fsm_trace = FSMTrace()
+        fsm_trace.enter("init", 1)
+
+        # search in table: sequential, one entry per cycle; the search
+        # always scans the full table (search_cm fires at the end)
+        stored = self.table.lookup(row)
+        fsm_trace.enter("search in table", self.table.capacity)
+
+        # calculate weight
+        window_now = interval % self.refint
+        if stored is not None:
+            raw = linear_weight(window_now, stored, self.refint)
+        else:
+            raw = linear_weight(
+                window_now,
+                self.config.geometry.refresh_interval_of(row),
+                self.refint,
+            )
+        if self.weighting == "linear":
+            weight = raw
+        elif self.weighting == "log":
+            weight = log_weight(raw)
+        else:  # loli: mux between the two speculative weights
+            weight = raw if stored is not None else log_weight(raw)
+        fsm_trace.enter("calculate weight", self.WEIGHT_CYCLES[self.weighting])
+
+        # decide: compare w * Pbase against the random source
+        trigger = self.rng.random() < probability(weight, self.config.pbase)
+        fsm_trace.enter("decide", 1)
+
+        if trigger:
+            self.table.record(row, window_now)
+            fsm_trace.enter("activate neighbor & update table", 1)
+        else:
+            # the negative edge still spends the transition cycle back
+            # to idle, matching the Table II totals
+            fsm_trace.enter("return to idle", 1)
+        self.last_trace = fsm_trace
+        return trigger
+
+    def on_ref(self, interval: int) -> None:
+        """Process a ``ref``: interval bookkeeping and window reset."""
+        fsm_trace = FSMTrace()
+        fsm_trace.enter("update refresh interval", 1)
+        new_window = interval % self.refint == 0
+        fsm_trace.enter("same/new refresh window", 1)
+        if new_window:
+            self.table.clear()
+        fsm_trace.enter("reset table" if new_window else "idle", 1)
+        self.last_trace = fsm_trace
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def last_cycles(self) -> int:
+        return self.last_trace.cycles if self.last_trace else 0
+
+
+class Fig3FSM:
+    """The Fig. 3 FSM (CaPRoMi's counter-assisted datapath).
+
+    ``act`` path: search/increase the counter table (two entries per
+    cycle) while the history table is searched for a link; insert or
+    randomly replace on a miss (lock bits protect hot entries).
+    ``ref`` path: a 4-cycle-per-entry sweep computing
+    ``p = cnt * w_log * Pbase`` for every live counter, issuing act_n
+    on positive decisions and updating the history table.
+    """
+
+    def __init__(self, config: SimConfig, bank: int = 0, seed: int = 0):
+        from repro.core.counter_table import CounterTable
+
+        self.config = config
+        self.refint = config.geometry.refint
+        self.history = HistoryTable(
+            entries=config.history_table_entries, refint=self.refint
+        )
+        self.counters = CounterTable(
+            entries=config.counter_table_entries,
+            lock_threshold=config.capromi_lock_threshold,
+            seed=seed,
+        )
+        self.rng = stream(seed, "CaPRoMi", bank)
+        self.last_trace: Optional[FSMTrace] = None
+
+    def on_act(self, row: int, interval: int) -> None:
+        fsm_trace = FSMTrace()
+        fsm_trace.enter(
+            "search/increase",
+            -(-self.config.counter_table_entries // 2),
+        )
+        link = self.history.lookup_index(row)
+        fsm_trace.enter(
+            "find linked", -(-self.config.history_table_entries // 2)
+        )
+        self.counters.observe(row, history_link=link)
+        fsm_trace.enter("insert/replace", 1)
+        fsm_trace.enter("link/update", 1)
+        self.last_trace = fsm_trace
+
+    def on_ref(self, interval: int) -> List[int]:
+        """Collective decision; returns rows issued as act_n."""
+        fsm_trace = FSMTrace()
+        fsm_trace.enter("init", 1)
+        window_now = interval % self.refint
+        issued: List[int] = []
+        if window_now == 0:
+            self.history.clear()
+            self.counters.clear()
+        else:
+            for entry in self.counters.entries():
+                weight = self._entry_weight(entry, window_now)
+                trigger_p = probability(
+                    entry.count * log_weight(weight), self.config.pbase
+                )
+                if self.rng.random() < trigger_p:
+                    issued.append(entry.row)
+                    self.history.record(entry.row, window_now)
+            self.counters.clear()
+        fsm_trace.enter(
+            "weight/decision sweep", self.config.counter_table_entries * 4
+        )
+        fsm_trace.enter("clear counters", 1)
+        self.last_trace = fsm_trace
+        return issued
+
+    def _entry_weight(self, entry, window_now: int) -> int:
+        if entry.history_link >= 0:
+            linked = self.history.entry_at(entry.history_link)
+            if linked is not None and linked.row == entry.row:
+                return linear_weight(window_now, linked.interval, self.refint)
+        return linear_weight(
+            window_now,
+            self.config.geometry.refresh_interval_of(entry.row),
+            self.refint,
+        )
+
+    @property
+    def last_cycles(self) -> int:
+        return self.last_trace.cycles if self.last_trace else 0

@@ -1,0 +1,98 @@
+"""The TiVaPRoMi history table (Section III).
+
+A small per-bank table recording *(row, refresh interval)* pairs for
+rows that already received a mitigating ``act_n`` in the current
+refresh window.  When such a row is activated again, its weight is
+computed from the stored interval instead of its periodic-refresh slot,
+so it does not immediately trigger further (unneeded) extra
+activations.
+
+Properties modelled after the hardware:
+
+* fixed capacity (paper: 32 entries, 120 B per 1 GB bank);
+* FIFO replacement when full;
+* sequential search (the cycle cost appears in the Table II model);
+* cleared when a new refresh window starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+#: row-address width for a 64 K-row bank; with the 13-bit interval field
+#: this gives the paper's 32 * 30 bits = 120 B table.
+ROW_BITS = 17
+
+
+@dataclass
+class HistoryEntry:
+    row: int
+    interval: int
+
+
+class HistoryTable:
+    """Fixed-capacity FIFO table of (row, interval) records."""
+
+    def __init__(self, entries: int, refint: int):
+        if entries < 1:
+            raise ValueError("history table needs at least one entry")
+        self.capacity = entries
+        self.refint = refint
+        self._entries: List[HistoryEntry] = []
+        #: sequential-search effort of the most recent lookup (cycles
+        #: proxy, used by the timing model tests)
+        self.last_search_steps = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, row: int) -> Optional[int]:
+        """Sequentially search for *row*; return its stored interval."""
+        for steps, entry in enumerate(self._entries, start=1):
+            if entry.row == row:
+                self.last_search_steps = steps
+                return entry.interval
+        self.last_search_steps = len(self._entries)
+        return None
+
+    def lookup_index(self, row: int) -> int:
+        """Index of *row*'s entry, or -1 (CaPRoMi links by index)."""
+        for index, entry in enumerate(self._entries):
+            if entry.row == row:
+                return index
+        return -1
+
+    def entry_at(self, index: int) -> Optional[HistoryEntry]:
+        if 0 <= index < len(self._entries):
+            return self._entries[index]
+        return None
+
+    def record(self, row: int, interval: int) -> None:
+        """Store that *row* got a mitigating refresh during *interval*.
+
+        Updates the row's entry in place when present; otherwise
+        appends, evicting the oldest entry when at capacity (FIFO).
+        """
+        if not 0 <= interval < self.refint:
+            raise ValueError(f"interval {interval} outside [0, {self.refint})")
+        for entry in self._entries:
+            if entry.row == row:
+                entry.interval = interval
+                return
+        if len(self._entries) >= self.capacity:
+            self._entries.pop(0)
+        self._entries.append(HistoryEntry(row=row, interval=interval))
+
+    def clear(self) -> None:
+        """New refresh window: forget everything."""
+        self._entries.clear()
+
+    @property
+    def interval_bits(self) -> int:
+        return max(1, (self.refint - 1).bit_length())
+
+    @property
+    def table_bytes(self) -> int:
+        """Storage footprint (paper: 32 entries -> 120 B)."""
+        return (self.capacity * (ROW_BITS + self.interval_bits) + 7) // 8

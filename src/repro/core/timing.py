@@ -1,0 +1,223 @@
+"""FSM cycle-accounting model (Table II).
+
+The paper implements each variant's FSM (Figs. 2 and 3) in VHDL and
+reports the clock cycles of one ``idle -> ... -> idle`` loop after an
+``act`` or ``ref`` command, against the DDR4 budgets of 54 cycles
+(45 ns at 1.2 GHz) and 420 cycles (350 ns).  We reproduce those numbers
+with an explicit state-walk model:
+
+* table searches are sequential, ``ceil(entries / parallelism)``
+  cycles; CaPRoMi's VHDL searches the counter table and the history
+  table two entries per cycle ("in parallel, the history table is
+  searched", Section III-D);
+* weight calculation costs 2 cycles for linear (subtract + wrap) and
+  logarithmic (subtract + modified priority encoder) weighting, and 1
+  for LoLiPRoMi, whose mux selects between the two speculatively
+  computed weights;
+* CaPRoMi's ``ref`` decision loop spends 4 cycles per counter entry
+  (weight, Eq. 2 encode, multiply, compare).
+
+The same model answers the DDR3 retargeting question of Section IV:
+how much extra search parallelism each technique needs to fit the
+320 MHz budgets, which drives the area model's DDR3 LUT counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.config import DRAMTiming, SimConfig
+
+#: variants of the Fig. 2 FSM and their weight-calculation cycles
+_WEIGHT_CYCLES = {"LiPRoMi": 2, "LoPRoMi": 2, "LoLiPRoMi": 1}
+
+
+@dataclass(frozen=True)
+class FSMStep:
+    """One state of an FSM loop and the cycles spent in it."""
+
+    state: str
+    cycles: int
+
+
+@dataclass(frozen=True)
+class CyclePlan:
+    """A full FSM loop: its steps and their total."""
+
+    steps: Tuple[FSMStep, ...]
+
+    @property
+    def total(self) -> int:
+        return sum(step.cycles for step in self.steps)
+
+
+def _ceil_div(amount: int, parallelism: int) -> int:
+    if parallelism < 1:
+        raise ValueError("parallelism must be >= 1")
+    return math.ceil(amount / parallelism)
+
+
+def probabilistic_act_plan(
+    variant: str,
+    history_entries: int = 32,
+    search_parallelism: int = 1,
+) -> CyclePlan:
+    """Fig. 2 loop after ``act`` for LiPRoMi / LoPRoMi / LoLiPRoMi."""
+    if variant not in _WEIGHT_CYCLES:
+        raise ValueError(f"unknown Fig. 2 variant: {variant}")
+    return CyclePlan(
+        steps=(
+            FSMStep("init", 1),
+            FSMStep("search in table", _ceil_div(history_entries, search_parallelism)),
+            FSMStep("calculate weight", _WEIGHT_CYCLES[variant]),
+            FSMStep("decide", 1),
+            FSMStep("activate neighbor & update table", 1),
+        )
+    )
+
+
+def probabilistic_ref_plan(variant: str) -> CyclePlan:
+    """Fig. 2 loop after ``ref``: interval bookkeeping only."""
+    if variant not in _WEIGHT_CYCLES:
+        raise ValueError(f"unknown Fig. 2 variant: {variant}")
+    return CyclePlan(
+        steps=(
+            FSMStep("update refresh interval", 1),
+            FSMStep("same/new refresh window", 1),
+            FSMStep("reset table", 1),
+        )
+    )
+
+
+def capromi_act_plan(
+    counter_entries: int = 64,
+    history_entries: int = 32,
+    counter_search_parallelism: int = 2,
+    history_search_parallelism: int = 2,
+) -> CyclePlan:
+    """Fig. 3 loop after ``act`` for CaPRoMi."""
+    return CyclePlan(
+        steps=(
+            FSMStep(
+                "search/increase",
+                _ceil_div(counter_entries, counter_search_parallelism),
+            ),
+            FSMStep(
+                "find linked",
+                _ceil_div(history_entries, history_search_parallelism),
+            ),
+            FSMStep("insert/replace", 1),
+            FSMStep("link/update", 1),
+        )
+    )
+
+
+def capromi_ref_plan(
+    counter_entries: int = 64,
+    decision_parallelism: int = 1,
+    cycles_per_entry: int = 4,
+) -> CyclePlan:
+    """Fig. 3 loop after ``ref``: the collective decision sweep."""
+    return CyclePlan(
+        steps=(
+            FSMStep("init", 1),
+            FSMStep(
+                "weight/decision sweep",
+                _ceil_div(counter_entries * cycles_per_entry, decision_parallelism),
+            ),
+            FSMStep("clear counters", 1),
+        )
+    )
+
+
+def act_cycles(variant: str, config: SimConfig, parallelism: int = 1) -> int:
+    """Cycles of one FSM loop after ``act`` (any of the four variants)."""
+    if variant == "CaPRoMi":
+        return capromi_act_plan(
+            counter_entries=config.counter_table_entries,
+            history_entries=config.history_table_entries,
+            counter_search_parallelism=2 * parallelism,
+            history_search_parallelism=2 * parallelism,
+        ).total
+    return probabilistic_act_plan(
+        variant,
+        history_entries=config.history_table_entries,
+        search_parallelism=parallelism,
+    ).total
+
+
+def ref_cycles(variant: str, config: SimConfig, parallelism: int = 1) -> int:
+    """Cycles of one FSM loop after ``ref``."""
+    if variant == "CaPRoMi":
+        return capromi_ref_plan(
+            counter_entries=config.counter_table_entries,
+            decision_parallelism=parallelism,
+        ).total
+    return probabilistic_ref_plan(variant).total
+
+
+def table2(config: SimConfig) -> Dict[str, Dict[str, int]]:
+    """Reproduce Table II: cycles per observed ``act``/``ref`` command."""
+    variants = ("CaPRoMi", "LoLiPRoMi", "LoPRoMi", "LiPRoMi")
+    return {
+        variant: {
+            "act": act_cycles(variant, config),
+            "ref": ref_cycles(variant, config),
+        }
+        for variant in variants
+    }
+
+
+def budget_check(config: SimConfig, timing: DRAMTiming = None) -> Dict[str, bool]:
+    """Verify no variant violates the act/ref cycle budgets (Section IV)."""
+    timing = timing or config.timing
+    act_budget = timing.act_cycle_budget
+    ref_budget = timing.ref_cycle_budget
+    result = {}
+    for variant, cycles in table2(config).items():
+        result[variant] = (
+            cycles["act"] <= act_budget and cycles["ref"] <= ref_budget
+        )
+    return result
+
+
+def required_parallelism(
+    variant: str, config: SimConfig, timing: DRAMTiming
+) -> int:
+    """Minimal search parallelism fitting *timing*'s cycle budgets.
+
+    This is the Section IV DDR3 retargeting: at 320 MHz only 14 act /
+    112 ref cycles are available, so table-searching techniques must
+    check several entries per cycle, growing their area.
+    """
+    act_budget = timing.act_cycle_budget
+    ref_budget = timing.ref_cycle_budget
+    for parallelism in range(1, 4097):
+        if (
+            act_cycles(variant, config, parallelism) <= act_budget
+            and ref_cycles(variant, config, parallelism) <= ref_budget
+        ):
+            return parallelism
+    raise ValueError(
+        f"{variant} cannot fit act<={act_budget}/ref<={ref_budget} cycles "
+        "at any modelled parallelism"
+    )
+
+
+def cycle_report(config: SimConfig) -> List[str]:
+    """Human-readable Table II with budget verdicts."""
+    lines = ["variant      act  ref  (budgets: "
+             f"act<={config.timing.act_cycle_budget}, "
+             f"ref<={config.timing.ref_cycle_budget})"]
+    for variant, cycles in table2(config).items():
+        ok = (
+            cycles["act"] <= config.timing.act_cycle_budget
+            and cycles["ref"] <= config.timing.ref_cycle_budget
+        )
+        lines.append(
+            f"{variant:<12} {cycles['act']:>3}  {cycles['ref']:>3}  "
+            f"{'ok' if ok else 'VIOLATION'}"
+        )
+    return lines

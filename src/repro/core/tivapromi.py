@@ -1,0 +1,124 @@
+"""The purely probabilistic TiVaPRoMi variants (Sections III-A..C).
+
+All three share the FSM of Fig. 2: on every ``act`` the history table
+is searched, the weight is computed (from the stored mitigation
+interval on a hit, from the periodic-refresh slot ``f_r`` otherwise),
+the probability ``p_r = w * Pbase`` is compared against a random
+number, and a positive decision issues ``act_n`` and records the row in
+the history table.  On ``ref`` the current interval advances and the
+table is cleared at window boundaries.
+
+The variants differ only in the weighting applied:
+
+* **LiPRoMi** -- linear ``w`` (Eq. 1).  Finest-grained, but weights grow
+  slowly, so an attacker who knows the refresh mapping (or floods one
+  row) hammers under a tiny probability for a long time: the documented
+  vulnerability of Section III-A.
+* **LoPRoMi** -- logarithmic ``w_log`` (Eq. 2).  Weights jump to the
+  next power of two, closing the low-weight window at the price of more
+  extra activations.
+* **LoLiPRoMi** -- linear for rows found in the history table (they were
+  just refreshed; the low probability is justified), logarithmic for
+  unknown rows.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Sequence, Tuple
+
+from repro.config import SimConfig
+from repro.core.history_table import HistoryTable
+from repro.core.weights import linear_weight, log_weight, probability
+from repro.mitigations.base import ActivateNeighbors, Mitigation, MitigationAction
+from repro.rng import stream
+
+
+class TiVaPRoMiBase(Mitigation):
+    """Common engine of LiPRoMi, LoPRoMi and LoLiPRoMi.
+
+    ``refresh_slot_fn`` maps a row to the window-relative interval that
+    refreshes it (``f_r``).  The default is the paper's sequential
+    assumption ``r / RowsPI``; passing a refresh policy's exact inverse
+    mapping instead lets the Section IV robustness experiment quantify
+    how much the assumption costs when the device's real refresh order
+    differs.
+    """
+
+    #: 'linear', 'log', or 'loli' -- fixed by the subclass
+    weighting: ClassVar[str] = "linear"
+
+    def __init__(
+        self,
+        config: SimConfig,
+        bank: int = 0,
+        seed: int = 0,
+        refresh_slot_fn=None,
+    ):
+        super().__init__(config, bank)
+        self.pbase = config.pbase
+        self.history = HistoryTable(
+            entries=config.history_table_entries, refint=self.refint
+        )
+        self.refresh_slot_fn = (
+            refresh_slot_fn or config.geometry.refresh_interval_of
+        )
+        self._rng = stream(seed, self.name, bank)
+
+    def raw_weight(self, row: int, interval: int) -> Tuple[int, bool]:
+        """Eq. 1 weight of *row* and whether the history table supplied it."""
+        window_now = self.window_interval(interval)
+        stored = self.history.lookup(row)
+        if stored is not None:
+            return linear_weight(window_now, stored, self.refint), True
+        f_r = self.refresh_slot_fn(row)
+        return linear_weight(window_now, f_r, self.refint), False
+
+    def effective_weight(self, raw: int, in_table: bool) -> int:
+        if self.weighting == "linear":
+            return raw
+        if self.weighting == "log":
+            return log_weight(raw)
+        # 'loli': linear when the history table knows the row
+        return raw if in_table else log_weight(raw)
+
+    def trigger_probability(self, row: int, interval: int) -> float:
+        """The probability an activation of *row* triggers ``act_n`` now."""
+        raw, in_table = self.raw_weight(row, interval)
+        return probability(self.effective_weight(raw, in_table), self.pbase)
+
+    def on_activation(self, row: int, interval: int) -> Sequence[MitigationAction]:
+        if self._rng.random() >= self.trigger_probability(row, interval):
+            return ()
+        self.history.record(row, self.window_interval(interval))
+        return (ActivateNeighbors(row=row),)
+
+    def on_refresh(self, interval: int) -> Sequence[MitigationAction]:
+        if self.window_interval(interval) == 0:
+            self.history.clear()
+        return ()
+
+    @property
+    def table_bytes(self) -> int:
+        return self.history.table_bytes
+
+
+class LiPRoMi(TiVaPRoMiBase):
+    name: ClassVar[str] = "LiPRoMi"
+    weighting: ClassVar[str] = "linear"
+    known_vulnerabilities: ClassVar[Tuple[str, ...]] = (
+        "weight-aware flooding: hammering a row just after its refresh "
+        "slot keeps the linear weight (and so p_r) small for ~40 K "
+        "activations (Sections III-A and IV)",
+    )
+
+
+class LoPRoMi(TiVaPRoMiBase):
+    name: ClassVar[str] = "LoPRoMi"
+    weighting: ClassVar[str] = "log"
+    known_vulnerabilities: ClassVar[Tuple[str, ...]] = ()
+
+
+class LoLiPRoMi(TiVaPRoMiBase):
+    name: ClassVar[str] = "LoLiPRoMi"
+    weighting: ClassVar[str] = "loli"
+    known_vulnerabilities: ClassVar[Tuple[str, ...]] = ()

@@ -1,0 +1,39 @@
+"""Core-level substrate: caches, workload archetypes, attacker kernel,
+and the multi-core system that produces DRAM activation traces (the
+gem5 substitute of DESIGN.md section 2)."""
+
+from repro.cpu.attacker import HammerKernel, pick_aggressor_rows
+from repro.cpu.cache import AccessResult, Cache, CacheStats
+from repro.cpu.hierarchy import CacheHierarchy, HierarchyParams, MemoryRequest
+from repro.cpu.layout import DRAMAddressLayout
+from repro.cpu.system import CoreState, MultiCoreSystem
+from repro.cpu.workloads import (
+    BlockedComputeWorkload,
+    CoreWorkload,
+    HotSpotWorkload,
+    PointerChaseWorkload,
+    StreamingWorkload,
+    StridedWorkload,
+    spec_mixed_load,
+)
+
+__all__ = [
+    "AccessResult",
+    "BlockedComputeWorkload",
+    "Cache",
+    "CacheHierarchy",
+    "CacheStats",
+    "CoreState",
+    "CoreWorkload",
+    "DRAMAddressLayout",
+    "HammerKernel",
+    "HierarchyParams",
+    "HotSpotWorkload",
+    "MemoryRequest",
+    "MultiCoreSystem",
+    "PointerChaseWorkload",
+    "StreamingWorkload",
+    "StridedWorkload",
+    "pick_aggressor_rows",
+    "spec_mixed_load",
+]

@@ -1,0 +1,70 @@
+"""The attacker's code, modelled at the core level.
+
+The paper's attacker is "similar to the attack suggested in [12] using
+cache flushing": a loop that reads each aggressor address and
+immediately ``clflush``-es it, so every iteration reaches DRAM and
+activates the aggressor row.  This module models that kernel running
+on its own core with its own cache hierarchy -- the same path benign
+accesses take -- so the attack's DRAM footprint emerges from the cache
+model instead of being injected directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.cpu.hierarchy import CacheHierarchy, MemoryRequest
+from repro.cpu.layout import DRAMAddressLayout
+
+
+class HammerKernel:
+    """``for a in aggressors: load a; clflush a`` -- forever."""
+
+    def __init__(
+        self,
+        layout: DRAMAddressLayout,
+        bank: int,
+        aggressor_rows: Sequence[int],
+        hierarchy: CacheHierarchy = None,
+    ):
+        if not aggressor_rows:
+            raise ValueError("need at least one aggressor row")
+        self.layout = layout
+        self.bank = bank
+        self.aggressor_rows = tuple(aggressor_rows)
+        self.addresses = tuple(
+            layout.encode(bank, row) for row in self.aggressor_rows
+        )
+        self.hierarchy = hierarchy or CacheHierarchy()
+        self._position = 0
+
+    def step(self) -> List[MemoryRequest]:
+        """One load + clflush on the next aggressor; returns the DRAM
+        requests the pair generated (the load misses every time because
+        the previous iteration flushed the line)."""
+        address = self.addresses[self._position]
+        self._position = (self._position + 1) % len(self.addresses)
+        requests = self.hierarchy.access(address, is_write=False)
+        requests.extend(self.hierarchy.flush(address))
+        return requests
+
+    def requests(self) -> Iterator[MemoryRequest]:
+        while True:
+            for request in self.step():
+                yield request
+
+
+def pick_aggressor_rows(
+    layout: DRAMAddressLayout, victim_row: int, sided: int = 2
+) -> Tuple[int, ...]:
+    """Aggressor rows around *victim_row* (1 = single, 2 = double sided)."""
+    geometry = layout.geometry
+    geometry._check_row(victim_row)
+    if sided == 1:
+        row = victim_row + 1 if victim_row + 1 < geometry.rows_per_bank else victim_row - 1
+        return (row,)
+    if sided == 2:
+        if not 0 < victim_row < geometry.rows_per_bank - 1:
+            raise ValueError("double-sided attack needs an interior victim")
+        return (victim_row - 1, victim_row + 1)
+    raise ValueError("sided must be 1 or 2")

@@ -1,0 +1,114 @@
+"""Set-associative cache model (the gem5 substitute's L1/L2).
+
+The paper's traces come from gem5 simulating 4 cores with 64 KB L1 and
+256 KB L2 caches (Table I).  What matters for Row-Hammer evaluation is
+the *filtering* the cache hierarchy applies to the core's access
+stream: only misses and write-backs reach DRAM, so DRAM-level locality
+differs sharply from core-level locality, and the attacker must defeat
+the caches with ``clflush`` to hammer at all.
+
+This module models exactly that: a write-back, write-allocate,
+set-associative cache with true-LRU replacement and a flush operation.
+Latency is not modelled (the trace time base comes from the core's
+issue rate); only the hit/miss/writeback behaviour is.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one cache access."""
+
+    hit: bool
+    #: line-aligned address evicted and written back to the next level
+    #: (None when the victim was clean or the access hit)
+    writeback: Optional[int] = None
+    #: line-aligned address fetched from the next level on a miss
+    fill: Optional[int] = None
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    flushes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """One level of a write-back, write-allocate cache."""
+
+    def __init__(self, size_bytes: int, ways: int, line_size: int = 64):
+        if line_size < 1 or size_bytes % (ways * line_size):
+            raise ValueError(
+                f"size {size_bytes} not divisible into {ways} ways of "
+                f"{line_size}-byte lines"
+            )
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_size = line_size
+        self.sets = size_bytes // (ways * line_size)
+        if self.sets < 1:
+            raise ValueError("cache must have at least one set")
+        # each set: OrderedDict tag -> dirty flag, LRU order = insertion
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.sets)]
+        self.stats = CacheStats()
+
+    def _locate(self, address: int):
+        line = address // self.line_size
+        return line % self.sets, line // self.sets
+
+    def _line_address(self, set_index: int, tag: int) -> int:
+        return (tag * self.sets + set_index) * self.line_size
+
+    def access(self, address: int, is_write: bool = False) -> AccessResult:
+        """Access one byte address; returns hit/miss and any writeback."""
+        self.stats.accesses += 1
+        set_index, tag = self._locate(address)
+        ways = self._sets[set_index]
+        if tag in ways:
+            self.stats.hits += 1
+            dirty = ways.pop(tag) or is_write
+            ways[tag] = dirty  # move to MRU
+            return AccessResult(hit=True)
+        self.stats.misses += 1
+        writeback = None
+        if len(ways) >= self.ways:
+            victim_tag, victim_dirty = ways.popitem(last=False)  # LRU
+            if victim_dirty:
+                self.stats.writebacks += 1
+                writeback = self._line_address(set_index, victim_tag)
+        ways[tag] = is_write
+        fill = self._line_address(set_index, tag)
+        return AccessResult(hit=False, writeback=writeback, fill=fill)
+
+    def flush(self, address: int) -> Optional[int]:
+        """``clflush``: evict the line; returns a writeback if dirty."""
+        self.stats.flushes += 1
+        set_index, tag = self._locate(address)
+        ways = self._sets[set_index]
+        if tag not in ways:
+            return None
+        dirty = ways.pop(tag)
+        if dirty:
+            self.stats.writebacks += 1
+            return self._line_address(set_index, tag)
+        return None
+
+    def contains(self, address: int) -> bool:
+        set_index, tag = self._locate(address)
+        return tag in self._sets[set_index]
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(ways) for ways in self._sets)

@@ -1,0 +1,86 @@
+"""Per-core cache hierarchy: L1 -> L2 -> DRAM requests.
+
+Mirrors the paper's gem5 system (Table I): each of the 4 cores owns a
+64 KB L1 and a 256 KB L2.  A core access walks L1 then L2; only L2
+misses and L2 dirty-victim write-backs become DRAM requests.  The
+``clflush`` path (used by the attacker, as in Kim et al. [12]) evicts
+the line from both levels so the next access always reaches DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, NamedTuple
+
+from repro.cpu.cache import Cache
+
+
+class MemoryRequest(NamedTuple):
+    """A request leaving the cache hierarchy toward DRAM."""
+
+    address: int
+    is_write: bool
+
+
+@dataclass
+class HierarchyParams:
+    """Table I cache parameters."""
+
+    l1_size: int = 64 * 1024
+    l1_ways: int = 4
+    l2_size: int = 256 * 1024
+    l2_ways: int = 8
+    line_size: int = 64
+
+
+class CacheHierarchy:
+    """One core's L1 + L2, filtering accesses into DRAM requests."""
+
+    def __init__(self, params: HierarchyParams = None):
+        self.params = params or HierarchyParams()
+        self.l1 = Cache(self.params.l1_size, self.params.l1_ways,
+                        self.params.line_size)
+        self.l2 = Cache(self.params.l2_size, self.params.l2_ways,
+                        self.params.line_size)
+
+    def access(self, address: int, is_write: bool = False) -> List[MemoryRequest]:
+        """One core access; returns the DRAM requests it causes (0-2)."""
+        requests: List[MemoryRequest] = []
+        l1_result = self.l1.access(address, is_write)
+        if l1_result.hit:
+            return requests
+        # L1 victim write-back goes to L2 (allocate-on-writeback)
+        if l1_result.writeback is not None:
+            l2_wb = self.l2.access(l1_result.writeback, is_write=True)
+            if not l2_wb.hit and l2_wb.writeback is not None:
+                requests.append(MemoryRequest(l2_wb.writeback, True))
+            if not l2_wb.hit:
+                # allocating the write-back line fetched nothing from
+                # DRAM (the data came from L1), so no read request
+                pass
+        l2_result = self.l2.access(address, is_write=False)
+        if not l2_result.hit:
+            if l2_result.writeback is not None:
+                requests.append(MemoryRequest(l2_result.writeback, True))
+            requests.append(MemoryRequest(address, False))
+        return requests
+
+    def flush(self, address: int) -> List[MemoryRequest]:
+        """``clflush``: drop the line everywhere; dirty data goes to DRAM."""
+        requests: List[MemoryRequest] = []
+        l1_wb = self.l1.flush(address)
+        l2_wb = self.l2.flush(address)
+        if l1_wb is not None:
+            requests.append(MemoryRequest(l1_wb, True))
+        elif l2_wb is not None:
+            requests.append(MemoryRequest(l2_wb, True))
+        return requests
+
+    @property
+    def dram_filter_rate(self) -> float:
+        """Fraction of core accesses that never reached DRAM."""
+        total = self.l1.stats.accesses
+        if not total:
+            return 0.0
+        reached = self.l2.stats.misses
+        return 1.0 - reached / total

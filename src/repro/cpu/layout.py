@@ -1,0 +1,58 @@
+"""Physical-address to DRAM-coordinate layout.
+
+Maps byte addresses onto (bank, row, column) the way a DDR4 controller
+does: column bits at the bottom (one 8 KB row buffer per bank), bank
+bits next (consecutive rows of memory stripe across banks), row bits on
+top.  The Row-Hammer-relevant property is that two addresses 8 KB apart
+land in different banks and addresses ``banks * 8 KB`` apart are
+*physically adjacent rows* in the same bank -- which is exactly what an
+attacker exploits to pick aggressor addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DRAMGeometry
+
+
+@dataclass(frozen=True)
+class DRAMAddressLayout:
+    geometry: DRAMGeometry
+    row_bytes: int = 8192
+
+    @property
+    def capacity_bytes(self) -> int:
+        return (
+            self.geometry.num_banks * self.geometry.rows_per_bank * self.row_bytes
+        )
+
+    def decode(self, address: int) -> tuple:
+        """Byte address -> (bank, row, column)."""
+        if not 0 <= address < self.capacity_bytes:
+            raise ValueError(
+                f"address {address:#x} outside device ({self.capacity_bytes:#x})"
+            )
+        column = address % self.row_bytes
+        frame = address // self.row_bytes
+        bank = frame % self.geometry.num_banks
+        row = frame // self.geometry.num_banks
+        return bank, row, column
+
+    def encode(self, bank: int, row: int, column: int = 0) -> int:
+        """(bank, row, column) -> byte address."""
+        if not 0 <= bank < self.geometry.num_banks:
+            raise ValueError(f"bank {bank} out of range")
+        self.geometry._check_row(row)
+        if not 0 <= column < self.row_bytes:
+            raise ValueError(f"column {column} out of range")
+        frame = row * self.geometry.num_banks + bank
+        return frame * self.row_bytes + column
+
+    def row_neighbors_address(self, address: int) -> tuple:
+        """Addresses of the physically adjacent rows (same bank/column)."""
+        bank, row, column = self.decode(address)
+        return tuple(
+            self.encode(bank, neighbor, column)
+            for neighbor in self.geometry.neighbors(row)
+        )

@@ -1,0 +1,156 @@
+"""Core-level synthetic workloads (SPEC CPU2006 archetypes).
+
+The paper's workload is "a mixed load from the SPEC CPU2006 benchmark
+suite".  Offline we cannot run SPEC, so this module provides access-
+pattern *archetypes* capturing the memory behaviours the suite is known
+for; a mixed load assigns one archetype per core:
+
+* :class:`StreamingWorkload`   -- long sequential sweeps (libquantum-,
+  lbm-like): prefetch-friendly, high DRAM bandwidth, low reuse;
+* :class:`PointerChaseWorkload` -- dependent random loads over a large
+  working set (mcf-, omnetpp-like): cache-hostile, row-buffer-hostile;
+* :class:`StridedWorkload`      -- fixed-stride array walks (milc-,
+  leslie3d-like);
+* :class:`HotSpotWorkload`      -- zipf-popular pages with occasional
+  cold misses (gcc-, perlbench-like): cache-friendly, hot DRAM rows;
+* :class:`BlockedComputeWorkload` -- repeated passes over a cache-sized
+  block with periodic block changes (bzip2-, h264-like).
+
+Each workload yields byte addresses (with a read/write flag) inside a
+private physical region, deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, Tuple
+
+from repro.rng import stream
+
+Access = Tuple[int, bool]  # (byte address, is_write)
+
+
+class CoreWorkload(ABC):
+    """A deterministic stream of core memory accesses."""
+
+    name: str = "abstract"
+
+    def __init__(self, region_start: int, region_size: int, seed: int = 0):
+        if region_size <= 0:
+            raise ValueError("region_size must be positive")
+        self.region_start = region_start
+        self.region_size = region_size
+        self._rng = stream(seed, "core-workload", self.name, region_start)
+
+    def _clamp(self, offset: int) -> int:
+        return self.region_start + offset % self.region_size
+
+    @abstractmethod
+    def accesses(self) -> Iterator[Access]:
+        """Yield an unbounded access stream."""
+
+
+class StreamingWorkload(CoreWorkload):
+    name = "streaming"
+
+    def __init__(self, region_start, region_size, seed=0, write_fraction=0.3,
+                 element_bytes=8):
+        super().__init__(region_start, region_size, seed)
+        self.write_fraction = write_fraction
+        #: bytes per element: 8 sequential loads share one cache line,
+        #: so the DRAM sees one miss per line, as real streaming does
+        self.element_bytes = element_bytes
+
+    def accesses(self) -> Iterator[Access]:
+        offset = 0
+        while True:
+            yield self._clamp(offset), self._rng.random() < self.write_fraction
+            offset += self.element_bytes
+
+
+class PointerChaseWorkload(CoreWorkload):
+    name = "pointer-chase"
+
+    def accesses(self) -> Iterator[Access]:
+        while True:
+            offset = self._rng.randrange(self.region_size)
+            yield self._clamp(offset), False
+
+
+class StridedWorkload(CoreWorkload):
+    name = "strided"
+
+    def __init__(self, region_start, region_size, seed=0, stride=4096):
+        super().__init__(region_start, region_size, seed)
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        self.stride = stride
+
+    def accesses(self) -> Iterator[Access]:
+        offset = 0
+        while True:
+            yield self._clamp(offset), False
+            offset += self.stride
+
+
+class HotSpotWorkload(CoreWorkload):
+    name = "hotspot"
+
+    def __init__(self, region_start, region_size, seed=0,
+                 hot_pages=32, page_size=4096, hot_fraction=0.9):
+        super().__init__(region_start, region_size, seed)
+        pages = max(1, region_size // page_size)
+        count = min(hot_pages, pages)
+        self.page_size = page_size
+        self._hot = self._rng.sample(range(pages), count)
+        self.hot_fraction = hot_fraction
+
+    def accesses(self) -> Iterator[Access]:
+        pages = max(1, self.region_size // self.page_size)
+        while True:
+            if self._rng.random() < self.hot_fraction:
+                page = self._hot[self._rng.randrange(len(self._hot))]
+            else:
+                page = self._rng.randrange(pages)
+            offset = page * self.page_size + self._rng.randrange(self.page_size)
+            yield self._clamp(offset), self._rng.random() < 0.2
+
+
+class BlockedComputeWorkload(CoreWorkload):
+    name = "blocked-compute"
+
+    def __init__(self, region_start, region_size, seed=0,
+                 block_size=128 * 1024, passes_per_block=4):
+        super().__init__(region_start, region_size, seed)
+        self.block_size = min(block_size, region_size)
+        self.passes_per_block = passes_per_block
+
+    def accesses(self) -> Iterator[Access]:
+        block_start = 0
+        while True:
+            for _ in range(self.passes_per_block):
+                for line in range(0, self.block_size, 64):
+                    yield self._clamp(block_start + line), line % 256 == 0
+            block_start = self._rng.randrange(
+                max(1, self.region_size - self.block_size)
+            )
+
+
+def spec_mixed_load(region_size_per_core: int, seed: int = 0):
+    """The paper's 4-core mixed load: one archetype per core."""
+    kinds = (
+        HotSpotWorkload,
+        StreamingWorkload,
+        PointerChaseWorkload,
+        BlockedComputeWorkload,
+    )
+    workloads = []
+    for core, kind in enumerate(kinds):
+        workloads.append(
+            kind(
+                region_start=core * region_size_per_core,
+                region_size=region_size_per_core,
+                seed=seed + core,
+            )
+        )
+    return workloads

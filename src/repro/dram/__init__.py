@@ -1,0 +1,32 @@
+"""DRAM device substrate: geometry, disturbance model, refresh, banks."""
+
+from repro.dram.bank import Bank
+from repro.dram.device import DRAMDevice
+from repro.dram.disturbance import BankDisturbance, FlipEvent
+from repro.dram.geometry import AddressMapper, DRAMGeometry
+from repro.dram.remap import RemappedGeometry, random_remap_geometry
+from repro.dram.refresh import (
+    CounterMaskRefresh,
+    RandomRefresh,
+    RefreshPolicy,
+    RemappedRefresh,
+    SequentialRefresh,
+    all_policies,
+)
+
+__all__ = [
+    "AddressMapper",
+    "Bank",
+    "BankDisturbance",
+    "CounterMaskRefresh",
+    "DRAMDevice",
+    "DRAMGeometry",
+    "FlipEvent",
+    "RandomRefresh",
+    "RemappedGeometry",
+    "RefreshPolicy",
+    "RemappedRefresh",
+    "SequentialRefresh",
+    "all_policies",
+    "random_remap_geometry",
+]

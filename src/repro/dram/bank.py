@@ -1,0 +1,67 @@
+"""Per-bank DRAM state.
+
+A :class:`Bank` bundles the disturbance counters with simple open-row
+bookkeeping and activity statistics.  Mitigation techniques never touch
+this object -- they only observe the command stream -- so the bank is
+the ground truth against which attack success and mitigation efficacy
+are judged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import DRAMGeometry
+from repro.dram.disturbance import BankDisturbance
+
+
+@dataclass
+class Bank:
+    geometry: DRAMGeometry
+    flip_threshold: int
+    index: int = 0
+    distance2_rate: float = 0.0
+    open_row: int = -1
+    activations: int = 0
+    extra_activations: int = 0
+    refreshes: int = 0
+    disturbance: BankDisturbance = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.disturbance = BankDisturbance(
+            geometry=self.geometry,
+            flip_threshold=self.flip_threshold,
+            bank=self.index,
+            distance2_rate=self.distance2_rate,
+        )
+
+    def activate(self, row: int, time_ns: int = -1) -> None:
+        """A normal activation issued by the memory controller."""
+        self.geometry._check_row(row)
+        self.open_row = row
+        self.activations += 1
+        self.disturbance.on_activation(row, time_ns)
+
+    def activate_neighbors(self, row: int, time_ns: int = -1) -> int:
+        """A mitigation ``act_n``: activate both neighbours of *row*.
+
+        Returns the number of extra activations performed (2, or 1 at
+        the array edge); these count toward the activation overhead.
+        """
+        performed = self.disturbance.activate_neighbors(row, time_ns)
+        self.extra_activations += performed
+        return performed
+
+    def refresh_rows(self, rows) -> None:
+        """Periodic refresh restoring the given rows."""
+        for row in rows:
+            self.disturbance.refresh_row(row)
+        self.refreshes += 1
+
+    @property
+    def flips(self):
+        return self.disturbance.flips
+
+    @property
+    def max_disturbance(self) -> int:
+        return self.disturbance.max_disturbance

@@ -1,0 +1,93 @@
+"""Multi-bank DRAM device facade.
+
+The device advances through refresh intervals under a configurable
+:class:`~repro.dram.refresh.RefreshPolicy` and exposes the three
+operations the rest of the simulator needs: normal activation, the
+mitigation's ``act_n``, and the per-interval refresh tick.
+
+DDR4 issues all-bank refresh commands, so one tick restores the same
+window-relative row group in every bank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.config import SimConfig
+from repro.dram.bank import Bank
+from repro.dram.disturbance import FlipEvent
+from repro.dram.refresh import RefreshPolicy, SequentialRefresh
+
+
+@dataclass
+class DRAMDevice:
+    config: SimConfig
+    refresh_policy: Optional[RefreshPolicy] = None
+    banks: List[Bank] = field(default_factory=list)
+    #: index of the refresh interval currently in progress (never
+    #: wraps); -1 until the first :meth:`refresh_tick`
+    interval: int = -1
+
+    def __post_init__(self) -> None:
+        geometry = self.config.geometry
+        if self.refresh_policy is None:
+            self.refresh_policy = SequentialRefresh(geometry)
+        if self.refresh_policy.geometry is not geometry:
+            raise ValueError("refresh policy geometry differs from device geometry")
+        self.banks = [
+            Bank(
+                geometry=geometry,
+                flip_threshold=self.config.flip_threshold,
+                index=index,
+                distance2_rate=self.config.distance2_rate,
+            )
+            for index in range(geometry.num_banks)
+        ]
+
+    @property
+    def window_interval(self) -> int:
+        """Interval index within the current refresh window (``i`` in Eq. 1)."""
+        return self.interval % self.config.geometry.refint
+
+    @property
+    def window(self) -> int:
+        """Index of the current refresh window."""
+        return self.interval // self.config.geometry.refint
+
+    def activate(self, bank: int, row: int, time_ns: int = -1) -> None:
+        self.banks[bank].activate(row, time_ns)
+
+    def activate_neighbors(self, bank: int, row: int, time_ns: int = -1) -> int:
+        return self.banks[bank].activate_neighbors(row, time_ns)
+
+    def refresh_tick(self) -> None:
+        """Enter the next refresh interval and run its refresh.
+
+        Each interval begins with its ``ref`` command: the interval
+        counter advances, then the new interval's row group (per the
+        policy) is restored in every bank.
+        """
+        self.interval += 1
+        rows = self.refresh_policy.rows_for_interval(self.window_interval)
+        for bank in self.banks:
+            bank.refresh_rows(rows)
+
+    @property
+    def flips(self) -> List[FlipEvent]:
+        events: List[FlipEvent] = []
+        for bank in self.banks:
+            events.extend(bank.flips)
+        return events
+
+    @property
+    def total_activations(self) -> int:
+        return sum(bank.activations for bank in self.banks)
+
+    @property
+    def total_extra_activations(self) -> int:
+        return sum(bank.extra_activations for bank in self.banks)
+
+    @property
+    def max_disturbance(self) -> int:
+        return max(bank.max_disturbance for bank in self.banks)

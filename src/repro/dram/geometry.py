@@ -1,0 +1,49 @@
+"""Address geometry helpers for the simulated DRAM device.
+
+The core :class:`~repro.config.DRAMGeometry` dataclass lives in
+:mod:`repro.config` because every subsystem needs it; this module
+re-exports it and adds the physical-address <-> (bank, row) mapping used
+by the trace tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DRAMGeometry
+
+__all__ = ["DRAMGeometry", "AddressMapper"]
+
+
+@dataclass(frozen=True)
+class AddressMapper:
+    """Map flat physical row indices onto (bank, row) coordinates.
+
+    Uses bank interleaving (bank bits below row bits), which is how
+    DDR4 controllers stripe consecutive cache lines across banks; the
+    mitigation techniques never see flat addresses, only the decoded
+    (bank, row) pair carried by each ``act`` command.
+    """
+
+    geometry: DRAMGeometry
+
+    @property
+    def capacity_rows(self) -> int:
+        return self.geometry.num_banks * self.geometry.rows_per_bank
+
+    def decode(self, flat_index: int) -> tuple[int, int]:
+        """Decode a flat row index into ``(bank, row)``."""
+        if not 0 <= flat_index < self.capacity_rows:
+            raise ValueError(
+                f"flat index {flat_index} outside [0, {self.capacity_rows})"
+            )
+        bank = flat_index % self.geometry.num_banks
+        row = flat_index // self.geometry.num_banks
+        return bank, row
+
+    def encode(self, bank: int, row: int) -> int:
+        """Inverse of :meth:`decode`."""
+        if not 0 <= bank < self.geometry.num_banks:
+            raise ValueError(f"bank {bank} outside [0, {self.geometry.num_banks})")
+        self.geometry._check_row(row)
+        return row * self.geometry.num_banks + bank

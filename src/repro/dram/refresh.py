@@ -1,0 +1,160 @@
+"""Refresh policies: which rows are restored in each refresh interval.
+
+Section IV of the paper validates TiVaPRoMi against four refresh
+policies.  TiVaPRoMi's weight calculation always *assumes* the
+sequential mapping ``f_r = r / RowsPI`` (Eq. 1); the policies below let
+the device's actual refresh order differ from that assumption so the
+robustness experiment can measure the impact:
+
+1. :class:`SequentialRefresh` -- neighbouring addresses, matching the
+   assumption exactly;
+2. :class:`RemappedRefresh` -- sequential, but a configurable fraction
+   of rows is remapped pairwise (modelling defective-row remapping);
+3. :class:`RandomRefresh` -- a seeded random permutation of all rows;
+4. :class:`CounterMaskRefresh` -- a hardware-style counter whose output
+   is XOR-ed with a mask before addressing the row group.
+
+All policies refresh every row exactly once per refresh window; they
+differ only in the order.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence
+
+from repro.config import DRAMGeometry
+from repro.rng import stream
+
+
+class RefreshPolicy(ABC):
+    """Order in which rows are refreshed within a refresh window."""
+
+    name: str = "abstract"
+
+    def __init__(self, geometry: DRAMGeometry):
+        self.geometry = geometry
+
+    @abstractmethod
+    def rows_for_interval(self, interval: int) -> Sequence[int]:
+        """Rows refreshed during window-relative *interval*."""
+
+    def refresh_slot_of(self, row: int) -> int:
+        """Window-relative interval in which this policy refreshes *row*.
+
+        The exact inverse of :meth:`rows_for_interval`; a mitigation
+        given this function computes Eq. 1 weights against the device's
+        *real* refresh order instead of the sequential assumption.  The
+        default derives it by scanning once and caching.
+        """
+        cache = getattr(self, "_slot_cache", None)
+        if cache is None:
+            cache = {}
+            for interval in range(self.geometry.refint):
+                for covered in self.rows_for_interval(interval):
+                    cache[covered] = interval
+            self._slot_cache = cache
+        return cache[row]
+
+    def validate_full_coverage(self) -> bool:
+        """Check that one window refreshes every row exactly once."""
+        seen: set[int] = set()
+        for interval in range(self.geometry.refint):
+            for row in self.rows_for_interval(interval):
+                if row in seen:
+                    return False
+                seen.add(row)
+        return len(seen) == self.geometry.rows_per_bank
+
+
+class SequentialRefresh(RefreshPolicy):
+    """Interval ``i`` refreshes rows ``[i * RowsPI, (i+1) * RowsPI)``."""
+
+    name = "sequential"
+
+    def rows_for_interval(self, interval: int) -> Sequence[int]:
+        return self.geometry.rows_of_interval(interval)
+
+
+class RemappedRefresh(RefreshPolicy):
+    """Sequential order with a few pairwise row remappings.
+
+    Models DRAM vendors remapping defective rows: the refresh engine
+    still walks addresses sequentially, but some addresses resolve to a
+    different physical row.  ``remap_fraction`` rows (default 1 %) are
+    swapped pairwise under a seeded shuffle.
+    """
+
+    name = "remapped"
+
+    def __init__(
+        self,
+        geometry: DRAMGeometry,
+        remap_fraction: float = 0.01,
+        seed: int = 0,
+    ):
+        super().__init__(geometry)
+        if not 0.0 <= remap_fraction <= 1.0:
+            raise ValueError(f"remap_fraction must be in [0, 1]: {remap_fraction}")
+        self._map = list(range(geometry.rows_per_bank))
+        rng = stream(seed, "remapped-refresh")
+        pair_count = int(geometry.rows_per_bank * remap_fraction / 2)
+        candidates = rng.sample(range(geometry.rows_per_bank), pair_count * 2)
+        for left, right in zip(candidates[0::2], candidates[1::2]):
+            self._map[left], self._map[right] = self._map[right], self._map[left]
+
+    def rows_for_interval(self, interval: int) -> Sequence[int]:
+        return [self._map[row] for row in self.geometry.rows_of_interval(interval)]
+
+
+class RandomRefresh(RefreshPolicy):
+    """A seeded random permutation of all rows, split into intervals."""
+
+    name = "random"
+
+    def __init__(self, geometry: DRAMGeometry, seed: int = 0):
+        super().__init__(geometry)
+        rng = stream(seed, "random-refresh")
+        self._order = list(range(geometry.rows_per_bank))
+        rng.shuffle(self._order)
+
+    def rows_for_interval(self, interval: int) -> Sequence[int]:
+        width = self.geometry.rows_per_interval
+        start = interval * width
+        if not 0 <= interval < self.geometry.refint:
+            raise ValueError(f"interval {interval} outside [0, {self.geometry.refint})")
+        return self._order[start : start + width]
+
+
+class CounterMaskRefresh(RefreshPolicy):
+    """Counter-based refresh address generation with an XOR mask.
+
+    Interval ``i`` refreshes the row group whose index is ``i XOR mask``
+    (mask confined to the interval-index width), which is how low-cost
+    refresh engines decorrelate the refresh order from the address
+    order without storing a permutation.
+    """
+
+    name = "counter-mask"
+
+    def __init__(self, geometry: DRAMGeometry, mask: int = 0b1010):
+        super().__init__(geometry)
+        self.mask = mask % geometry.refint
+
+    def rows_for_interval(self, interval: int) -> Sequence[int]:
+        if not 0 <= interval < self.geometry.refint:
+            raise ValueError(f"interval {interval} outside [0, {self.geometry.refint})")
+        group = interval ^ self.mask
+        if group >= self.geometry.refint:  # mask pushed past the end: fold back
+            group = interval
+        return self.geometry.rows_of_interval(group)
+
+
+def all_policies(geometry: DRAMGeometry, seed: int = 0) -> List[RefreshPolicy]:
+    """The four policies of the Section IV robustness experiment."""
+    return [
+        SequentialRefresh(geometry),
+        RemappedRefresh(geometry, seed=seed),
+        RandomRefresh(geometry, seed=seed),
+        CounterMaskRefresh(geometry),
+    ]

@@ -1,0 +1,92 @@
+"""Physically remapped row adjacency (defective-row remapping).
+
+Section II of the paper criticises ProHit and MRLoc for assuming "that
+the neighboring rows of a row with address N are the rows with the
+addresses N+1 and N-1.  But this is not always true, as defected rows
+might be remapped to other rows [13]."  TiVaPRoMi sidesteps the issue
+by issuing ``act_n``, which the memory resolves internally ("the
+addresses of the two neighbors are not passed directly, because they
+depend on the internal mapping of the memory", Section III).
+
+:class:`RemappedGeometry` models a device where pairs of logical row
+addresses have swapped physical locations (the vendor mapped a weak
+row's address onto a spare and vice versa).  Physical adjacency -- what
+disturbance actually follows and what ``act_n`` resolves -- goes
+through the swap; the *assumed* N+-1 adjacency that an address-based
+mitigation computes (``DRAMGeometry.assumed_neighbors``) does not.
+
+``repro.sim.attacks.remapped_adjacency_experiment`` uses this to show
+the paper's point: a templating attacker who knows the physical map can
+defeat directed-refresh mitigations outright, while act_n-based ones
+are unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.config import DRAMGeometry
+from repro.rng import stream
+
+
+@dataclass(frozen=True)
+class RemappedGeometry(DRAMGeometry):
+    """Geometry with pairwise logical<->physical row swaps.
+
+    ``swaps`` lists disjoint pairs ``(a, b)``: logical row ``a``
+    occupies physical slot ``b`` and vice versa.
+    """
+
+    swaps: Tuple[Tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        mapping = {}
+        for a, b in self.swaps:
+            self._check_row(a)
+            self._check_row(b)
+            if a == b:
+                raise ValueError(f"degenerate swap ({a}, {b})")
+            if a in mapping or b in mapping:
+                raise ValueError(f"row in multiple swaps: ({a}, {b})")
+            mapping[a] = b
+            mapping[b] = a
+        object.__setattr__(self, "_swap", mapping)
+
+    def physical_slot(self, row: int) -> int:
+        """Physical slot serving logical *row*."""
+        self._check_row(row)
+        return self._swap.get(row, row)
+
+    def row_at_slot(self, slot: int) -> int:
+        """Logical row stored in physical *slot* (swaps are involutions)."""
+        self._check_row(slot)
+        return self._swap.get(slot, slot)
+
+    def neighbors(self, row: int) -> tuple:
+        """True physical adjacency through the remap."""
+        slot = self.physical_slot(row)
+        out = []
+        if slot > 0:
+            out.append(self.row_at_slot(slot - 1))
+        if slot < self.rows_per_bank - 1:
+            out.append(self.row_at_slot(slot + 1))
+        return tuple(out)
+
+
+def random_remap_geometry(
+    base: DRAMGeometry, pairs: int, seed: int = 0
+) -> RemappedGeometry:
+    """A geometry with *pairs* random disjoint row swaps."""
+    rng = stream(seed, "row-remap")
+    rows = rng.sample(range(base.rows_per_bank), pairs * 2)
+    swaps = tuple(
+        (rows[2 * index], rows[2 * index + 1]) for index in range(pairs)
+    )
+    return RemappedGeometry(
+        num_banks=base.num_banks,
+        rows_per_bank=base.rows_per_bank,
+        rows_per_interval=base.rows_per_interval,
+        swaps=swaps,
+    )

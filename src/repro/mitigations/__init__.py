@@ -1,0 +1,45 @@
+"""Row-Hammer mitigation techniques: interface, baselines, registry."""
+
+from repro.mitigations.base import (
+    ActivateNeighbors,
+    Mitigation,
+    MitigationAction,
+    RefreshRow,
+)
+from repro.mitigations.counter_tree import CounterTree
+from repro.mitigations.cra import CRA
+from repro.mitigations.mrloc import MRLoc
+from repro.mitigations.para import PARA
+from repro.mitigations.prohit import ProHit
+from repro.mitigations.software import SoftwareDetector
+from repro.mitigations.registry import (
+    BASELINES,
+    EXTENDED_TECHNIQUES,
+    TECHNIQUES,
+    TIVAPROMI_VARIANTS,
+    make_factory,
+    make_mitigation,
+    technique_names,
+)
+from repro.mitigations.twice import TWiCe
+
+__all__ = [
+    "ActivateNeighbors",
+    "BASELINES",
+    "CRA",
+    "CounterTree",
+    "EXTENDED_TECHNIQUES",
+    "MRLoc",
+    "Mitigation",
+    "MitigationAction",
+    "PARA",
+    "ProHit",
+    "RefreshRow",
+    "SoftwareDetector",
+    "TECHNIQUES",
+    "TIVAPROMI_VARIANTS",
+    "TWiCe",
+    "make_factory",
+    "make_mitigation",
+    "technique_names",
+]

@@ -1,0 +1,126 @@
+"""Mitigation technique interface.
+
+A mitigation observes the per-bank command stream a memory controller
+emits -- ``act`` (row activation) and ``ref`` (refresh interval tick) --
+and responds with *mitigating refreshes*.  Following the paper (Fig. 1),
+each bank has its own mitigation instance with its own tables.
+
+Two action kinds exist, matching the hardware commands in the
+literature:
+
+* :class:`ActivateNeighbors` -- the ``act_n`` command used by TiVaPRoMi,
+  TWiCe and CRA: the memory internally activates both physical
+  neighbours of the given row (the mitigation never needs to know the
+  device's row remapping);
+* :class:`RefreshRow` -- a directed refresh of one specific row, used by
+  PARA (one randomly chosen neighbour), ProHit and MRLoc (which track
+  victim addresses directly).  ``trigger_row`` records which activated
+  row caused the action, for false-positive attribution.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import ClassVar, List, Sequence, Tuple, Union
+
+from repro.config import SimConfig
+
+
+@dataclass(frozen=True)
+class ActivateNeighbors:
+    """``act_n``: refresh both physical neighbours of ``row``."""
+
+    row: int
+
+    @property
+    def trigger_row(self) -> int:
+        return self.row
+
+
+@dataclass(frozen=True)
+class RefreshRow:
+    """Refresh one specific row; ``trigger_row`` caused the decision."""
+
+    row: int
+    trigger_row: int
+
+
+MitigationAction = Union[ActivateNeighbors, RefreshRow]
+
+
+class Mitigation(ABC):
+    """Per-bank Row-Hammer mitigation observing ``act``/``ref`` commands.
+
+    Subclasses implement :meth:`on_activation` (and optionally
+    :meth:`on_refresh`) returning the mitigating refreshes to issue.
+    ``interval`` arguments are *global* refresh-interval indices; the
+    window-relative index of Eq. 1 is ``interval % refint``.
+    """
+
+    #: short identifier used by the registry and reports
+    name: ClassVar[str] = "abstract"
+    #: attacks the literature documents against this technique (the
+    #: basis of Table III's "Vulnerable to Attack" column); empty means
+    #: no known bypass
+    known_vulnerabilities: ClassVar[Tuple[str, ...]] = ()
+
+    def __init__(self, config: SimConfig, bank: int = 0):
+        self.config = config
+        self.bank = bank
+        self.refint = config.geometry.refint
+
+    @abstractmethod
+    def on_activation(self, row: int, interval: int) -> Sequence[MitigationAction]:
+        """Observe an ``act`` command; return mitigating refreshes."""
+
+    def on_refresh(self, interval: int) -> Sequence[MitigationAction]:
+        """Observe the ``ref`` command starting *interval*.
+
+        Called once per refresh interval, before that interval's
+        activations.  The default does nothing; CaPRoMi and ProHit make
+        their collective decisions here.
+        """
+        return ()
+
+    def window_interval(self, interval: int) -> int:
+        """Window-relative interval index (``i`` of Eq. 1)."""
+        return interval % self.refint
+
+    @property
+    @abstractmethod
+    def table_bytes(self) -> int:
+        """Per-bank mitigation state in bytes (Fig. 4 x-axis)."""
+
+    def describe(self) -> str:
+        return f"{self.name} (bank {self.bank}, {self.table_bytes} B/bank)"
+
+
+class StatelessMixin:
+    """Mixin for techniques with no per-bank storage."""
+
+    @property
+    def table_bytes(self) -> int:
+        return 0
+
+
+def total_extra_activations(
+    actions: Sequence[MitigationAction], neighbor_counts
+) -> int:
+    """Count the physical extra activations a batch of actions causes.
+
+    *neighbor_counts* maps a row to its number of physical neighbours
+    (2 interior, 1 at array edges); ``RefreshRow`` always costs one.
+    """
+    total = 0
+    for action in actions:
+        if isinstance(action, ActivateNeighbors):
+            total += neighbor_counts(action.row)
+        else:
+            total += 1
+    return total
+
+
+def actions_as_rows(actions: Sequence[MitigationAction]) -> List[int]:
+    """Rows named by a batch of actions (trigger rows for act_n)."""
+    return [action.row for action in actions]

@@ -1,0 +1,159 @@
+"""Adaptive tree of counters (Seyedzadeh et al. [16], CAT-TWO [10]).
+
+The third tabled-counter family Section II discusses: instead of one
+counter per row (CRA) or a pruned flat table (TWiCe), a binary tree
+over row ranges.  Each node counts the activations falling in its
+range; when a node's count crosses the split threshold and the node
+budget allows, it splits and both children continue counting (they
+inherit the parent's count, which keeps the counter a sound upper
+bound on every row's true activations).  Hot regions therefore get
+refined down to single rows, which trigger ``act_n`` at the trigger
+threshold; cold regions stay coarse and cheap.
+
+The tree is reset at every new refresh window, and the paper notes two
+properties we reproduce:
+
+* effective mitigation needs a node budget of no less than ~1 KB per
+  bank [10] -- the default budget matches that;
+* the structure is vulnerable to *saturation*: an attacker can spread
+  activations to force splits until the budget is exhausted, leaving
+  the tree too coarse to localise the real aggressor [13].  When a
+  saturated coarse node crosses the trigger threshold anyway, the only
+  safe response is refreshing its whole range -- a large activation
+  burst, which is the measurable cost of the attack (see
+  ``repro.sim.attacks.tree_saturation_experiment``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import ClassVar, List, Optional, Sequence, Tuple
+
+from repro.config import SimConfig
+from repro.mitigations.base import ActivateNeighbors, Mitigation, MitigationAction
+
+#: storage bits per tree node: range encoding (start level/index) plus
+#: a counter sized for the trigger threshold
+_NODE_POINTER_BITS = 18
+
+
+@dataclass
+class _TreeNode:
+    start: int
+    size: int
+    count: int = 0
+    left: Optional["_TreeNode"] = None
+    right: Optional["_TreeNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    def covers(self, row: int) -> bool:
+        return self.start <= row < self.start + self.size
+
+
+class CounterTree(Mitigation):
+    name: ClassVar[str] = "CounterTree"
+    known_vulnerabilities: ClassVar[Tuple[str, ...]] = (
+        "tree saturation: spreading activations forces splits until the "
+        "node budget is exhausted, so the aggressor is never isolated "
+        "(TWiCe [13] / TiVaPRoMi paper Section II)",
+    )
+
+    def __init__(
+        self,
+        config: SimConfig,
+        bank: int = 0,
+        seed: int = 0,
+        node_budget: int = 256,
+        split_divisor: int = 16,
+    ):
+        super().__init__(config, bank)
+        if node_budget < 3:
+            raise ValueError("node budget must allow at least one split")
+        self.trigger_threshold = max(1, config.flip_threshold // 4)
+        self.split_threshold = max(1, self.trigger_threshold // split_divisor)
+        self.node_budget = node_budget
+        self._root = _TreeNode(start=0, size=config.geometry.rows_per_bank)
+        self._node_count = 1
+        #: times a coarse (size > 1) node crossed the trigger threshold
+        self.coarse_triggers = 0
+        self.max_nodes_used = 1
+
+    # -- tree operations -----------------------------------------------------
+
+    def _descend(self, row: int) -> _TreeNode:
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if node.left.covers(row) else node.right
+        return node
+
+    def _split(self, node: _TreeNode) -> None:
+        half = node.size // 2
+        # children inherit the parent count: it upper-bounds any row
+        node.left = _TreeNode(start=node.start, size=half, count=node.count)
+        node.right = _TreeNode(
+            start=node.start + half, size=node.size - half, count=node.count
+        )
+        self._node_count += 2
+        if self._node_count > self.max_nodes_used:
+            self.max_nodes_used = self._node_count
+
+    def on_activation(self, row: int, interval: int) -> Sequence[MitigationAction]:
+        node = self._descend(row)
+        node.count += 1
+        while (
+            node.size > 1
+            and node.count >= self.split_threshold
+            and self._node_count + 2 <= self.node_budget
+        ):
+            self._split(node)
+            node = node.left if node.left.covers(row) else node.right
+        if node.count >= self.trigger_threshold:
+            node.count = 0
+            if node.size == 1:
+                return (ActivateNeighbors(row=node.start),)
+            # saturated coarse node: the only sound response is to
+            # refresh the neighbourhood of every row in its range
+            self.coarse_triggers += 1
+            return tuple(
+                ActivateNeighbors(row=covered)
+                for covered in range(node.start, node.start + node.size)
+            )
+        return ()
+
+    def on_refresh(self, interval: int) -> Sequence[MitigationAction]:
+        if self.window_interval(interval) == 0:
+            self._root = _TreeNode(
+                start=0, size=self.config.geometry.rows_per_bank
+            )
+            self._node_count = 1
+        return ()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return self._node_count
+
+    def leaf_sizes(self) -> List[int]:
+        sizes: List[int] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                sizes.append(node.size)
+            else:
+                stack.extend((node.left, node.right))
+        return sizes
+
+    def finest_size_covering(self, row: int) -> int:
+        return self._descend(row).size
+
+    @property
+    def table_bytes(self) -> int:
+        counter_bits = max(1, math.ceil(math.log2(self.trigger_threshold + 1)))
+        node_bits = counter_bits + _NODE_POINTER_BITS
+        return (self.node_budget * node_bits + 7) // 8

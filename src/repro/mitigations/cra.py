@@ -1,0 +1,63 @@
+"""CRA -- Counter-based Row Activation tracking (Kim et al. [11]).
+
+The simplest tabled-counter scheme: one counter per DRAM row.  When a
+row's counter reaches the trigger threshold, both neighbours are
+refreshed (``act_n``) and the counter resets; a row's counter also
+resets whenever the row group containing it is refreshed by the
+periodic refresh.
+
+Deterministic and false-positive-free, but the storage is a counter for
+*every* row (tens of KB per bank, the rightmost point of Fig. 4), which
+is why CRA stores its table in the DRAM itself and why its logic
+implementation in Table III is the largest of all nine techniques.
+
+The counter reset uses the sequential refresh mapping ``f_r``; this is
+the same assumption TiVaPRoMi makes and the refresh-policy robustness
+experiment stresses.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import ClassVar, Dict, Sequence, Tuple
+
+from repro.config import SimConfig
+from repro.mitigations.base import ActivateNeighbors, Mitigation, MitigationAction
+
+
+class CRA(Mitigation):
+    name: ClassVar[str] = "CRA"
+    known_vulnerabilities: ClassVar[Tuple[str, ...]] = ()
+
+    def __init__(self, config: SimConfig, bank: int = 0, seed: int = 0):
+        super().__init__(config, bank)
+        #: quarter of the flip threshold: covers double-sided attacks
+        #: straddling a row's refresh point
+        self.trigger_threshold = max(1, config.flip_threshold // 4)
+        #: counters are kept sparsely; a zero counter is not stored
+        self._counters: Dict[int, int] = {}
+
+    def on_activation(self, row: int, interval: int) -> Sequence[MitigationAction]:
+        count = self._counters.get(row, 0) + 1
+        if count >= self.trigger_threshold:
+            self._counters.pop(row, None)
+            return (ActivateNeighbors(row=row),)
+        self._counters[row] = count
+        return ()
+
+    def on_refresh(self, interval: int) -> Sequence[MitigationAction]:
+        """Clear counters of the rows refreshed this interval."""
+        for row in self.config.geometry.rows_of_interval(
+            self.window_interval(interval)
+        ):
+            self._counters.pop(row, None)
+        return ()
+
+    def counter(self, row: int) -> int:
+        return self._counters.get(row, 0)
+
+    @property
+    def table_bytes(self) -> int:
+        counter_bits = max(1, math.ceil(math.log2(self.trigger_threshold + 1)))
+        total_bits = self.config.geometry.rows_per_bank * counter_bits
+        return (total_bits + 7) // 8

@@ -1,0 +1,86 @@
+"""MRLoc -- memory-locality-based probabilistic mitigation (You & Yang [19]).
+
+MRLoc keeps a small FIFO queue of recently seen *victim* addresses.  On
+each activation, every neighbour of the activated row is looked up in
+the queue:
+
+* on a hit, the victim is refreshed with a probability *weighted by its
+  recency* -- the more recently the victim entered the queue, the more
+  likely an attack is in progress, so the weight grows toward the tail;
+* on a miss, only a small base probability applies;
+* either way the victim is (re)pushed into the queue.
+
+The weighting lets MRLoc spend fewer refreshes than PARA on cold rows
+while concentrating on rows with locality, slightly reducing false
+positives -- but, as the TiVaPRoMi paper notes (Section II), the queue
+can be thrashed by hammering many aggressors so that every lookup
+misses and only the base probability protects the victims; this is the
+documented vulnerability.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import ClassVar, Deque, Sequence, Tuple
+
+from repro.config import SimConfig
+from repro.mitigations.base import Mitigation, MitigationAction, RefreshRow
+from repro.rng import stream
+
+_ROW_BITS = 17
+
+
+class MRLoc(Mitigation):
+    name: ClassVar[str] = "MRLoc"
+    known_vulnerabilities: ClassVar[Tuple[str, ...]] = (
+        "multi-aggressor queue thrashing (misses reduce p to the base "
+        "probability; TiVaPRoMi paper Section II)",
+    )
+
+    def __init__(
+        self,
+        config: SimConfig,
+        bank: int = 0,
+        seed: int = 0,
+        queue_entries: int = 16,
+        base_probability: float = 0.0003,
+        max_boost: float = 4.0,
+    ):
+        super().__init__(config, bank)
+        if queue_entries < 1:
+            raise ValueError("queue_entries must be positive")
+        if not 0.0 < base_probability <= 1.0:
+            raise ValueError(f"base_probability in (0, 1]: {base_probability}")
+        if max_boost < 1.0:
+            raise ValueError("max_boost must be >= 1")
+        self.queue_entries = queue_entries
+        self.base_probability = base_probability
+        self.max_boost = max_boost
+        self._rng = stream(seed, "mrloc", bank)
+        self._queue: Deque[int] = deque(maxlen=queue_entries)
+
+    def victim_probability(self, victim: int) -> float:
+        """Current refresh probability for *victim* (recency weighted)."""
+        try:
+            position = list(self._queue).index(victim)
+        except ValueError:
+            return self.base_probability
+        # position 0 is the oldest entry; weight grows toward the tail.
+        recency = (position + 1) / len(self._queue)
+        boost = 1.0 + (self.max_boost - 1.0) * recency
+        return min(1.0, self.base_probability * boost)
+
+    def on_activation(self, row: int, interval: int) -> Sequence[MitigationAction]:
+        actions = []
+        for victim in self.config.geometry.assumed_neighbors(row):
+            probability = self.victim_probability(victim)
+            if self._rng.random() < probability:
+                actions.append(RefreshRow(row=victim, trigger_row=row))
+            if victim in self._queue:
+                self._queue.remove(victim)
+            self._queue.append(victim)
+        return tuple(actions)
+
+    @property
+    def table_bytes(self) -> int:
+        return (self.queue_entries * _ROW_BITS + 7) // 8

@@ -1,0 +1,44 @@
+"""PARA -- Probabilistic Adjacent Row Activation (Kim et al. [12]).
+
+The original, stateless probabilistic mitigation: whenever a row is
+activated, one of its two neighbours (chosen uniformly) is also
+activated with a small constant probability ``p``.  The paper (and
+ProHit [17]) treat ``p >= 0.001`` as effective; Table I pins TiVaPRoMi's
+maximum probability to the same value, so PARA is the overhead
+reference point.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Sequence, Tuple
+
+from repro.config import SimConfig
+from repro.mitigations.base import Mitigation, MitigationAction, RefreshRow, StatelessMixin
+from repro.rng import stream
+
+
+class PARA(StatelessMixin, Mitigation):
+    name: ClassVar[str] = "PARA"
+    known_vulnerabilities: ClassVar[Tuple[str, ...]] = (
+        "sequential multi-aggressor activation (shown by ProHit [17])",
+    )
+
+    def __init__(
+        self,
+        config: SimConfig,
+        bank: int = 0,
+        seed: int = 0,
+        probability: float = 0.001,
+    ):
+        super().__init__(config, bank)
+        if not 0.0 < probability <= 1.0:
+            raise ValueError(f"probability must be in (0, 1]: {probability}")
+        self.probability = probability
+        self._rng = stream(seed, "para", bank)
+
+    def on_activation(self, row: int, interval: int) -> Sequence[MitigationAction]:
+        if self._rng.random() >= self.probability:
+            return ()
+        neighbors = self.config.geometry.assumed_neighbors(row)
+        victim = neighbors[self._rng.randrange(len(neighbors))]
+        return (RefreshRow(row=victim, trigger_row=row),)

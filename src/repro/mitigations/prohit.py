@@ -1,0 +1,117 @@
+"""ProHit -- probabilistic hot/cold victim tables (Son et al. [17]).
+
+ProHit tracks the *victims* (neighbours) of frequently activated rows in
+two small tables:
+
+* a **cold table**: new victim candidates are inserted probabilistically
+  at the tail; an existing cold entry that is hit again moves up one
+  slot, and from the top of the cold table it is promoted into the hot
+  table;
+* a **hot table**: hit entries swap one position toward the top.
+
+At every refresh interval the *top hot entry* is refreshed and removed
+(it joins "the list of rows that are refreshed in the next refresh
+interval", Section II of the TiVaPRoMi paper).
+
+This makes ProHit robust against sequential multi-aggressor attacks
+(each aggressor's victims keep climbing the tables) at the price of a
+higher false-positive rate: popular benign rows climb too, and the
+per-interval top-entry refresh fires for them as well.
+
+Sizes and probabilities follow the ProHit paper's design point: 4 hot +
+12 cold entries; insertion probability defaults are documented
+constants, tunable for ablation.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, List, Sequence, Tuple
+
+from repro.config import SimConfig
+from repro.mitigations.base import Mitigation, MitigationAction, RefreshRow
+from repro.rng import stream
+
+#: row-address field width assumed for table sizing (64 K rows per bank)
+_ROW_BITS = 17
+
+
+class ProHit(Mitigation):
+    name: ClassVar[str] = "ProHit"
+    known_vulnerabilities: ClassVar[Tuple[str, ...]] = ()
+
+    def __init__(
+        self,
+        config: SimConfig,
+        bank: int = 0,
+        seed: int = 0,
+        hot_entries: int = 4,
+        cold_entries: int = 12,
+        insert_probability: float = 0.005,
+    ):
+        super().__init__(config, bank)
+        if hot_entries < 1 or cold_entries < 1:
+            raise ValueError("hot/cold tables need at least one entry each")
+        if not 0.0 < insert_probability <= 1.0:
+            raise ValueError(f"insert_probability in (0, 1]: {insert_probability}")
+        self.hot_entries = hot_entries
+        self.cold_entries = cold_entries
+        self.insert_probability = insert_probability
+        self._rng = stream(seed, "prohit", bank)
+        #: index 0 is the top of each table
+        self._hot: List[int] = []
+        self._cold: List[int] = []
+        #: remembers which activated row put a victim in the tables,
+        #: for false-positive attribution of the interval refresh
+        self._trigger: dict = {}
+
+    def on_activation(self, row: int, interval: int) -> Sequence[MitigationAction]:
+        for victim in self.config.geometry.assumed_neighbors(row):
+            self._observe_victim(victim, row)
+        return ()
+
+    def on_refresh(self, interval: int) -> Sequence[MitigationAction]:
+        """Refresh and retire the top hot entry, if any."""
+        if not self._hot:
+            return ()
+        victim = self._hot.pop(0)
+        trigger = self._trigger.pop(victim, victim)
+        return (RefreshRow(row=victim, trigger_row=trigger),)
+
+    def _observe_victim(self, victim: int, trigger_row: int) -> None:
+        self._trigger[victim] = trigger_row
+        if victim in self._hot:
+            index = self._hot.index(victim)
+            if index > 0:  # swap one position toward the top
+                self._hot[index - 1], self._hot[index] = (
+                    self._hot[index], self._hot[index - 1],
+                )
+            return
+        if victim in self._cold:
+            index = self._cold.index(victim)
+            if index == 0:
+                self._promote(victim)
+            else:
+                self._cold[index - 1], self._cold[index] = (
+                    self._cold[index], self._cold[index - 1],
+                )
+            return
+        if self._rng.random() < self.insert_probability:
+            if len(self._cold) >= self.cold_entries:
+                dropped = self._cold.pop()  # replace the tail
+                self._trigger.pop(dropped, None)
+            self._cold.append(victim)
+
+    def _promote(self, victim: int) -> None:
+        self._cold.remove(victim)
+        if len(self._hot) >= self.hot_entries:
+            dropped = self._hot.pop()  # hot tail falls back to cold top
+            self._cold.insert(0, dropped)
+            if len(self._cold) > self.cold_entries:
+                tail = self._cold.pop()
+                self._trigger.pop(tail, None)
+        self._hot.append(victim)
+
+    @property
+    def table_bytes(self) -> int:
+        total_bits = (self.hot_entries + self.cold_entries) * _ROW_BITS
+        return (total_bits + 7) // 8

@@ -1,0 +1,77 @@
+"""Registry of all nine mitigation techniques evaluated in the paper.
+
+Gives the simulation and benchmark layers one factory API:
+``make_mitigation("LoLiPRoMi", config, bank=0, seed=7)``.  The paper's
+five state-of-the-art baselines live in :mod:`repro.mitigations`; the
+four TiVaPRoMi variants in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Type
+
+from repro.config import SimConfig
+from repro.core.capromi import CaPRoMi
+from repro.core.tivapromi import LiPRoMi, LoLiPRoMi, LoPRoMi
+from repro.mitigations.base import Mitigation
+from repro.mitigations.counter_tree import CounterTree
+from repro.mitigations.software import SoftwareDetector
+from repro.mitigations.cra import CRA
+from repro.mitigations.mrloc import MRLoc
+from repro.mitigations.para import PARA
+from repro.mitigations.prohit import ProHit
+from repro.mitigations.twice import TWiCe
+
+#: the paper's Table III row order
+TECHNIQUES: Dict[str, Type[Mitigation]] = {
+    "ProHit": ProHit,
+    "MRLoc": MRLoc,
+    "PARA": PARA,
+    "TWiCe": TWiCe,
+    "CRA": CRA,
+    "CaPRoMi": CaPRoMi,
+    "LiPRoMi": LiPRoMi,
+    "LoPRoMi": LoPRoMi,
+    "LoLiPRoMi": LoLiPRoMi,
+}
+
+#: techniques the paper discusses (Section II) but does not evaluate in
+#: Table III; available through the same factory API
+EXTENDED_TECHNIQUES: Dict[str, Type[Mitigation]] = {
+    "CounterTree": CounterTree,
+    "SoftwareDetector": SoftwareDetector,
+}
+
+#: the four variants proposed by the paper
+TIVAPROMI_VARIANTS = ("LiPRoMi", "LoPRoMi", "LoLiPRoMi", "CaPRoMi")
+
+#: the five state-of-the-art baselines
+BASELINES = ("PARA", "ProHit", "MRLoc", "TWiCe", "CRA")
+
+
+def technique_names(include_extended: bool = False) -> List[str]:
+    names = list(TECHNIQUES)
+    if include_extended:
+        names.extend(EXTENDED_TECHNIQUES)
+    return names
+
+
+def make_mitigation(
+    name: str, config: SimConfig, bank: int = 0, seed: int = 0, **kwargs
+) -> Mitigation:
+    """Instantiate a technique by name; *kwargs* go to its constructor."""
+    cls = TECHNIQUES.get(name) or EXTENDED_TECHNIQUES.get(name)
+    if cls is None:
+        known = ", ".join(technique_names(include_extended=True))
+        raise ValueError(f"unknown technique {name!r}; choose from {known}")
+    return cls(config, bank=bank, seed=seed, **kwargs)
+
+
+def make_factory(name: str, **kwargs) -> Callable[[SimConfig, int, int], Mitigation]:
+    """A (config, bank, seed) -> Mitigation factory for the engine."""
+
+    def factory(config: SimConfig, bank: int, seed: int) -> Mitigation:
+        return make_mitigation(name, config, bank=bank, seed=seed, **kwargs)
+
+    factory.technique_name = name
+    return factory

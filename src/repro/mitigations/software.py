@@ -1,0 +1,126 @@
+"""Software-level Row-Hammer detection (ANVIL-class, Section II).
+
+The paper's Section I/II discusses the software alternative: detectors
+like ANVIL [1] watch performance counters, confirm suspicious access
+patterns over time, and refresh the victims of identified aggressors.
+Their documented weakness is latency -- "the detection is slow and
+normally requires the length of several refresh windows [4], and until
+then, bit flipping might already start in the victim row".
+
+:class:`SoftwareDetector` models that class of defence behind the same
+per-bank mitigation interface as the hardware techniques, so it can be
+compared head-to-head:
+
+* it *samples* the activation stream (a counter-based profiler sees a
+  subset, not every command) into a per-window histogram;
+* at the end of each refresh window it marks rows whose sampled count
+  crosses the suspicion threshold;
+* a row confirmed suspicious in ``confirmation_windows`` consecutive
+  windows is treated as an aggressor: its neighbours are refreshed at
+  every subsequent window boundary until it goes quiet.
+
+With the paper's parameters an attack that reaches the flip threshold
+within one refresh window beats the detector by construction -- the
+reproduction of the Section II latency claim (see
+``repro.sim.attacks.software_detection_experiment``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import ClassVar, Dict, Sequence, Tuple
+
+from repro.config import SimConfig
+from repro.mitigations.base import ActivateNeighbors, Mitigation, MitigationAction
+from repro.rng import stream
+
+
+class SoftwareDetector(Mitigation):
+    name: ClassVar[str] = "SoftwareDetector"
+    known_vulnerabilities: ClassVar[Tuple[str, ...]] = (
+        "detection latency: confirmation takes multiple refresh windows, "
+        "while a full-rate attack flips bits within one ([4], Section II)",
+        "evasion by code patterns and junk bytes against learned "
+        "detectors ([5], Section II)",
+    )
+
+    def __init__(
+        self,
+        config: SimConfig,
+        bank: int = 0,
+        seed: int = 0,
+        sample_probability: float = 0.05,
+        suspicion_fraction: float = 0.02,
+        confirmation_windows: int = 2,
+    ):
+        super().__init__(config, bank)
+        if not 0.0 < sample_probability <= 1.0:
+            raise ValueError("sample_probability must be in (0, 1]")
+        if confirmation_windows < 1:
+            raise ValueError("confirmation_windows must be >= 1")
+        self.sample_probability = sample_probability
+        #: a row is suspicious when it accounts for more than this
+        #: fraction of the window's sampled activations
+        self.suspicion_fraction = suspicion_fraction
+        self.confirmation_windows = confirmation_windows
+        self._rng = stream(seed, "software-detector", bank)
+        self._histogram: Counter = Counter()
+        self._sampled = 0
+        self._suspicion: Dict[int, int] = {}
+        self._confirmed: Dict[int, int] = {}
+        #: window index when each aggressor was confirmed (analysis)
+        self.detections: Dict[int, int] = {}
+
+    def on_activation(self, row: int, interval: int) -> Sequence[MitigationAction]:
+        if self._rng.random() < self.sample_probability:
+            self._histogram[row] += 1
+            self._sampled += 1
+        return ()
+
+    def on_refresh(self, interval: int) -> Sequence[MitigationAction]:
+        # confirmed aggressors are quarantined: their victims get a
+        # targeted refresh every refresh interval (the OS pins a
+        # refresh list / migrates the page); detection itself only
+        # happens at window boundaries, which is where the latency
+        # weakness lives
+        actions = tuple(
+            ActivateNeighbors(row=row) for row in self._confirmed
+        )
+        if self.window_interval(interval) == 0:
+            window = interval // self.refint
+            self._analyze_window(window)
+            self._histogram.clear()
+            self._sampled = 0
+        return actions
+
+    def _analyze_window(self, window: int) -> None:
+        threshold = max(2, int(self._sampled * self.suspicion_fraction))
+        hot_rows = {
+            row for row, count in self._histogram.items() if count >= threshold
+        }
+        # advance suspicion counters; rows gone quiet are acquitted
+        for row in list(self._suspicion):
+            if row not in hot_rows:
+                del self._suspicion[row]
+        for row in hot_rows:
+            self._suspicion[row] = self._suspicion.get(row, 0) + 1
+            if (
+                self._suspicion[row] >= self.confirmation_windows
+                and row not in self._confirmed
+            ):
+                self._confirmed[row] = window
+                self.detections[row] = window
+        # confirmed aggressors gone quiet are released from quarantine
+        for row in list(self._confirmed):
+            if row not in hot_rows:
+                del self._confirmed[row]
+
+    @property
+    def table_bytes(self) -> int:
+        """Software state lives in kernel memory, not controller SRAM.
+
+        We report the working-set footprint of the histogram structures
+        (it is *memory*, not area -- the comparison dimension where
+        software detection wins).
+        """
+        return 0

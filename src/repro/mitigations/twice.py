@@ -1,0 +1,99 @@
+"""TWiCe -- Time Window Counters (Lee et al. [13]).
+
+TWiCe counts activations per row in a pruned table:
+
+* on an activation, the row's entry count is incremented (allocating an
+  entry on first sight);
+* at every refresh interval, all entries age by one ``life`` and any
+  entry whose count is below ``life * threshold_rate`` is pruned -- a
+  row activated below that rate can no longer reach the Row-Hammer
+  threshold within the window, so dropping it is provably safe;
+* when a count reaches the trigger threshold (a quarter of the flip
+  threshold, covering double-sided attacks split across a window
+  boundary), ``act_n`` refreshes both neighbours and the count resets.
+
+Pruning bounds the number of live entries: at age ``k`` at most
+``max_acts_per_interval / (k * threshold_rate)`` rows can survive, so
+the table capacity is ``165 * (1 + H(RefInt) / threshold_rate)`` -- a
+few hundred entries needing CAM lookup, which is why the TWiCe authors
+place it in the DIMM rather than the controller (Section II of the
+TiVaPRoMi paper).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import ClassVar, Dict, Sequence, Tuple
+
+from repro.config import SimConfig
+from repro.mitigations.base import ActivateNeighbors, Mitigation, MitigationAction
+
+_ROW_BITS = 17
+_LIFE_BITS = 13
+_VALID_BITS = 1
+
+
+@dataclass
+class _Entry:
+    count: int = 0
+    life: int = 0
+
+
+class TWiCe(Mitigation):
+    name: ClassVar[str] = "TWiCe"
+    known_vulnerabilities: ClassVar[Tuple[str, ...]] = ()
+
+    def __init__(self, config: SimConfig, bank: int = 0, seed: int = 0):
+        super().__init__(config, bank)
+        #: trigger at a quarter of the flip threshold: halves once for
+        #: the two-aggressor case, once for window-straddling attacks
+        self.trigger_threshold = max(1, config.flip_threshold // 4)
+        #: minimum sustained activations/interval to stay tracked
+        self.threshold_rate = self.trigger_threshold / self.refint
+        self._table: Dict[int, _Entry] = {}
+        self.max_occupancy = 0
+
+    def on_activation(self, row: int, interval: int) -> Sequence[MitigationAction]:
+        entry = self._table.get(row)
+        if entry is None:
+            entry = _Entry()
+            self._table[row] = entry
+            if len(self._table) > self.max_occupancy:
+                self.max_occupancy = len(self._table)
+        entry.count += 1
+        if entry.count >= self.trigger_threshold:
+            entry.count = 0
+            return (ActivateNeighbors(row=row),)
+        return ()
+
+    def on_refresh(self, interval: int) -> Sequence[MitigationAction]:
+        if self.window_interval(interval) == 0:
+            # New window: every row was refreshed last window, restart.
+            self._table.clear()
+            return ()
+        doomed = []
+        for row, entry in self._table.items():
+            entry.life += 1
+            if entry.count < entry.life * self.threshold_rate:
+                doomed.append(row)
+        for row in doomed:
+            del self._table[row]
+        return ()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._table)
+
+    @property
+    def analytic_capacity(self) -> int:
+        """Worst-case concurrent entries (the provable pruning bound)."""
+        per_interval = self.config.timing.max_acts_per_interval
+        harmonic = math.log(self.refint) + 0.5772
+        return int(per_interval * (1.0 + harmonic / self.threshold_rate)) + 1
+
+    @property
+    def table_bytes(self) -> int:
+        count_bits = max(1, math.ceil(math.log2(self.trigger_threshold + 1)))
+        entry_bits = _ROW_BITS + count_bits + _LIFE_BITS + _VALID_BITS
+        return (self.analytic_capacity * entry_bits + 7) // 8

@@ -1,0 +1,57 @@
+"""Simulation layer: engine, metrics, experiments, attacks, sweeps."""
+
+from repro.sim.attacks import (
+    FloodingOutcome,
+    HalfDoublePoint,
+    MultiAggressorPoint,
+    RemappedAdjacencyOutcome,
+    SoftwareDetectionOutcome,
+    TreeSaturationOutcome,
+    flooding_experiment,
+    half_double_experiment,
+    multi_aggressor_experiment,
+    remapped_adjacency_experiment,
+    software_detection_experiment,
+    tree_saturation_experiment,
+    vulnerability_verdicts,
+)
+from repro.sim.engine import run_simulation
+from repro.sim.experiment import (
+    TechniqueAggregate,
+    compare_techniques,
+    default_trace_factory,
+    run_technique,
+)
+from repro.sim.metrics import SimResult
+from repro.sim.sweep import (
+    SweepPoint,
+    sweep_counter_table,
+    sweep_history_table,
+    sweep_pbase,
+)
+
+__all__ = [
+    "FloodingOutcome",
+    "HalfDoublePoint",
+    "MultiAggressorPoint",
+    "RemappedAdjacencyOutcome",
+    "SoftwareDetectionOutcome",
+    "SimResult",
+    "SweepPoint",
+    "TreeSaturationOutcome",
+    "TechniqueAggregate",
+    "compare_techniques",
+    "default_trace_factory",
+    "flooding_experiment",
+    "half_double_experiment",
+    "multi_aggressor_experiment",
+    "remapped_adjacency_experiment",
+    "software_detection_experiment",
+    "run_simulation",
+    "run_technique",
+    "sweep_counter_table",
+    "sweep_history_table",
+    "sweep_pbase",
+    "tree_saturation_experiment",
+    "vulnerability_verdicts",
+]

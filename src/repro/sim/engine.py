@@ -1,0 +1,97 @@
+"""Trace-driven simulation loop.
+
+Plays a trace through the :class:`~repro.controller.MemoryController`
+(which owns the DRAM device and the per-bank mitigation instances),
+issuing the ``ref`` command at every refresh-interval boundary and an
+``act`` per trace record, then collects a :class:`SimResult`.
+
+The paper's pipeline is gem5 -> memory trace -> mitigation simulation;
+this module is the last stage of that pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.config import SimConfig
+from repro.controller.controller import MemoryController, MitigationFactory
+from repro.dram.refresh import RefreshPolicy
+from repro.sim.metrics import SimResult
+from repro.traces.record import Trace
+
+
+def run_simulation(
+    config: SimConfig,
+    trace: Trace,
+    mitigation_factory: Optional[MitigationFactory],
+    seed: int = 0,
+    refresh_policy: Optional[RefreshPolicy] = None,
+    stop_after_first_trigger: bool = False,
+    max_activations: Optional[int] = None,
+) -> SimResult:
+    """Run one technique (or no mitigation) over *trace*.
+
+    ``mitigation_factory = None`` simulates an unprotected device --
+    the baseline showing the attack would succeed.
+    ``stop_after_first_trigger`` ends the run at the first mitigation
+    trigger (used by the flooding experiments, which only need the
+    activation count up to that point).
+    """
+    controller = MemoryController(
+        config=config,
+        mitigation_factory=mitigation_factory,
+        refresh_policy=refresh_policy,
+        seed=seed,
+    )
+    technique = "none"
+    if controller.mitigations:
+        technique = controller.mitigations[0].name
+    result = SimResult(
+        technique=technique, seed=seed, flip_threshold=config.flip_threshold
+    )
+    interval_ns = trace.meta.interval_ns
+    total_intervals = trace.meta.total_intervals
+    started = time.perf_counter()
+    current_interval = -1
+    activation_index = 0
+
+    for record in trace:
+        record_interval = record.time_ns // interval_ns
+        while current_interval < record_interval:
+            current_interval += 1
+            controller.refresh_tick()
+        is_attack = record.is_attack
+        controller.activate(record.bank, record.row, record.time_ns, is_attack)
+        activation_index += 1
+        result.normal_activations += 1
+        if is_attack:
+            result.attack_activations += 1
+        if (
+            result.first_trigger_activation is None
+            and controller.mitigation_triggers > 0
+        ):
+            result.first_trigger_activation = activation_index
+            if stop_after_first_trigger:
+                break
+        if max_activations is not None and activation_index >= max_activations:
+            break
+
+    if not (stop_after_first_trigger and result.first_trigger_activation):
+        while current_interval < total_intervals - 1:
+            current_interval += 1
+            controller.refresh_tick()
+    controller.finish()
+
+    device = controller.device
+    result.extra_activations = controller.extra_activations
+    result.fp_extra_activations = controller.fp_extra_activations
+    result.mitigation_triggers = controller.mitigation_triggers
+    result.flips = device.flips
+    result.max_disturbance = device.max_disturbance
+    result.intervals_simulated = current_interval + 1
+    result.max_rh_buffer_occupancy = controller.max_buffer_occupancy
+    if controller.mitigations:
+        result.table_bytes = controller.mitigations[0].table_bytes
+    result.wall_seconds = time.perf_counter() - started
+    return result

@@ -1,0 +1,152 @@
+"""Multi-seed experiment orchestration.
+
+An *experiment* runs one mitigation technique over freshly generated
+traces for several seeds and aggregates overhead/FPR/reliability
+statistics -- the unit from which Table III and Fig. 4 are built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.stats import mean, mean_pm_std, std
+from repro.config import SimConfig
+from repro.dram.refresh import RefreshPolicy
+from repro.mitigations.registry import make_factory, technique_names
+from repro.rng import derive_seed
+from repro.sim.engine import run_simulation
+from repro.sim.metrics import SimResult
+from repro.traces.mixer import paper_mixed_workload
+from repro.traces.record import Trace
+
+#: builds the trace for one seed
+TraceFactory = Callable[[int], Trace]
+#: builds the refresh policy for one seed (None -> sequential)
+PolicyFactory = Callable[[int], RefreshPolicy]
+
+
+@dataclass
+class TechniqueAggregate:
+    """Multi-seed statistics for one technique."""
+
+    technique: str
+    results: List[SimResult] = field(default_factory=list)
+
+    @property
+    def overheads(self) -> List[float]:
+        return [result.overhead_pct for result in self.results]
+
+    @property
+    def fprs(self) -> List[float]:
+        return [result.fpr_pct for result in self.results]
+
+    @property
+    def overhead_mean(self) -> float:
+        return mean(self.overheads)
+
+    @property
+    def overhead_std(self) -> float:
+        return std(self.overheads)
+
+    @property
+    def fpr_mean(self) -> float:
+        return mean(self.fprs)
+
+    @property
+    def total_flips(self) -> int:
+        return sum(len(result.flips) for result in self.results)
+
+    @property
+    def any_attack_succeeded(self) -> bool:
+        return self.total_flips > 0
+
+    @property
+    def table_bytes(self) -> int:
+        return self.results[0].table_bytes if self.results else 0
+
+    @property
+    def min_protection_margin(self) -> float:
+        return min(result.protection_margin for result in self.results)
+
+    def overhead_cell(self) -> str:
+        """Table III style ``(mu +- sigma)%`` cell."""
+        return mean_pm_std(self.overheads)
+
+    def summary(self) -> str:
+        return (
+            f"{self.technique:<10} overhead={self.overhead_cell()} "
+            f"fpr={self.fpr_mean:.4f}% flips={self.total_flips} "
+            f"table={self.table_bytes}B"
+        )
+
+
+def default_trace_factory(
+    config: SimConfig, total_intervals: int, **workload_kwargs
+) -> TraceFactory:
+    """The paper's mixed SPEC + ramped-attacker workload, per seed."""
+
+    def factory(seed: int) -> Trace:
+        return paper_mixed_workload(
+            config, total_intervals=total_intervals, seed=seed, **workload_kwargs
+        )
+
+    return factory
+
+
+def run_technique(
+    config: SimConfig,
+    technique: Optional[str],
+    trace_factory: TraceFactory,
+    seeds: Sequence[int] = (0, 1, 2),
+    policy_factory: Optional[PolicyFactory] = None,
+    **technique_kwargs,
+) -> TechniqueAggregate:
+    """Run *technique* (or ``None`` for no mitigation) over all seeds."""
+    mitigation_factory = (
+        make_factory(technique, **technique_kwargs) if technique else None
+    )
+    aggregate = TechniqueAggregate(technique=technique or "none")
+    for seed in seeds:
+        trace = trace_factory(derive_seed(seed, "trace"))
+        policy = policy_factory(seed) if policy_factory else None
+        result = run_simulation(
+            config,
+            trace,
+            mitigation_factory,
+            seed=seed,
+            refresh_policy=policy,
+        )
+        aggregate.results.append(result)
+    return aggregate
+
+
+def compare_techniques(
+    config: SimConfig,
+    trace_factory: TraceFactory,
+    techniques: Optional[Sequence[str]] = None,
+    seeds: Sequence[int] = (0, 1, 2),
+    include_unmitigated: bool = False,
+) -> Dict[str, TechniqueAggregate]:
+    """Run every technique over the same per-seed traces.
+
+    Identical trace seeds across techniques make the comparison paired,
+    which is how the paper evaluates all nine techniques on the same
+    gem5 trace.
+    """
+    names = list(techniques) if techniques is not None else technique_names()
+    cache: Dict[int, Trace] = {}
+
+    def cached_factory(trace_seed: int) -> Trace:
+        trace = cache.get(trace_seed)
+        if trace is None:
+            trace = trace_factory(trace_seed).materialize()
+            cache[trace_seed] = trace
+        return trace
+
+    comparison: Dict[str, TechniqueAggregate] = {}
+    if include_unmitigated:
+        comparison["none"] = run_technique(config, None, cached_factory, seeds)
+    for name in names:
+        comparison[name] = run_technique(config, name, cached_factory, seeds)
+    return comparison

@@ -1,0 +1,91 @@
+"""Result metrics of a mitigation simulation.
+
+Definitions (made precise in DESIGN.md section 5):
+
+* **activation overhead %** -- extra activations issued by the
+  mitigation divided by normal trace activations, x100.  An ``act_n``
+  costs two extra activations (one at array edges); a directed row
+  refresh costs one.
+* **false-positive rate %** -- extra activations whose *triggering row*
+  was not a ground-truth aggressor at decision time, divided by normal
+  activations, x100.  Ground truth comes from trace metadata that
+  mitigations never observe.
+* **attack success** -- any victim row accumulated ``flip_threshold``
+  disturbances between restorations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.dram.disturbance import FlipEvent
+
+
+@dataclass
+class SimResult:
+    """Outcome of running one technique over one trace."""
+
+    technique: str
+    seed: int
+    normal_activations: int = 0
+    attack_activations: int = 0
+    extra_activations: int = 0
+    fp_extra_activations: int = 0
+    mitigation_triggers: int = 0
+    flips: List[FlipEvent] = field(default_factory=list)
+    max_disturbance: int = 0
+    intervals_simulated: int = 0
+    #: trace-activation index of the first mitigation trigger (None if none)
+    first_trigger_activation: Optional[int] = None
+    #: per-bank mitigation table bytes (identical across banks)
+    table_bytes: int = 0
+    max_rh_buffer_occupancy: int = 0
+    wall_seconds: float = 0.0
+    #: disturbance count at which bits flip (copied from the config)
+    flip_threshold: int = 0
+
+    @property
+    def overhead_pct(self) -> float:
+        if self.normal_activations == 0:
+            return 0.0
+        return 100.0 * self.extra_activations / self.normal_activations
+
+    @property
+    def fpr_pct(self) -> float:
+        if self.normal_activations == 0:
+            return 0.0
+        return 100.0 * self.fp_extra_activations / self.normal_activations
+
+    @property
+    def attack_fraction(self) -> float:
+        if self.normal_activations == 0:
+            return 0.0
+        return self.attack_activations / self.normal_activations
+
+    @property
+    def attack_succeeded(self) -> bool:
+        return bool(self.flips)
+
+    @property
+    def protection_margin(self) -> float:
+        """How far the worst victim stayed from flipping.
+
+        1.0 means no row was ever disturbed; 0.5 means the worst
+        disturbance reached half the flip threshold; 0.0 means a flip
+        happened.
+        """
+        if self.flips:
+            return 0.0
+        if self.flip_threshold <= 0:
+            return 1.0
+        return max(0.0, 1.0 - self.max_disturbance / self.flip_threshold)
+
+    def summary(self) -> str:
+        flips = len(self.flips)
+        return (
+            f"{self.technique}: overhead={self.overhead_pct:.4f}% "
+            f"fpr={self.fpr_pct:.4f}% flips={flips} "
+            f"max_disturbance={self.max_disturbance} "
+            f"extra={self.extra_activations}/{self.normal_activations}"
+        )

@@ -1,0 +1,40 @@
+"""Trace substrate: records, synthetic workloads, attacks, mixing, I/O."""
+
+from repro.traces.attacker import (
+    AttackSpec,
+    double_sided,
+    flooding,
+    n_aggressor,
+    ramped_multi_aggressor,
+    single_sided,
+)
+from repro.traces.mixer import build_trace, paper_mixed_workload
+from repro.traces.record import (
+    Trace,
+    TraceMeta,
+    TraceRecord,
+    merge_sorted,
+    validate_trace,
+)
+from repro.traces.trace_io import load_trace, save_trace
+from repro.traces.workload import BenignWorkload, WorkloadParams
+
+__all__ = [
+    "AttackSpec",
+    "BenignWorkload",
+    "Trace",
+    "TraceMeta",
+    "TraceRecord",
+    "WorkloadParams",
+    "build_trace",
+    "double_sided",
+    "flooding",
+    "load_trace",
+    "merge_sorted",
+    "n_aggressor",
+    "paper_mixed_workload",
+    "ramped_multi_aggressor",
+    "save_trace",
+    "single_sided",
+    "validate_trace",
+]

@@ -1,0 +1,206 @@
+"""Row-Hammer attack pattern generators.
+
+The paper's evaluation workload adds "an attacker code that has
+aggressors increasing gradually from 1 to 20 aggressors per targeted
+bank", hammering via cache flushing as in Kim et al. [12].  From the
+DRAM's point of view an attack is simply a high-rate activation pattern
+over chosen aggressor rows; this module provides those patterns:
+
+* :func:`single_sided` -- hammer one aggressor next to a victim;
+* :func:`double_sided` -- hammer both neighbours of a victim;
+* :func:`n_aggressor` -- round-robin over many aggressors (the
+  sequential multi-aggressor attack PARA/MRLoc are vulnerable to);
+* :func:`flooding` -- one row at the maximum activation rate (the
+  Section IV flooding experiment against TiVaPRoMi's weights).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.config import DRAMGeometry
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """A hammering campaign against one bank.
+
+    ``acts_per_interval`` activations are spread round-robin over the
+    aggressor rows during every interval in ``[start_interval,
+    end_interval)``; ``end_interval = None`` runs to the end of the
+    trace.
+    """
+
+    bank: int
+    aggressors: Tuple[int, ...]
+    acts_per_interval: int
+    start_interval: int = 0
+    end_interval: Optional[int] = None
+    name: str = "attack"
+
+    def __post_init__(self) -> None:
+        if not self.aggressors:
+            raise ValueError("an attack needs at least one aggressor row")
+        if self.acts_per_interval < 1:
+            raise ValueError("acts_per_interval must be positive")
+        if len(set(self.aggressors)) != len(self.aggressors):
+            raise ValueError("duplicate aggressor rows")
+
+    def active_in(self, interval: int) -> bool:
+        if interval < self.start_interval:
+            return False
+        return self.end_interval is None or interval < self.end_interval
+
+    def rows_for_interval(self, interval: int) -> List[int]:
+        """Aggressor activations during *interval* (round-robin)."""
+        if not self.active_in(interval):
+            return []
+        rows: List[int] = []
+        offset = (interval - self.start_interval) * self.acts_per_interval
+        for shot in range(self.acts_per_interval):
+            rows.append(self.aggressors[(offset + shot) % len(self.aggressors)])
+        return rows
+
+    @property
+    def victims(self) -> Tuple[int, ...]:
+        """Rows adjacent to any aggressor (potential flip locations)."""
+        out = set()
+        for row in self.aggressors:
+            out.add(row - 1)
+            out.add(row + 1)
+        return tuple(sorted(out - set(self.aggressors)))
+
+
+def single_sided(
+    geometry: DRAMGeometry,
+    bank: int,
+    victim: int,
+    acts_per_interval: int,
+    start_interval: int = 0,
+    end_interval: Optional[int] = None,
+) -> AttackSpec:
+    """Hammer the row above *victim* (classic single-sided attack)."""
+    geometry._check_row(victim)
+    aggressor = victim + 1 if victim + 1 < geometry.rows_per_bank else victim - 1
+    return AttackSpec(
+        bank=bank,
+        aggressors=(aggressor,),
+        acts_per_interval=acts_per_interval,
+        start_interval=start_interval,
+        end_interval=end_interval,
+        name=f"single-sided@{victim}",
+    )
+
+
+def double_sided(
+    geometry: DRAMGeometry,
+    bank: int,
+    victim: int,
+    acts_per_interval: int,
+    start_interval: int = 0,
+    end_interval: Optional[int] = None,
+) -> AttackSpec:
+    """Hammer both neighbours of *victim*: reaches the threshold fastest."""
+    if not 0 < victim < geometry.rows_per_bank - 1:
+        raise ValueError("double-sided attack needs an interior victim row")
+    return AttackSpec(
+        bank=bank,
+        aggressors=(victim - 1, victim + 1),
+        acts_per_interval=acts_per_interval,
+        start_interval=start_interval,
+        end_interval=end_interval,
+        name=f"double-sided@{victim}",
+    )
+
+
+def n_aggressor(
+    geometry: DRAMGeometry,
+    bank: int,
+    count: int,
+    acts_per_interval: int,
+    start_interval: int = 0,
+    end_interval: Optional[int] = None,
+    first_row: int = 1,
+    spacing: int = 4,
+) -> AttackSpec:
+    """Round-robin over *count* aggressors spaced apart in the array.
+
+    This is the sequential multi-aggressor pattern from ProHit [17]
+    that defeats table-based trackers by thrashing their entries.
+    """
+    rows = tuple(first_row + index * spacing for index in range(count))
+    if rows and rows[-1] >= geometry.rows_per_bank:
+        raise ValueError("aggressor rows exceed the bank")
+    return AttackSpec(
+        bank=bank,
+        aggressors=rows,
+        acts_per_interval=acts_per_interval,
+        start_interval=start_interval,
+        end_interval=end_interval,
+        name=f"{count}-aggressor",
+    )
+
+
+def flooding(
+    geometry: DRAMGeometry,
+    bank: int,
+    row: int,
+    acts_per_interval: int,
+    start_interval: int = 0,
+    end_interval: Optional[int] = None,
+) -> AttackSpec:
+    """Flood a single row at (up to) the maximum activation rate."""
+    geometry._check_row(row)
+    return AttackSpec(
+        bank=bank,
+        aggressors=(row,),
+        acts_per_interval=acts_per_interval,
+        start_interval=start_interval,
+        end_interval=end_interval,
+        name=f"flooding@{row}",
+    )
+
+
+def ramped_multi_aggressor(
+    geometry: DRAMGeometry,
+    bank: int,
+    total_intervals: int,
+    max_aggressors: int = 20,
+    acts_per_interval: int = 80,
+    first_row: int = 100,
+    spacing: int = 2,
+) -> List[AttackSpec]:
+    """The paper's attacker: aggressors ramp 1 -> *max_aggressors*.
+
+    The trace is split into ``max_aggressors`` equal segments; segment
+    ``k`` hammers the first ``k + 1`` aggressor rows round-robin at a
+    constant total rate, mirroring "aggressors increasing gradually
+    from 1 to 20 aggressors per targeted bank" (Section IV).  The
+    default ``spacing = 2`` places aggressors on every other row (the
+    many-sided pattern of [12]), so interior victims are disturbed by
+    two aggressors and an unmitigated window accumulates well past the
+    139 K flip threshold.
+    """
+    if max_aggressors < 1:
+        raise ValueError("max_aggressors must be positive")
+    segment = max(1, total_intervals // max_aggressors)
+    specs: List[AttackSpec] = []
+    for index in range(max_aggressors):
+        count = index + 1
+        rows = tuple(first_row + j * spacing for j in range(count))
+        if rows[-1] >= geometry.rows_per_bank:
+            raise ValueError("aggressor rows exceed the bank")
+        start = index * segment
+        end = total_intervals if index == max_aggressors - 1 else (index + 1) * segment
+        specs.append(
+            AttackSpec(
+                bank=bank,
+                aggressors=rows,
+                acts_per_interval=acts_per_interval,
+                start_interval=start,
+                end_interval=end,
+                name=f"ramp-{count}-aggressors",
+            )
+        )
+    return specs

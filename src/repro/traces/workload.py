@@ -1,0 +1,129 @@
+"""Synthetic benign workload generator (SPEC CPU2006 stand-in).
+
+The paper drives its evaluation with gem5 memory traces of a mixed SPEC
+CPU2006 load.  Row-Hammer mitigations only observe the *(time, bank,
+row)* activation stream, so the properties of SPEC that matter are:
+
+* the average activation rate per refresh interval (the paper measures
+  ~40 including the attacker, so the benign share defaults to 25);
+* strong row-level temporal locality (a zipf-popular working set, as
+  produced by caches filtering accesses of loop-heavy code);
+* phase behaviour (the working set drifts every few thousand
+  intervals);
+* occasional streaming bursts that sweep sequential rows.
+
+This module synthesises a per-bank activation stream with exactly those
+properties, deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from dataclasses import dataclass
+from typing import List
+
+from repro.config import DRAMGeometry
+from repro.rng import stream
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """Knobs of the benign workload generator."""
+
+    #: mean benign activations per bank per refresh interval (Poisson)
+    avg_acts_per_interval: float = 25.0
+    #: number of distinct rows in the hot working set
+    working_set_rows: int = 256
+    #: zipf exponent of row popularity within the working set
+    zipf_s: float = 1.2
+    #: intervals between working-set drifts
+    phase_length_intervals: int = 2048
+    #: fraction of the working set resampled at each phase change
+    phase_turnover: float = 0.25
+    #: probability that an activation starts a sequential streaming burst
+    streaming_burst_prob: float = 0.02
+    #: rows touched by one streaming burst
+    streaming_burst_length: int = 16
+
+    def __post_init__(self) -> None:
+        if self.avg_acts_per_interval <= 0:
+            raise ValueError("avg_acts_per_interval must be positive")
+        if self.working_set_rows < 1:
+            raise ValueError("working_set_rows must be positive")
+        if not 0.0 <= self.phase_turnover <= 1.0:
+            raise ValueError("phase_turnover must be in [0, 1]")
+
+
+class BenignWorkload:
+    """Stateful per-bank benign activation generator."""
+
+    def __init__(
+        self,
+        geometry: DRAMGeometry,
+        params: WorkloadParams,
+        bank: int,
+        seed: int,
+    ):
+        self.geometry = geometry
+        self.params = params
+        self.bank = bank
+        self._rng = stream(seed, "benign", bank)
+        size = min(params.working_set_rows, geometry.rows_per_bank)
+        self._working_set: List[int] = self._rng.sample(
+            range(geometry.rows_per_bank), size
+        )
+        self._cum_weights = self._zipf_cumulative(size, params.zipf_s)
+        self._phase = 0
+        self._burst_remaining = 0
+        self._burst_row = 0
+
+    @staticmethod
+    def _zipf_cumulative(size: int, s: float) -> List[float]:
+        weights = [1.0 / (rank**s) for rank in range(1, size + 1)]
+        return list(itertools.accumulate(weights))
+
+    def _maybe_change_phase(self, interval: int) -> None:
+        phase = interval // self.params.phase_length_intervals
+        if phase == self._phase:
+            return
+        self._phase = phase
+        turnover = int(len(self._working_set) * self.params.phase_turnover)
+        for _ in range(turnover):
+            slot = self._rng.randrange(len(self._working_set))
+            self._working_set[slot] = self._rng.randrange(
+                self.geometry.rows_per_bank
+            )
+
+    def acts_in_interval(self, interval: int) -> int:
+        """Draw the number of benign activations for *interval* (Poisson)."""
+        self._maybe_change_phase(interval)
+        # Knuth's algorithm is fine at these small means.
+        lam = self.params.avg_acts_per_interval
+        import math
+
+        limit = math.exp(-lam)
+        count = 0
+        product = self._rng.random()
+        while product > limit:
+            count += 1
+            product *= self._rng.random()
+        return count
+
+    def next_row(self) -> int:
+        """Draw the next activated row (zipf working set + bursts)."""
+        if self._burst_remaining > 0:
+            self._burst_remaining -= 1
+            self._burst_row = (self._burst_row + 1) % self.geometry.rows_per_bank
+            return self._burst_row
+        if self._rng.random() < self.params.streaming_burst_prob:
+            self._burst_remaining = self.params.streaming_burst_length
+            self._burst_row = self._rng.randrange(self.geometry.rows_per_bank)
+            return self._burst_row
+        pick = self._rng.random() * self._cum_weights[-1]
+        index = bisect.bisect_left(self._cum_weights, pick)
+        return self._working_set[min(index, len(self._working_set) - 1)]
+
+    def rows_for_interval(self, interval: int) -> List[int]:
+        """All benign rows activated during *interval*, in order."""
+        return [self.next_row() for _ in range(self.acts_in_interval(interval))]

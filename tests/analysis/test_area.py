@@ -1,0 +1,126 @@
+"""Tests for the structural area model against Table III."""
+
+import pytest
+
+from repro.analysis.area import (
+    area_estimate,
+    fig4_points,
+    search_parallelism,
+    storage_reduction_vs_twice,
+    table3_resources,
+)
+from repro.config import DDR3_TIMING, SimConfig
+
+
+@pytest.fixture(scope="module")
+def resources():
+    return table3_resources(SimConfig())
+
+
+class TestDDR4Calibration:
+    """The DDR4 column must land close to the paper's synthesis."""
+
+    PAPER = {
+        "PARA": 349,
+        "ProHit": 1_653,
+        "MRLoc": 1_865,
+        "LiPRoMi": 5_155,
+        "LoPRoMi": 5_228,
+        "LoLiPRoMi": 5_374,
+        "CaPRoMi": 21_061,
+        "TWiCe": 258_356,
+        "CRA": 5_694_107,
+    }
+
+    @pytest.mark.parametrize("name", sorted(PAPER))
+    def test_within_five_percent_of_paper(self, resources, name):
+        ours = resources[name].luts_ddr4
+        assert ours == pytest.approx(self.PAPER[name], rel=0.05), name
+
+    def test_para_exact(self, resources):
+        assert resources["PARA"].luts_ddr4 == 349
+
+    def test_relative_ordering_matches_paper(self, resources):
+        order = sorted(resources, key=lambda name: resources[name].luts_ddr4)
+        assert order == [
+            "PARA", "ProHit", "MRLoc",
+            "LiPRoMi", "LoPRoMi", "LoLiPRoMi",
+            "CaPRoMi", "TWiCe", "CRA",
+        ]
+
+
+class TestDDR3Derivation:
+    def test_para_and_cra_unchanged(self, resources):
+        """Section IV: only PARA and CRA fit the DDR3 budget as-is."""
+        assert resources["PARA"].luts_ddr3 == resources["PARA"].luts_ddr4
+        assert resources["CRA"].luts_ddr3 == resources["CRA"].luts_ddr4
+
+    @pytest.mark.parametrize(
+        "name",
+        ["ProHit", "MRLoc", "TWiCe", "LiPRoMi", "LoPRoMi", "LoLiPRoMi", "CaPRoMi"],
+    )
+    def test_others_grow_on_ddr3(self, resources, name):
+        assert resources[name].luts_ddr3 > resources[name].luts_ddr4
+
+    def test_tivapromi_ddr3_growth_modest(self, resources):
+        """Paper: LiPRoMi grows 5155 -> 6586 (~1.3x), not orders of
+        magnitude; the search lanes are small next to the storage."""
+        ratio = resources["LiPRoMi"].luts_ddr3 / resources["LiPRoMi"].luts_ddr4
+        assert 1.1 < ratio < 1.6
+
+    def test_li_ddr3_close_to_paper(self, resources):
+        assert resources["LiPRoMi"].luts_ddr3 == pytest.approx(6_586, rel=0.05)
+
+
+class TestParallelism:
+    def test_ddr4_baseline_parallelism_is_one(self):
+        config = SimConfig()
+        for name in ("PARA", "LiPRoMi", "ProHit", "MRLoc", "CaPRoMi"):
+            assert search_parallelism(name, config, config.timing) == 1, name
+
+    def test_ddr3_forces_parallel_search(self):
+        config = SimConfig()
+        assert search_parallelism("LiPRoMi", config, DDR3_TIMING) == 4
+        assert search_parallelism("CaPRoMi", config, DDR3_TIMING) >= 3
+        assert search_parallelism("PARA", config, DDR3_TIMING) == 1
+
+    def test_unknown_technique_rejected(self):
+        config = SimConfig()
+        with pytest.raises(ValueError):
+            search_parallelism("NoSuch", config, config.timing)
+
+
+class TestHeadlineClaims:
+    def test_storage_reduction_9x_to_27x(self):
+        """Abstract: 9x-27x smaller tables than TWiCe."""
+        reductions = storage_reduction_vs_twice(SimConfig())
+        for name, reduction in reductions.items():
+            assert 7.0 < reduction < 30.0, (name, reduction)
+        assert reductions["CaPRoMi"] == min(reductions.values())
+
+    def test_table_sizes_match_paper(self):
+        resources = table3_resources(SimConfig())
+        assert resources["LiPRoMi"].table_bytes == 120
+        assert resources["CaPRoMi"].table_bytes == 376  # paper: 374
+        assert resources["PARA"].table_bytes == 0
+
+
+class TestFig4:
+    def test_points_for_all_nine(self):
+        points = fig4_points(SimConfig(), {"PARA": 0.1})
+        assert len(points) == 9
+
+    def test_para_plotted_at_one_byte(self):
+        points = fig4_points(SimConfig(), {})
+        para = next(p for p in points if p["technique"] == "PARA")
+        assert para["table_bytes"] == 1.0
+
+    def test_overheads_joined(self):
+        points = fig4_points(SimConfig(), {"TWiCe": 0.004})
+        twice = next(p for p in points if p["technique"] == "TWiCe")
+        assert twice["overhead_pct"] == 0.004
+
+    def test_x_axis_spans_orders_of_magnitude(self):
+        points = fig4_points(SimConfig(), {})
+        sizes = [p["table_bytes"] for p in points]
+        assert max(sizes) / min(sizes) > 10_000

@@ -1,0 +1,104 @@
+"""Tests for the ASCII report renderers."""
+
+from repro.analysis.report import (
+    render_comparison,
+    render_fig4,
+    render_flooding,
+    render_table,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from repro.config import SimConfig, small_test_config
+from repro.sim.attacks import FloodingOutcome
+from repro.sim.experiment import TechniqueAggregate
+from repro.sim.metrics import SimResult
+
+
+def aggregate(name="PARA", extra=10):
+    agg = TechniqueAggregate(technique=name)
+    agg.results.append(
+        SimResult(
+            technique=name,
+            seed=0,
+            normal_activations=10_000,
+            extra_activations=extra,
+            fp_extra_activations=extra // 2,
+            table_bytes=32,
+            flip_threshold=1000,
+        )
+    )
+    return agg
+
+
+class TestRenderTable:
+    def test_aligned_columns(self):
+        text = render_table(("a", "bbb"), [("xxxx", "y")])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].index("bbb") == lines[2].index("y")
+
+    def test_header_separator(self):
+        text = render_table(("col",), [("v",)])
+        assert "---" in text.splitlines()[1]
+
+
+class TestPaperTables:
+    def test_table1_lists_key_parameters(self):
+        text = render_table1(SimConfig())
+        assert "64.0 ms" in text
+        assert "7.8 us" in text
+        assert "8192" in text
+        assert "139000" in text
+        assert "2^-23" in text
+
+    def test_table2_contains_paper_cycles(self):
+        text = render_table2(SimConfig())
+        assert "50" in text and "258" in text
+        assert "ok" in text
+
+    def test_table3_has_all_nine_rows(self):
+        comparison = {"PARA": aggregate("PARA")}
+        text = render_table3(SimConfig(), comparison)
+        for name in ("PARA", "ProHit", "MRLoc", "TWiCe", "CRA",
+                     "LiPRoMi", "LoPRoMi", "LoLiPRoMi", "CaPRoMi"):
+            assert name in text
+        assert "(1.0x)" in text  # PARA is its own reference
+        assert "n/a" in text     # techniques without measurements
+
+    def test_table3_vulnerability_column(self):
+        text = render_table3(SimConfig(), {})
+        li_row = next(line for line in text.splitlines() if line.startswith("LiPRoMi"))
+        assert "Yes" in li_row
+        lo_row = next(line for line in text.splitlines() if line.startswith("LoPRoMi"))
+        assert "No" in lo_row
+
+
+class TestFigAndExperimentRenderers:
+    def test_fig4_table_and_scatter(self):
+        points = [
+            {"technique": "PARA", "table_bytes": 1.0, "overhead_pct": 0.1},
+            {"technique": "TWiCe", "table_bytes": 3000.0, "overhead_pct": 0.004},
+        ]
+        text = render_fig4(points)
+        assert "PARA" in text
+        assert "table bytes/bank (log)" in text
+
+    def test_flooding_render(self):
+        outcome = FloodingOutcome("LiPRoMi", 0, 165)
+        outcome.acts_to_first_trigger = [40_000, 42_000, 39_000]
+        text = render_flooding([outcome])
+        assert "LiPRoMi" in text
+        assert "40,000" in text
+        assert "yes" in text
+
+    def test_flooding_render_no_trigger(self):
+        outcome = FloodingOutcome("X", 0, 165)
+        outcome.acts_to_first_trigger = [None, None]
+        text = render_flooding([outcome])
+        assert "no trigger" in text
+
+    def test_comparison_render(self):
+        text = render_comparison({"PARA": aggregate()})
+        assert "PARA" in text
+        assert "0.1000" in text

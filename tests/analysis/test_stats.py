@@ -1,0 +1,71 @@
+"""Tests for the statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import mean, mean_pm_std, median, std
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestMean:
+    def test_simple(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    def test_between_min_and_max(self, values):
+        assert min(values) - 1e-6 <= mean(values) <= max(values) + 1e-6
+
+
+class TestStd:
+    def test_known_value(self):
+        assert std([1.0, 2.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_value_zero(self):
+        assert std([5.0]) == 0.0
+        assert std([]) == 0.0
+
+    def test_constant_sequence_zero(self):
+        assert std([4.0] * 10) == 0.0
+
+    @given(st.lists(finite_floats, min_size=2, max_size=50))
+    def test_non_negative(self, values):
+        assert std(values) >= 0.0
+
+    @given(st.lists(finite_floats, min_size=2, max_size=50), finite_floats)
+    def test_shift_invariant(self, values, shift):
+        shifted = [value + shift for value in values]
+        assert std(shifted) == pytest.approx(std(values), rel=1e-6, abs=1e-6)
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even_averages(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    def test_within_range(self, values):
+        assert min(values) <= median(values) <= max(values)
+
+
+class TestFormat:
+    def test_table3_cell_shape(self):
+        cell = mean_pm_std([0.1, 0.2, 0.3])
+        assert cell == "(0.2000 +- 0.1000)%"
+
+    def test_digits_configurable(self):
+        assert mean_pm_std([0.5], digits=2) == "(0.50 +- 0.00)%"

@@ -1,0 +1,123 @@
+"""Tests for the closed-form models, including simulator cross-checks."""
+
+import math
+
+import pytest
+
+from repro.analysis.theory import (
+    counter_overhead_pct,
+    expected_weight,
+    flood_hazard,
+    flood_median_acts,
+    miss_probability,
+    para_overhead_pct,
+    tivapromi_overhead_pct_no_history,
+)
+from repro.config import SimConfig, small_test_config
+
+
+class TestClosedForms:
+    def test_para_overhead_exact(self):
+        assert para_overhead_pct(0.001) == pytest.approx(0.1)
+
+    def test_expected_linear_weight(self):
+        assert expected_weight("linear", 8192) == pytest.approx(4095.5)
+
+    def test_expected_log_weight_dominates_linear(self):
+        assert expected_weight("log", 512) > expected_weight("linear", 512)
+
+    def test_expected_log_weight_at_most_double(self):
+        linear = expected_weight("linear", 512)
+        assert expected_weight("log", 512) <= 2 * (linear + 1)
+
+    def test_no_history_overhead_bound(self):
+        """Without the history table, LiPRoMi's overhead is
+        2 * E[w] * Pbase ~= 0.098 % at paper scale."""
+        bound = tivapromi_overhead_pct_no_history("linear", SimConfig())
+        assert bound == pytest.approx(0.0977, rel=0.02)
+
+    def test_counter_overhead(self):
+        assert counter_overhead_pct(100_000, 1_000_000, 34_750) == pytest.approx(
+            100.0 * 2 * 2 / 1_000_000
+        )
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            expected_weight("cubic", 64)
+        with pytest.raises(ValueError):
+            flood_hazard("cubic", 10, 0, 165, SimConfig())
+
+
+class TestFloodTheory:
+    def test_paper_scale_linear_worst_phase_median_near_43k(self):
+        """The EXPERIMENTS.md argument: a literal Eq. 1 worst-phase
+        flood has its median first mitigation near 43 K activations --
+        close to the paper's ~40 K for LiPRoMi."""
+        median = flood_median_acts("linear", SimConfig(), start_weight=0)
+        assert 38_000 < median < 48_000
+
+    def test_paper_scale_log_worst_phase_median(self):
+        """...and the log variants cannot reach the paper's 10 K from a
+        worst-phase start: the hazard puts their median near 33-37 K."""
+        median = flood_median_acts("log", SimConfig(), start_weight=0)
+        assert 28_000 < median < 40_000
+        assert median < flood_median_acts("linear", SimConfig(), start_weight=0)
+
+    def test_mid_window_start_is_caught_fast(self):
+        median = flood_median_acts("log", SimConfig(), start_weight=4096)
+        assert median < 2_000
+
+    def test_start_weight_384_lands_near_paper_10k(self):
+        """A flood starting ~384 intervals past refresh gives the log
+        variants a ~10 K median -- the phase that matches the paper."""
+        median = flood_median_acts("log", SimConfig(), start_weight=384)
+        assert 5_000 < median < 16_000
+
+    def test_capromi_close_to_log(self):
+        log_median = flood_median_acts("log", SimConfig(), start_weight=0)
+        ca_median = flood_median_acts("capromi", SimConfig(), start_weight=0)
+        assert ca_median == pytest.approx(log_median, rel=0.3)
+
+    def test_miss_probability_decreases_with_activations(self):
+        config = SimConfig()
+        early = miss_probability("linear", config, 10_000)
+        late = miss_probability("linear", config, 69_500)
+        assert late < early < 1.0
+
+    def test_never_triggering_returns_none(self):
+        config = small_test_config().scaled(pbase=1e-15)
+        assert flood_median_acts("linear", config, start_weight=0) is None
+
+
+class TestSimulatorCrossValidation:
+    def test_flood_median_matches_simulation(self):
+        """The engine's flooding experiment must agree with the hazard
+        model within sampling noise (paired at small scale)."""
+        from repro.analysis.stats import median as stat_median
+        from repro.sim.attacks import flooding_experiment
+
+        config = small_test_config(rows_per_bank=4096)  # refint 512
+        theory = flood_median_acts("log", config, start_weight=0)
+        outcome = flooding_experiment(
+            config, "LoPRoMi", start_weight=0, seeds=range(12), max_windows=2
+        )
+        measured = stat_median(outcome.triggered)
+        assert measured == pytest.approx(theory, rel=0.6)
+
+    def test_para_overhead_matches_simulation(self):
+        from repro.mitigations.registry import make_factory
+        from repro.sim.engine import run_simulation
+        from repro.traces.mixer import build_trace
+        from repro.traces.workload import WorkloadParams
+
+        config = small_test_config()
+        trace = build_trace(
+            config,
+            total_intervals=256,
+            benign_params=WorkloadParams(avg_acts_per_interval=60),
+            seed=5,
+        )
+        result = run_simulation(config, trace, make_factory("PARA"), seed=2)
+        assert result.overhead_pct == pytest.approx(
+            para_overhead_pct(0.001), rel=0.5
+        )

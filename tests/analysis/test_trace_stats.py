@@ -1,0 +1,88 @@
+"""Tests for trace characterisation."""
+
+import pytest
+
+from repro.analysis.trace_stats import characterize
+from repro.config import small_test_config
+from repro.traces.attacker import flooding
+from repro.traces.mixer import build_trace, paper_mixed_workload
+from repro.traces.record import Trace, TraceMeta, TraceRecord
+from repro.traces.workload import WorkloadParams
+
+
+def manual_trace():
+    meta = TraceMeta(total_intervals=2, interval_ns=100, num_banks=2)
+    records = [
+        TraceRecord(0, 0, 5, False),
+        TraceRecord(10, 0, 5, False),
+        TraceRecord(20, 1, 7, True),
+        TraceRecord(110, 0, 9, False),
+    ]
+    return Trace(meta=meta, records=records)
+
+
+class TestCharacterize:
+    def test_counts(self):
+        stats = characterize(manual_trace())
+        assert stats.total_activations == 4
+        assert stats.attack_activations == 1
+        assert stats.attack_fraction == 0.25
+        assert stats.per_bank == {0: 3, 1: 1}
+
+    def test_interval_bucket_stats(self):
+        stats = characterize(manual_trace())
+        assert stats.acts_per_interval_max == 2  # (interval 0, bank 0)
+        assert stats.acts_per_interval_mean == pytest.approx(4 / 4)
+
+    def test_row_stats(self):
+        stats = characterize(manual_trace())
+        assert stats.distinct_rows == 3
+        assert stats.top32_share == 1.0
+
+    def test_aggressor_rows(self):
+        stats = characterize(manual_trace())
+        assert stats.aggressors_per_bank == {1: 1}
+
+    def test_empty_trace(self):
+        meta = TraceMeta(total_intervals=1, interval_ns=100, num_banks=1)
+        stats = characterize(Trace(meta=meta, records=[]))
+        assert stats.total_activations == 0
+        assert stats.attack_fraction == 0.0
+        assert stats.acts_per_interval_max == 0
+
+    def test_summary_rows_render(self):
+        rows = characterize(manual_trace()).summary_rows()
+        assert any("activations" in key for key, _ in rows)
+
+
+class TestWorkloadCalibration:
+    def test_paper_workload_rate_in_table1_band(self):
+        """The paper measures ~40 activations per interval on average
+        (including the attacker) against the physical max of 165; the
+        synthetic workload must land in that regime on targeted banks
+        and below it elsewhere."""
+        config = small_test_config(num_banks=4)
+        trace = paper_mixed_workload(
+            config, total_intervals=config.geometry.refint, seed=0
+        )
+        stats = characterize(trace)
+        assert 15 < stats.acts_per_interval_mean < 80
+        assert stats.acts_per_interval_max <= config.timing.max_acts_per_interval
+
+    def test_paper_workload_ramps_to_20_aggressors(self):
+        config = small_test_config(num_banks=2, rows_per_bank=2048)
+        trace = paper_mixed_workload(
+            config, total_intervals=config.geometry.refint, seed=0
+        )
+        stats = characterize(trace)
+        assert stats.aggressors_per_bank[0] == 20   # the ramp bank
+        assert stats.aggressors_per_bank[1] == 2    # the double-sided pair
+
+    def test_flood_trace_statistics(self):
+        config = small_test_config()
+        attack = flooding(config.geometry, 0, row=5, acts_per_interval=100)
+        trace = build_trace(config, total_intervals=8, attacks=[attack])
+        stats = characterize(trace)
+        assert stats.attack_fraction == 1.0
+        assert stats.distinct_rows == 1
+        assert stats.acts_per_interval_max == 100

@@ -1,0 +1,29 @@
+"""Shared fixtures: shrunk configurations that keep whole-window tests cheap."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DRAMGeometry, SimConfig, small_test_config
+
+
+@pytest.fixture
+def tiny_config() -> SimConfig:
+    """512 rows, 64 intervals per window, one bank."""
+    return small_test_config()
+
+
+@pytest.fixture
+def tiny_geometry(tiny_config) -> DRAMGeometry:
+    return tiny_config.geometry
+
+
+@pytest.fixture
+def two_bank_config() -> SimConfig:
+    return small_test_config(num_banks=2)
+
+
+@pytest.fixture
+def paper_config() -> SimConfig:
+    """The exact Table I configuration (use sparingly in tests)."""
+    return SimConfig()

@@ -1,0 +1,171 @@
+"""Tests for the memory controller and RH interrupt buffering."""
+
+import pytest
+
+from repro.config import small_test_config
+from repro.controller.controller import MemoryController
+from repro.mitigations.base import ActivateNeighbors, Mitigation, RefreshRow
+from repro.mitigations.registry import make_factory
+
+
+class ScriptedMitigation(Mitigation):
+    """Returns pre-programmed actions; used to probe the controller."""
+
+    name = "scripted"
+
+    def __init__(self, config, bank=0, actions=()):
+        super().__init__(config, bank)
+        self.actions = list(actions)
+        self.seen = []
+
+    def on_activation(self, row, interval):
+        self.seen.append(("act", row, interval))
+        return self.actions.pop(0) if self.actions else ()
+
+    def on_refresh(self, interval):
+        self.seen.append(("ref", interval))
+        return ()
+
+    @property
+    def table_bytes(self):
+        return 0
+
+
+def scripted_controller(actions, config=None):
+    config = config or small_test_config()
+    holder = {}
+
+    def factory(cfg, bank, seed):
+        holder[bank] = ScriptedMitigation(cfg, bank, actions)
+        return holder[bank]
+
+    controller = MemoryController(config=config, mitigation_factory=factory)
+    return controller, holder[0]
+
+
+class TestCommandFlow:
+    def test_activation_reaches_mitigation_with_interval(self):
+        controller, mitigation = scripted_controller([])
+        controller.refresh_tick()
+        controller.refresh_tick()
+        controller.activate(0, 10, time_ns=100)
+        assert ("act", 10, 1) in mitigation.seen
+
+    def test_refresh_reaches_mitigation(self):
+        controller, mitigation = scripted_controller([])
+        controller.refresh_tick()
+        assert ("ref", 0) in mitigation.seen
+
+    def test_unmitigated_controller_works(self):
+        controller = MemoryController(config=small_test_config())
+        controller.refresh_tick()
+        assert controller.activate(0, 10, time_ns=0) == 0
+        assert controller.extra_activations == 0
+
+
+class TestActionApplication:
+    def test_act_n_costs_two_extras(self):
+        controller, _ = scripted_controller([(ActivateNeighbors(row=10),)])
+        controller.refresh_tick()
+        controller.activate(0, 10, time_ns=0)
+        controller.finish()
+        assert controller.extra_activations == 2
+        assert controller.mitigation_triggers == 1
+
+    def test_act_n_at_edge_costs_one(self):
+        controller, _ = scripted_controller([(ActivateNeighbors(row=0),)])
+        controller.refresh_tick()
+        controller.activate(0, 0, time_ns=0)
+        controller.finish()
+        assert controller.extra_activations == 1
+
+    def test_refresh_row_costs_one_and_restores_victim(self):
+        controller, _ = scripted_controller(
+            [(), (RefreshRow(row=11, trigger_row=10),)]
+        )
+        controller.refresh_tick()
+        controller.activate(0, 10, time_ns=0)   # disturbs 11
+        controller.activate(0, 10, time_ns=50)  # triggers refresh of 11
+        controller.finish()
+        assert controller.extra_activations == 1
+        bank = controller.device.banks[0]
+        assert bank.disturbance.disturbance(11) == 0
+        # normal activation count must not include the extra refresh
+        assert bank.activations == 2
+
+    def test_act_n_restores_both_victims(self):
+        controller, _ = scripted_controller([(), (ActivateNeighbors(row=10),)])
+        controller.refresh_tick()
+        controller.activate(0, 10, time_ns=0)
+        controller.activate(0, 10, time_ns=50)
+        controller.finish()
+        bank = controller.device.banks[0]
+        assert bank.disturbance.disturbance(9) == 0
+        assert bank.disturbance.disturbance(11) == 0
+
+
+class TestFalsePositiveAttribution:
+    def test_attack_trigger_is_true_positive(self):
+        controller, _ = scripted_controller([(ActivateNeighbors(row=10),)])
+        controller.refresh_tick()
+        controller.activate(0, 10, time_ns=0, is_attack=True)
+        controller.finish()
+        assert controller.fp_extra_activations == 0
+
+    def test_benign_trigger_is_false_positive(self):
+        controller, _ = scripted_controller([(ActivateNeighbors(row=10),)])
+        controller.refresh_tick()
+        controller.activate(0, 10, time_ns=0, is_attack=False)
+        controller.finish()
+        assert controller.fp_extra_activations == 2
+
+    def test_attribution_uses_trigger_row_not_target(self):
+        # victim 11 refreshed because aggressor 10 (attack) activated
+        controller, _ = scripted_controller(
+            [(RefreshRow(row=11, trigger_row=10),)]
+        )
+        controller.refresh_tick()
+        controller.activate(0, 10, time_ns=0, is_attack=True)
+        controller.finish()
+        assert controller.fp_extra_activations == 0
+
+    def test_aggressor_set_accumulates(self):
+        controller, _ = scripted_controller(
+            [(), (ActivateNeighbors(row=10),)]
+        )
+        controller.refresh_tick()
+        controller.activate(0, 10, time_ns=0, is_attack=True)
+        controller.activate(0, 10, time_ns=50, is_attack=False)
+        controller.finish()
+        # row 10 became a known aggressor on its first activation
+        assert controller.fp_extra_activations == 0
+
+
+class TestBuffer:
+    def test_buffer_occupancy_tracked(self):
+        controller, _ = scripted_controller(
+            [(ActivateNeighbors(row=10), ActivateNeighbors(row=20))]
+        )
+        controller.refresh_tick()
+        controller.activate(0, 10, time_ns=0)
+        controller.finish()
+        assert controller.max_buffer_occupancy == 2
+
+    def test_buffer_drained_before_next_command(self):
+        controller, _ = scripted_controller([(ActivateNeighbors(row=10),)])
+        controller.refresh_tick()
+        controller.activate(0, 10, time_ns=0)
+        controller.activate(0, 20, time_ns=50)
+        assert len(controller._rh_buffer) == 0
+
+
+class TestMultiBank:
+    def test_per_bank_mitigation_instances(self):
+        config = small_test_config(num_banks=2)
+        controller = MemoryController(
+            config=config, mitigation_factory=make_factory("PARA")
+        )
+        assert len(controller.mitigations) == 2
+        assert controller.mitigations[0] is not controller.mitigations[1]
+        assert controller.mitigations[0].bank == 0
+        assert controller.mitigations[1].bank == 1

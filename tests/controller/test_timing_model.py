@@ -1,0 +1,121 @@
+"""Tests for the DDR4 command timing rules."""
+
+import pytest
+
+from repro.controller.timing_model import (
+    BankTimer,
+    CommandTimingChecker,
+    DDR4CommandTiming,
+    RankTimer,
+)
+
+
+def timing():
+    return DDR4CommandTiming()
+
+
+class TestParameters:
+    def test_trc_matches_table1(self):
+        """Table I: activate-to-activate = 45 ns."""
+        assert timing().trc == pytest.approx(45.0)
+
+    def test_trfc_matches_table1(self):
+        assert timing().trfc == pytest.approx(350.0)
+
+    def test_trefi_matches_table1(self):
+        assert timing().trefi == pytest.approx(7800.0)
+
+
+class TestBankTimer:
+    def test_act_opens_row(self):
+        bank = BankTimer(timing())
+        bank.issue_act(0.0, 7)
+        assert bank.open_row == 7
+
+    def test_act_on_open_bank_illegal(self):
+        bank = BankTimer(timing())
+        bank.issue_act(0.0, 7)
+        with pytest.raises(ValueError):
+            bank.issue_act(100.0, 9)
+
+    def test_pre_before_tras_illegal(self):
+        bank = BankTimer(timing())
+        bank.issue_act(0.0, 7)
+        assert not bank.can_pre(10.0)
+        with pytest.raises(ValueError):
+            bank.issue_pre(10.0)
+
+    def test_pre_after_tras_legal(self):
+        bank = BankTimer(timing())
+        bank.issue_act(0.0, 7)
+        bank.issue_pre(31.0)
+        assert bank.open_row == -1
+
+    def test_act_to_act_respects_trc(self):
+        bank = BankTimer(timing())
+        bank.issue_act(0.0, 7)
+        bank.issue_pre(30.84)  # earliest legal PRE (tRAS)
+        assert not bank.can_act(44.0)
+        assert bank.can_act(45.0)  # tRAS + tRP = tRC = 45 ns
+
+    def test_col_needs_trcd(self):
+        bank = BankTimer(timing())
+        bank.issue_act(0.0, 7)
+        assert not bank.can_col(10.0, 7)
+        assert bank.can_col(14.2, 7)
+
+    def test_col_to_wrong_row_illegal(self):
+        bank = BankTimer(timing())
+        bank.issue_act(0.0, 7)
+        assert not bank.can_col(20.0, 8)
+
+    def test_block_until_freezes(self):
+        bank = BankTimer(timing())
+        bank.block_until(500.0)
+        assert not bank.can_act(400.0)
+        assert bank.can_act(500.0)
+
+
+class TestRankTimer:
+    def test_trrd_between_acts(self):
+        rank = RankTimer(timing())
+        rank.issue_act(0.0)
+        assert not rank.can_act(2.0)
+        assert rank.can_act(3.3)
+
+    def test_tfaw_window(self):
+        rank = RankTimer(timing())
+        for index in range(4):
+            rank.issue_act(index * 4.0)  # acts at 0, 4, 8, 12
+        # a fifth act must wait until the first leaves the 21.6 ns window
+        assert not rank.can_act(16.0)
+        assert rank.can_act(21.6)
+
+    def test_illegal_act_raises(self):
+        rank = RankTimer(timing())
+        rank.issue_act(0.0)
+        with pytest.raises(ValueError):
+            rank.issue_act(1.0)
+
+
+class TestChecker:
+    def test_clean_stream(self):
+        checker = CommandTimingChecker(num_banks=2)
+        acts = [(0.0, 0), (50.0, 1), (100.0, 0), (160.0, 1)]
+        assert checker.check(acts) == []
+
+    def test_detects_trc_violation(self):
+        checker = CommandTimingChecker(num_banks=2)
+        problems = checker.check([(0.0, 0), (20.0, 0)])
+        assert any("tRC" in problem for problem in problems)
+
+    def test_detects_trrd_violation(self):
+        checker = CommandTimingChecker(num_banks=4)
+        problems = checker.check([(0.0, 0), (1.0, 1)])
+        assert any("tRRD" in problem for problem in problems)
+
+    def test_detects_tfaw_violation(self):
+        checker = CommandTimingChecker(num_banks=8)
+        acts = [(index * 4.0, index) for index in range(5)]  # 5 acts in 16 ns
+        problems = checker.check(acts)
+        assert any("tFAW" in problem for problem in problems)

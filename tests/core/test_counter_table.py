@@ -1,0 +1,105 @@
+"""Tests for CaPRoMi's counter table."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.counter_table import CounterTable
+
+
+def make(entries=4, lock_threshold=3, seed=0):
+    return CounterTable(entries=entries, lock_threshold=lock_threshold, seed=seed)
+
+
+class TestCounting:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            make(entries=0)
+        with pytest.raises(ValueError):
+            make(lock_threshold=0)
+
+    def test_first_observation_inserts_with_count_one(self):
+        table = make()
+        entry = table.observe(5)
+        assert entry.count == 1
+        assert not entry.locked
+
+    def test_counts_increment(self):
+        table = make()
+        table.observe(5)
+        entry = table.observe(5)
+        assert entry.count == 2
+
+    def test_lock_at_threshold(self):
+        table = make(lock_threshold=3)
+        table.observe(5)
+        table.observe(5)
+        entry = table.observe(5)
+        assert entry.count == 3
+        assert entry.locked
+
+    def test_history_link_stored_and_updated(self):
+        table = make()
+        entry = table.observe(5, history_link=2)
+        assert entry.history_link == 2
+        entry = table.observe(5, history_link=7)
+        assert entry.history_link == 7
+
+    def test_missing_link_not_overwritten(self):
+        table = make()
+        table.observe(5, history_link=2)
+        entry = table.observe(5, history_link=-1)
+        assert entry.history_link == 2
+
+
+class TestReplacement:
+    def test_random_eviction_when_full(self):
+        table = make(entries=2)
+        table.observe(1)
+        table.observe(2)
+        table.observe(3)
+        assert len(table) == 2
+        assert table.get(3) is not None
+
+    def test_locked_entries_never_evicted(self):
+        table = make(entries=2, lock_threshold=2)
+        for _ in range(2):
+            table.observe(1)
+            table.observe(2)
+        # both locked; new rows are dropped
+        assert table.observe(3) is None
+        assert table.dropped == 1
+        assert table.get(1) is not None and table.get(2) is not None
+
+    def test_unlocked_entry_sacrificed_before_drop(self):
+        table = make(entries=2, lock_threshold=2)
+        table.observe(1)
+        table.observe(1)  # locked
+        table.observe(2)  # unlocked
+        assert table.observe(3) is not None
+        assert table.get(1) is not None  # survivor
+        assert table.get(2) is None
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=200))
+    def test_capacity_invariant(self, rows):
+        table = make(entries=8, lock_threshold=4)
+        for row in rows:
+            table.observe(row)
+        assert len(table) <= 8
+
+
+class TestClearAndStorage:
+    def test_clear(self):
+        table = make()
+        table.observe(5)
+        table.clear()
+        assert len(table) == 0
+        assert table.get(5) is None
+
+    def test_paper_scale_storage(self):
+        """64-entry table + 32-entry history -> ~374 B total (Section IV).
+
+        Our bit layout gives 256 B for the counter table; with the
+        120 B history table that is 376 B vs the paper's 374 B.
+        """
+        table = CounterTable(entries=64, lock_threshold=32)
+        assert table.table_bytes(history_entries=32) == 256

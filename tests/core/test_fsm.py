@@ -1,0 +1,141 @@
+"""Tests for the executable Fig. 2 / Fig. 3 FSMs.
+
+The key property is *differential agreement*: driven with the same
+random stream, the FSM implementation and the behavioural classes in
+``repro.core.tivapromi``/``capromi`` must make identical decisions,
+and the cycles an executed loop consumes must equal Table II.
+"""
+
+import random
+
+import pytest
+
+from repro.config import small_test_config
+from repro.core.capromi import CaPRoMi
+from repro.core.fsm import Fig2FSM, Fig3FSM
+from repro.core.timing import act_cycles, ref_cycles
+from repro.core.tivapromi import LiPRoMi, LoLiPRoMi, LoPRoMi
+
+
+VARIANTS = {
+    "linear": ("LiPRoMi", LiPRoMi),
+    "log": ("LoPRoMi", LoPRoMi),
+    "loli": ("LoLiPRoMi", LoLiPRoMi),
+}
+
+
+class TestFig2Cycles:
+    @pytest.mark.parametrize("weighting", ["linear", "log", "loli"])
+    def test_act_cycles_match_table2_model(self, weighting):
+        from repro.config import SimConfig
+
+        config = SimConfig()
+        name = VARIANTS[weighting][0]
+        fsm = Fig2FSM(config, weighting)
+        fsm.on_act(100, 40)
+        assert fsm.last_cycles == act_cycles(name, config)
+
+    @pytest.mark.parametrize("weighting", ["linear", "log", "loli"])
+    def test_ref_cycles_match_table2_model(self, weighting):
+        from repro.config import SimConfig
+
+        config = SimConfig()
+        name = VARIANTS[weighting][0]
+        fsm = Fig2FSM(config, weighting)
+        fsm.on_ref(5)
+        assert fsm.last_cycles == ref_cycles(name, config)
+
+    def test_cycles_independent_of_decision(self):
+        config = small_test_config()
+        fsm = Fig2FSM(config, "linear")
+        cycle_counts = set()
+        for interval in range(0, 60, 3):
+            fsm.on_act(8, interval)
+            cycle_counts.add(fsm.last_cycles)
+        assert len(cycle_counts) == 1
+
+    def test_rejects_unknown_weighting(self):
+        with pytest.raises(ValueError):
+            Fig2FSM(small_test_config(), "cubic")
+
+
+class TestFig2Differential:
+    @pytest.mark.parametrize("weighting", ["linear", "log", "loli"])
+    def test_fsm_agrees_with_behavioural_class(self, weighting):
+        """Same random stream -> identical decisions and table state."""
+        config = small_test_config()
+        _, cls = VARIANTS[weighting]
+        fsm = Fig2FSM(config, weighting, seed=0)
+        behavioural = cls(config, seed=0)
+        fsm.rng = random.Random(1234)
+        behavioural._rng = random.Random(1234)
+        refint = config.geometry.refint
+        rng = random.Random(7)
+        interval = 0
+        for step in range(3000):
+            if step % 25 == 0:
+                interval += 1
+                fsm.on_ref(interval)
+                behavioural.on_refresh(interval)
+            row = rng.randrange(config.geometry.rows_per_bank)
+            fsm_decision = fsm.on_act(row, interval)
+            class_decision = bool(behavioural.on_activation(row, interval))
+            assert fsm_decision == class_decision, (step, row, interval)
+        # the history tables must have evolved identically
+        fsm_rows = [(entry.row, entry.interval) for entry in fsm.table._entries]
+        cls_rows = [
+            (entry.row, entry.interval)
+            for entry in behavioural.history._entries
+        ]
+        assert fsm_rows == cls_rows
+
+
+class TestFig3:
+    def test_act_cycles_match_table2(self):
+        from repro.config import SimConfig
+
+        config = SimConfig()
+        fsm = Fig3FSM(config)
+        fsm.on_act(100, 40)
+        assert fsm.last_cycles == act_cycles("CaPRoMi", config)
+
+    def test_ref_cycles_match_table2(self):
+        from repro.config import SimConfig
+
+        config = SimConfig()
+        fsm = Fig3FSM(config)
+        fsm.on_ref(40)
+        assert fsm.last_cycles == ref_cycles("CaPRoMi", config)
+
+    def test_differential_with_capromi(self):
+        config = small_test_config()
+        fsm = Fig3FSM(config, seed=0)
+        behavioural = CaPRoMi(config, seed=0)
+        fsm.rng = random.Random(99)
+        behavioural._rng = random.Random(99)
+        # identical counter-table eviction randomness as well
+        fsm.counters._rng = random.Random(55)
+        behavioural.counters._rng = random.Random(55)
+        rng = random.Random(3)
+        interval = 1
+        for step in range(2000):
+            if step % 30 == 0:
+                interval += 1
+                fsm_issued = set(fsm.on_ref(interval))
+                class_issued = {
+                    action.row for action in behavioural.on_refresh(interval)
+                }
+                assert fsm_issued == class_issued, (step, interval)
+            row = rng.randrange(config.geometry.rows_per_bank)
+            fsm.on_act(row, interval)
+            behavioural.on_activation(row, interval)
+
+    def test_window_reset_clears_tables(self):
+        config = small_test_config()
+        fsm = Fig3FSM(config)
+        fsm.on_act(50, 5)
+        fsm.history.record(50, 5)
+        issued = fsm.on_ref(config.geometry.refint)
+        assert issued == []
+        assert len(fsm.counters) == 0
+        assert fsm.history.lookup(50) is None

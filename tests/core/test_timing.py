@@ -1,0 +1,111 @@
+"""Tests for the Table II FSM cycle model."""
+
+import pytest
+
+from repro.config import DDR3_TIMING, SimConfig, small_test_config
+from repro.core.timing import (
+    act_cycles,
+    budget_check,
+    capromi_act_plan,
+    capromi_ref_plan,
+    cycle_report,
+    probabilistic_act_plan,
+    probabilistic_ref_plan,
+    ref_cycles,
+    required_parallelism,
+    table2,
+)
+
+
+class TestTable2PaperNumbers:
+    """Table II of the paper, reproduced exactly."""
+
+    def test_act_cycles(self):
+        cycles = table2(SimConfig())
+        assert cycles["CaPRoMi"]["act"] == 50
+        assert cycles["LoLiPRoMi"]["act"] == 36
+        assert cycles["LoPRoMi"]["act"] == 37
+        assert cycles["LiPRoMi"]["act"] == 37
+
+    def test_ref_cycles(self):
+        cycles = table2(SimConfig())
+        assert cycles["CaPRoMi"]["ref"] == 258
+        for variant in ("LoLiPRoMi", "LoPRoMi", "LiPRoMi"):
+            assert cycles[variant]["ref"] == 3
+
+    def test_no_budget_violations_on_ddr4(self):
+        assert all(budget_check(SimConfig()).values())
+
+    def test_report_mentions_budgets(self):
+        lines = cycle_report(SimConfig())
+        assert any("54" in line for line in lines)
+        assert any("420" in line for line in lines)
+        assert all("VIOLATION" not in line for line in lines[1:])
+
+
+class TestPlans:
+    def test_act_plan_states_match_fig2(self):
+        plan = probabilistic_act_plan("LiPRoMi")
+        states = [step.state for step in plan.steps]
+        assert "search in table" in states
+        assert "calculate weight" in states
+        assert "decide" in states
+
+    def test_ref_plan_is_three_single_cycle_states(self):
+        plan = probabilistic_ref_plan("LoPRoMi")
+        assert plan.total == 3
+        assert all(step.cycles == 1 for step in plan.steps)
+
+    def test_capromi_act_plan_structure(self):
+        plan = capromi_act_plan()
+        states = [step.state for step in plan.steps]
+        assert "search/increase" in states
+        assert "find linked" in states
+        assert plan.total == 50
+
+    def test_capromi_ref_sweep_dominates(self):
+        plan = capromi_ref_plan()
+        sweep = next(s for s in plan.steps if "sweep" in s.state)
+        assert sweep.cycles == 256
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            probabilistic_act_plan("PARA")
+        with pytest.raises(ValueError):
+            probabilistic_ref_plan("CaPRoMi")
+
+
+class TestScaling:
+    def test_cycles_scale_with_table_size(self):
+        small = small_test_config()  # 8-entry history table
+        big = SimConfig()            # 32 entries
+        assert act_cycles("LiPRoMi", small) < act_cycles("LiPRoMi", big)
+
+    def test_parallelism_reduces_cycles(self):
+        config = SimConfig()
+        assert act_cycles("LiPRoMi", config, parallelism=4) < act_cycles(
+            "LiPRoMi", config, parallelism=1
+        )
+        assert ref_cycles("CaPRoMi", config, parallelism=4) < ref_cycles(
+            "CaPRoMi", config, parallelism=1
+        )
+
+    def test_ddr3_needs_more_parallelism(self):
+        """Section IV: the 320 MHz DDR3 controller's budget forces the
+        table-searching variants to raise per-cycle parallelism."""
+        config = SimConfig()
+        for variant in ("LiPRoMi", "LoPRoMi", "LoLiPRoMi", "CaPRoMi"):
+            ddr4 = required_parallelism(variant, config, config.timing)
+            ddr3 = required_parallelism(variant, config, DDR3_TIMING)
+            assert ddr3 > ddr4, variant
+
+    def test_ddr3_parallelism_fits_budget(self):
+        config = SimConfig()
+        for variant in ("LiPRoMi", "CaPRoMi"):
+            p = required_parallelism(variant, config, DDR3_TIMING)
+            assert act_cycles(variant, config, p) <= DDR3_TIMING.act_cycle_budget
+            assert ref_cycles(variant, config, p) <= DDR3_TIMING.ref_cycle_budget
+
+    def test_invalid_parallelism_rejected(self):
+        with pytest.raises(ValueError):
+            act_cycles("LiPRoMi", SimConfig(), parallelism=0)

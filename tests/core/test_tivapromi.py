@@ -1,0 +1,136 @@
+"""Tests for LiPRoMi / LoPRoMi / LoLiPRoMi."""
+
+import pytest
+
+from repro.config import small_test_config
+from repro.core.tivapromi import LiPRoMi, LoLiPRoMi, LoPRoMi
+from repro.core.weights import log_weight
+from repro.mitigations.base import ActivateNeighbors
+
+
+def config():
+    return small_test_config()  # refint = 64, pbase = 2^-16
+
+
+class TestWeightSources:
+    def test_weight_from_refresh_slot_without_history(self):
+        li = LiPRoMi(config())
+        # row 8 is refreshed at interval 1; at interval 11 its weight is 10
+        raw, in_table = li.raw_weight(8, 11)
+        assert raw == 10
+        assert not in_table
+
+    def test_weight_wraps_for_late_refresh_slots(self):
+        li = LiPRoMi(config())
+        # row 504 has f_r = 63; at interval 2 it was refreshed 3 ago
+        raw, _ = li.raw_weight(504, 2)
+        assert raw == 2 - 63 + 64
+
+    def test_history_entry_shrinks_weight(self):
+        li = LiPRoMi(config())
+        li.history.record(8, 9)  # mitigated at interval 9
+        raw, in_table = li.raw_weight(8, 11)
+        assert raw == 2
+        assert in_table
+
+    def test_interval_is_window_relative(self):
+        li = LiPRoMi(config())
+        refint = config().geometry.refint
+        raw_first, _ = li.raw_weight(8, 11)
+        raw_later, _ = li.raw_weight(8, 11 + 5 * refint)
+        assert raw_first == raw_later
+
+
+class TestVariantWeighting:
+    def test_linear_uses_raw(self):
+        assert LiPRoMi(config()).effective_weight(20, in_table=False) == 20
+
+    def test_log_uses_eq2(self):
+        assert LoPRoMi(config()).effective_weight(20, in_table=False) == 32
+
+    def test_loli_log_for_unknown_rows(self):
+        assert LoLiPRoMi(config()).effective_weight(20, in_table=False) == 32
+
+    def test_loli_linear_for_table_rows(self):
+        assert LoLiPRoMi(config()).effective_weight(20, in_table=True) == 20
+
+    def test_trigger_probability_formula(self):
+        cfg = config()
+        li = LiPRoMi(cfg)
+        # row 8 at interval 11: w = 10, p = 10 * pbase
+        assert li.trigger_probability(8, 11) == pytest.approx(10 * cfg.pbase)
+        lo = LoPRoMi(cfg)
+        assert lo.trigger_probability(8, 11) == pytest.approx(
+            log_weight(10) * cfg.pbase
+        )
+
+    def test_lo_probability_at_least_li(self):
+        cfg = config()
+        li, lo = LiPRoMi(cfg), LoPRoMi(cfg)
+        for interval in range(0, 64, 7):
+            for row in (8, 100, 300):
+                assert lo.trigger_probability(row, interval) >= li.trigger_probability(
+                    row, interval
+                )
+
+
+class TestTriggerPath:
+    def test_trigger_issues_act_n_and_records_history(self):
+        cfg = config().scaled(pbase=0.999999 / 64)  # near-certain at high w
+        li = LiPRoMi(cfg, seed=1)
+        actions = li.on_activation(8, 60)  # w = 59, p ~= 0.92
+        attempts = 0
+        while not actions and attempts < 50:
+            actions = li.on_activation(8, 60)
+            attempts += 1
+        assert actions == (ActivateNeighbors(row=8),)
+        assert li.history.lookup(8) == 60
+
+    def test_zero_weight_never_triggers(self):
+        li = LiPRoMi(config(), seed=1)
+        # row 8 at interval 1 (its refresh slot): w = 0, p = 0
+        for _ in range(500):
+            assert li.on_activation(8, 1) == ()
+
+    def test_trigger_suppresses_future_probability(self):
+        """Section III: after an act_n the history entry restarts the
+        weight, so the row stops causing unneeded extra activations."""
+        cfg = config().scaled(pbase=0.01)
+        li = LiPRoMi(cfg, seed=3)
+        before = li.trigger_probability(8, 52)  # w = 51
+        while not li.on_activation(8, 52):
+            pass  # p ~= 0.51: triggers quickly
+        after = li.trigger_probability(8, 52)  # history entry -> w = 0
+        assert after == 0.0
+        assert before > 0.5
+
+
+class TestWindowReset:
+    def test_history_cleared_at_window_start(self):
+        cfg = config()
+        li = LiPRoMi(cfg)
+        li.history.record(8, 10)
+        li.on_refresh(cfg.geometry.refint)  # window-relative 0
+        assert li.history.lookup(8) is None
+
+    def test_history_kept_mid_window(self):
+        li = LiPRoMi(config())
+        li.history.record(8, 10)
+        li.on_refresh(33)
+        assert li.history.lookup(8) == 10
+
+    def test_ref_returns_no_actions(self):
+        assert LiPRoMi(config()).on_refresh(0) == ()
+
+
+class TestStorage:
+    def test_table_bytes_delegates_to_history(self):
+        from repro.config import SimConfig
+
+        li = LiPRoMi(SimConfig())
+        assert li.table_bytes == 120
+
+    def test_vulnerability_metadata(self):
+        assert LiPRoMi.known_vulnerabilities
+        assert LoPRoMi.known_vulnerabilities == ()
+        assert LoLiPRoMi.known_vulnerabilities == ()

@@ -1,0 +1,95 @@
+"""Tests for Eq. 1 / Eq. 2 weight functions."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.weights import linear_weight, log_weight, probability
+
+
+class TestLinearWeight:
+    def test_same_interval_is_zero(self):
+        assert linear_weight(5, 5, 64) == 0
+
+    def test_simple_difference(self):
+        assert linear_weight(10, 3, 64) == 7
+
+    def test_wraps_when_refresh_is_later_in_window(self):
+        # row refreshed at interval 60, current interval 2:
+        # refreshed in the previous window, 2 - 60 + 64 = 6 intervals ago
+        assert linear_weight(2, 60, 64) == 6
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            linear_weight(64, 0, 64)
+        with pytest.raises(ValueError):
+            linear_weight(0, 64, 64)
+        with pytest.raises(ValueError):
+            linear_weight(-1, 0, 64)
+
+    @given(
+        current=st.integers(min_value=0, max_value=8191),
+        refresh=st.integers(min_value=0, max_value=8191),
+    )
+    def test_always_in_window_range(self, current, refresh):
+        weight = linear_weight(current, refresh, 8192)
+        assert 0 <= weight < 8192
+
+    @given(
+        refresh=st.integers(min_value=0, max_value=8191),
+        elapsed=st.integers(min_value=0, max_value=8191),
+    )
+    def test_elapsed_roundtrip(self, refresh, elapsed):
+        current = (refresh + elapsed) % 8192
+        assert linear_weight(current, refresh, 8192) == elapsed
+
+
+class TestLogWeight:
+    def test_paper_example_16_to_31_is_32(self):
+        for weight in range(16, 32):
+            assert log_weight(weight) == 32
+
+    def test_zero_maps_to_one(self):
+        assert log_weight(0) == 1
+
+    def test_small_values(self):
+        assert log_weight(1) == 2
+        assert log_weight(2) == 4
+        assert log_weight(3) == 4
+        assert log_weight(4) == 8
+        assert log_weight(7) == 8
+        assert log_weight(8) == 16
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            log_weight(-1)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_matches_formula(self, weight):
+        expected = 2 ** math.ceil(math.log2(weight + 1))
+        assert log_weight(weight) == expected
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_dominates_linear(self, weight):
+        """Eq. 2 never yields a lower probability than Eq. 1."""
+        assert log_weight(weight) >= max(weight, 1)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_at_most_double_plus_one(self, weight):
+        assert log_weight(weight) <= 2 * (weight + 1)
+
+    @given(st.integers(min_value=0, max_value=9_999))
+    def test_monotone(self, weight):
+        assert log_weight(weight + 1) >= log_weight(weight)
+
+
+class TestProbability:
+    def test_scales_linearly(self):
+        assert probability(10, 0.001) == pytest.approx(0.01)
+
+    def test_capped_at_one(self):
+        assert probability(10_000, 0.001) == 1.0
+
+    def test_zero_weight_zero_probability(self):
+        assert probability(0, 0.5) == 0.0

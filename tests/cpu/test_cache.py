@@ -1,0 +1,141 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.cache import Cache
+
+
+def make(size=1024, ways=2, line=64):
+    return Cache(size_bytes=size, ways=ways, line_size=line)
+
+
+class TestGeometry:
+    def test_sets_computed(self):
+        assert make(size=1024, ways=2, line=64).sets == 8
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Cache(size_bytes=1000, ways=3, line_size=64)
+
+    def test_rejects_zero_line(self):
+        with pytest.raises(ValueError):
+            Cache(size_bytes=1024, ways=2, line_size=0)
+
+
+class TestHitsAndMisses:
+    def test_first_access_misses_then_hits(self):
+        cache = make()
+        assert not cache.access(0x100).hit
+        assert cache.access(0x100).hit
+
+    def test_same_line_hits(self):
+        cache = make()
+        cache.access(0x100)
+        assert cache.access(0x13F).hit  # same 64 B line
+
+    def test_adjacent_line_misses(self):
+        cache = make()
+        cache.access(0x100)
+        assert not cache.access(0x140).hit
+
+    def test_miss_reports_fill_address(self):
+        cache = make()
+        result = cache.access(0x123)
+        assert result.fill == 0x100
+
+    def test_stats(self):
+        cache = make()
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.accesses == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+
+class TestEvictionAndWriteback:
+    def test_lru_eviction(self):
+        cache = make(size=256, ways=2, line=64)  # 2 sets
+        # set 0 holds lines 0, 128, 256, ... (line % 2 == 0)
+        cache.access(0)
+        cache.access(128)
+        cache.access(256)  # evicts line 0 (LRU)
+        assert not cache.contains(0)
+        assert cache.contains(128)
+        assert cache.contains(256)
+
+    def test_hit_refreshes_lru_position(self):
+        cache = make(size=256, ways=2, line=64)
+        cache.access(0)
+        cache.access(128)
+        cache.access(0)     # 128 becomes LRU
+        cache.access(256)   # evicts 128
+        assert cache.contains(0)
+        assert not cache.contains(128)
+
+    def test_dirty_eviction_writes_back(self):
+        cache = make(size=256, ways=2, line=64)
+        cache.access(0, is_write=True)
+        cache.access(128)
+        result = cache.access(256)
+        assert result.writeback == 0
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_silent(self):
+        cache = make(size=256, ways=2, line=64)
+        cache.access(0)
+        cache.access(128)
+        assert cache.access(256).writeback is None
+
+    def test_write_hit_marks_dirty(self):
+        cache = make(size=256, ways=2, line=64)
+        cache.access(0)                 # clean fill
+        cache.access(0, is_write=True)  # dirtied by the hit
+        cache.access(128)
+        assert cache.access(256).writeback == 0
+
+
+class TestFlush:
+    def test_flush_removes_line(self):
+        cache = make()
+        cache.access(0x100)
+        cache.flush(0x100)
+        assert not cache.contains(0x100)
+        assert not cache.access(0x100).hit
+
+    def test_flush_dirty_returns_writeback(self):
+        cache = make()
+        cache.access(0x100, is_write=True)
+        assert cache.flush(0x100) == 0x100
+
+    def test_flush_clean_returns_none(self):
+        cache = make()
+        cache.access(0x100)
+        assert cache.flush(0x100) is None
+
+    def test_flush_absent_is_noop(self):
+        assert make().flush(0x100) is None
+
+
+class TestInvariants:
+    @given(st.lists(st.tuples(
+        st.integers(min_value=0, max_value=1 << 20),
+        st.booleans(),
+    ), max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_occupancy_bounded(self, accesses):
+        cache = make(size=512, ways=2, line=64)
+        for address, is_write in accesses:
+            cache.access(address, is_write)
+        assert cache.occupancy <= 8  # 8 lines total
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 16), max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_rereference_always_hits(self, addresses):
+        """The line just accessed is always resident (MRU can't be
+        evicted by its own fill)."""
+        cache = make(size=512, ways=2, line=64)
+        for address in addresses:
+            cache.access(address)
+            assert cache.contains(address)

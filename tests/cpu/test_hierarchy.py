@@ -1,0 +1,74 @@
+"""Tests for the L1/L2 hierarchy."""
+
+from repro.cpu.hierarchy import CacheHierarchy, HierarchyParams, MemoryRequest
+
+
+def tiny():
+    return CacheHierarchy(HierarchyParams(
+        l1_size=256, l1_ways=2, l2_size=1024, l2_ways=2, line_size=64
+    ))
+
+
+class TestFiltering:
+    def test_cold_miss_reaches_dram(self):
+        hierarchy = tiny()
+        requests = hierarchy.access(0x1000)
+        assert MemoryRequest(0x1000, False) in requests
+
+    def test_l1_hit_reaches_nothing(self):
+        hierarchy = tiny()
+        hierarchy.access(0x1000)
+        assert hierarchy.access(0x1000) == []
+
+    def test_l2_hit_after_l1_eviction(self):
+        hierarchy = tiny()  # L1: 2 sets x 2 ways
+        hierarchy.access(0x0000)
+        # lines 0x100, 0x200 map to L1 set 0 as well -> evict 0x0000
+        hierarchy.access(0x0100)
+        hierarchy.access(0x0200)
+        requests = hierarchy.access(0x0000)
+        assert requests == []  # L1 miss, L2 hit: no DRAM traffic
+
+    def test_default_params_match_table1(self):
+        hierarchy = CacheHierarchy()
+        assert hierarchy.l1.size_bytes == 64 * 1024
+        assert hierarchy.l2.size_bytes == 256 * 1024
+
+
+class TestWritebacks:
+    def test_dirty_l2_victim_reaches_dram(self):
+        hierarchy = tiny()  # L2: 8 sets... compute carefully below
+        # dirty a line, then stream enough conflicting lines through to
+        # evict it from both levels
+        hierarchy.access(0x0000, is_write=True)
+        seen = []
+        for index in range(1, 64):
+            seen.extend(hierarchy.access(index * 0x400, is_write=False))
+        writebacks = [request for request in seen if request.is_write]
+        assert MemoryRequest(0x0000, True) in writebacks
+
+
+class TestFlush:
+    def test_flush_clean_line_no_traffic(self):
+        hierarchy = tiny()
+        hierarchy.access(0x1000)
+        assert hierarchy.flush(0x1000) == []
+
+    def test_flush_dirty_line_writes_back(self):
+        hierarchy = tiny()
+        hierarchy.access(0x1000, is_write=True)
+        requests = hierarchy.flush(0x1000)
+        assert requests == [MemoryRequest(0x1000, True)]
+
+    def test_access_after_flush_misses_again(self):
+        hierarchy = tiny()
+        hierarchy.access(0x1000)
+        hierarchy.flush(0x1000)
+        requests = hierarchy.access(0x1000)
+        assert MemoryRequest(0x1000, False) in requests
+
+    def test_filter_rate(self):
+        hierarchy = tiny()
+        for _ in range(10):
+            hierarchy.access(0x1000)
+        assert hierarchy.dram_filter_rate > 0.8

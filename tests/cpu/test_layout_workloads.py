@@ -1,0 +1,123 @@
+"""Tests for the address layout and workload archetypes."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import DRAMGeometry, small_test_config
+from repro.cpu.layout import DRAMAddressLayout
+from repro.cpu.workloads import (
+    BlockedComputeWorkload,
+    HotSpotWorkload,
+    PointerChaseWorkload,
+    StreamingWorkload,
+    StridedWorkload,
+    spec_mixed_load,
+)
+
+
+def layout():
+    geometry = DRAMGeometry(num_banks=4, rows_per_bank=1024, rows_per_interval=8)
+    return DRAMAddressLayout(geometry, row_bytes=8192)
+
+
+class TestLayout:
+    def test_capacity(self):
+        assert layout().capacity_bytes == 4 * 1024 * 8192
+
+    def test_column_bits_at_bottom(self):
+        bank, row, column = layout().decode(100)
+        assert (bank, row, column) == (0, 0, 100)
+
+    def test_row_stripes_across_banks(self):
+        l = layout()
+        assert l.decode(8192)[0] == 1       # next 8 KB frame: bank 1
+        assert l.decode(4 * 8192)[:2] == (0, 1)  # wraps to row 1 bank 0
+
+    def test_encode_decode_roundtrip(self):
+        l = layout()
+        address = l.encode(2, 77, 123)
+        assert l.decode(address) == (2, 77, 123)
+
+    def test_bounds(self):
+        l = layout()
+        with pytest.raises(ValueError):
+            l.decode(l.capacity_bytes)
+        with pytest.raises(ValueError):
+            l.encode(4, 0)
+        with pytest.raises(ValueError):
+            l.encode(0, 0, 8192)
+
+    def test_row_neighbors_address(self):
+        l = layout()
+        address = l.encode(1, 10, 5)
+        neighbors = l.row_neighbors_address(address)
+        assert {l.decode(a)[:2] for a in neighbors} == {(1, 9), (1, 11)}
+
+    @given(st.integers(min_value=0, max_value=4 * 1024 * 8192 - 1))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, address):
+        l = layout()
+        bank, row, column = l.decode(address)
+        assert l.encode(bank, row, column) == address
+
+
+class TestWorkloads:
+    def take(self, workload, n=200):
+        return list(itertools.islice(workload.accesses(), n))
+
+    def test_streaming_is_sequential(self):
+        workload = StreamingWorkload(0, 1 << 20, seed=1, element_bytes=8)
+        addresses = [a for a, _ in self.take(workload, 50)]
+        assert addresses == list(range(0, 400, 8))
+
+    def test_strided_stride(self):
+        workload = StridedWorkload(0, 1 << 20, seed=1, stride=4096)
+        addresses = [a for a, _ in self.take(workload, 10)]
+        assert addresses[1] - addresses[0] == 4096
+
+    def test_pointer_chase_is_scattered(self):
+        workload = PointerChaseWorkload(0, 1 << 20, seed=1)
+        addresses = {a // 4096 for a, _ in self.take(workload, 200)}
+        assert len(addresses) > 50  # many distinct pages
+
+    def test_hotspot_concentrates(self):
+        workload = HotSpotWorkload(0, 1 << 20, seed=1, hot_pages=4)
+        from collections import Counter
+
+        pages = Counter(a // 4096 for a, _ in self.take(workload, 2000))
+        top4 = sum(count for _, count in pages.most_common(4))
+        assert top4 / 2000 > 0.7
+
+    def test_blocked_compute_reuses_block(self):
+        workload = BlockedComputeWorkload(
+            0, 1 << 20, seed=1, block_size=4096, passes_per_block=2
+        )
+        addresses = [a for a, _ in self.take(workload, 128)]
+        assert len(set(addresses)) < len(addresses)  # reuse within block
+
+    def test_all_accesses_stay_in_region(self):
+        for workload in spec_mixed_load(region_size_per_core=1 << 18, seed=0):
+            for address, _ in self.take(workload, 300):
+                assert (
+                    workload.region_start
+                    <= address
+                    < workload.region_start + workload.region_size
+                )
+
+    def test_mixed_load_has_four_distinct_archetypes(self):
+        workloads = spec_mixed_load(region_size_per_core=1 << 18, seed=0)
+        assert len(workloads) == 4
+        assert len({type(w) for w in workloads}) == 4
+
+    def test_deterministic_per_seed(self):
+        a = HotSpotWorkload(0, 1 << 20, seed=7)
+        b = HotSpotWorkload(0, 1 << 20, seed=7)
+        assert self.take(a, 50) == self.take(b, 50)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            StridedWorkload(0, 1 << 20, stride=0)
+        with pytest.raises(ValueError):
+            StreamingWorkload(0, 0)

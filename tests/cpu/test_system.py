@@ -1,0 +1,126 @@
+"""Tests for the attacker kernel and the multi-core system model."""
+
+import pytest
+
+from repro.config import SimConfig, small_test_config
+from repro.cpu.attacker import HammerKernel, pick_aggressor_rows
+from repro.cpu.layout import DRAMAddressLayout
+from repro.cpu.system import MultiCoreSystem
+from repro.cpu.workloads import HotSpotWorkload, spec_mixed_load
+from repro.traces.record import validate_trace
+
+
+def paper_layout():
+    return DRAMAddressLayout(SimConfig().geometry)
+
+
+class TestPickAggressors:
+    def test_double_sided(self):
+        rows = pick_aggressor_rows(paper_layout(), victim_row=100, sided=2)
+        assert rows == (99, 101)
+
+    def test_single_sided(self):
+        rows = pick_aggressor_rows(paper_layout(), victim_row=100, sided=1)
+        assert rows == (101,)
+
+    def test_rejects_edge_double(self):
+        with pytest.raises(ValueError):
+            pick_aggressor_rows(paper_layout(), victim_row=0, sided=2)
+
+    def test_rejects_bad_sided(self):
+        with pytest.raises(ValueError):
+            pick_aggressor_rows(paper_layout(), victim_row=10, sided=3)
+
+
+class TestHammerKernel:
+    def test_every_step_reaches_dram(self):
+        """clflush defeats the caches: each load misses."""
+        layout = paper_layout()
+        kernel = HammerKernel(layout, bank=0, aggressor_rows=(99, 101))
+        reads = 0
+        for _ in range(100):
+            requests = kernel.step()
+            reads += sum(1 for r in requests if not r.is_write)
+        assert reads == 100
+
+    def test_alternates_aggressors(self):
+        layout = paper_layout()
+        kernel = HammerKernel(layout, bank=0, aggressor_rows=(99, 101))
+        rows = []
+        for _ in range(4):
+            for request in kernel.step():
+                rows.append(layout.decode(request.address)[1])
+        assert rows == [99, 101, 99, 101]
+
+    def test_addresses_land_in_target_bank(self):
+        layout = paper_layout()
+        kernel = HammerKernel(layout, bank=2, aggressor_rows=(99,))
+        for request in kernel.step():
+            assert layout.decode(request.address)[0] == 2
+
+    def test_rejects_empty_aggressors(self):
+        with pytest.raises(ValueError):
+            HammerKernel(paper_layout(), bank=0, aggressor_rows=())
+
+
+class TestMultiCoreSystem:
+    def make_system(self, attacker=True, intervals_hint=16):
+        config = SimConfig()
+        layout = DRAMAddressLayout(config.geometry)
+        workloads = spec_mixed_load(region_size_per_core=1 << 22, seed=0)
+        kernel = None
+        if attacker:
+            rows = pick_aggressor_rows(layout, victim_row=30_000, sided=2)
+            kernel = HammerKernel(layout, bank=0, aggressor_rows=rows)
+        return config, MultiCoreSystem(config, workloads, attacker=kernel)
+
+    def test_trace_is_well_formed(self):
+        config, system = self.make_system()
+        trace = system.generate_trace(8).materialize()
+        assert trace.count() > 0
+        assert validate_trace(trace, act_to_act_ns=0) == []
+
+    def test_attacker_activations_flagged(self):
+        config, system = self.make_system()
+        trace = system.generate_trace(8).materialize()
+        attack_rows = {r.row for r in trace if r.is_attack}
+        assert attack_rows == {29_999, 30_001}
+
+    def test_attacker_rate_sustained(self):
+        """The clflush kernel must not be filtered by the row buffer or
+        starved by the bank activation cap."""
+        config, system = self.make_system()
+        trace = system.generate_trace(8).materialize()
+        attack = sum(1 for r in trace if r.is_attack)
+        assert attack >= 8 * 70  # ~80 requested per interval
+
+    def test_no_attacker_no_flags(self):
+        config, system = self.make_system(attacker=False)
+        trace = system.generate_trace(4).materialize()
+        assert not any(r.is_attack for r in trace)
+
+    def test_row_buffer_filters_requests(self):
+        config, system = self.make_system()
+        system.generate_trace(8).materialize()
+        assert 0.0 < system.row_buffer_hit_rate < 1.0
+
+    def test_bank_cap_respected(self):
+        config, system = self.make_system()
+        trace = system.generate_trace(8).materialize()
+        interval_ns = trace.meta.interval_ns
+        from collections import Counter
+
+        per_bucket = Counter(
+            (r.time_ns // interval_ns, r.bank) for r in trace
+        )
+        assert max(per_bucket.values()) <= config.timing.max_acts_per_interval
+
+    def test_end_to_end_with_mitigation(self):
+        from repro.mitigations import make_factory
+        from repro.sim.engine import run_simulation
+
+        config, system = self.make_system()
+        trace = system.generate_trace(8).materialize()
+        result = run_simulation(config, trace, make_factory("LoLiPRoMi"))
+        assert result.normal_activations == trace.count()
+        assert result.attack_activations > 0

@@ -1,0 +1,107 @@
+"""Tests for Bank and DRAMDevice state and interval progression."""
+
+import pytest
+
+from repro.config import small_test_config
+from repro.dram.bank import Bank
+from repro.dram.device import DRAMDevice
+from repro.dram.refresh import RandomRefresh, SequentialRefresh
+
+
+class TestBank:
+    def make(self):
+        config = small_test_config()
+        return Bank(geometry=config.geometry, flip_threshold=50, index=0)
+
+    def test_activation_bookkeeping(self):
+        bank = self.make()
+        bank.activate(10)
+        bank.activate(11)
+        assert bank.activations == 2
+        assert bank.open_row == 11
+        assert bank.extra_activations == 0
+
+    def test_activate_neighbors_counts_extras(self):
+        bank = self.make()
+        assert bank.activate_neighbors(10) == 2
+        assert bank.extra_activations == 2
+        assert bank.activations == 0
+
+    def test_edge_act_n_counts_one(self):
+        bank = self.make()
+        assert bank.activate_neighbors(0) == 1
+        assert bank.extra_activations == 1
+
+    def test_refresh_rows_restores_disturbance(self):
+        bank = self.make()
+        for _ in range(5):
+            bank.activate(10)
+        bank.refresh_rows([9, 11])
+        assert bank.disturbance.disturbance(9) == 0
+        assert bank.refreshes == 1
+
+    def test_row_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            self.make().activate(512)
+
+    def test_flips_proxy(self):
+        bank = self.make()
+        for _ in range(50):
+            bank.activate(10)
+        assert len(bank.flips) == 2
+        assert bank.max_disturbance >= 50
+
+
+class TestDRAMDevice:
+    def test_starts_before_first_interval(self):
+        device = DRAMDevice(small_test_config())
+        assert device.interval == -1
+
+    def test_refresh_tick_advances_interval(self):
+        device = DRAMDevice(small_test_config())
+        device.refresh_tick()
+        assert device.interval == 0
+        device.refresh_tick()
+        assert device.interval == 1
+
+    def test_window_wraps(self):
+        config = small_test_config()
+        device = DRAMDevice(config)
+        refint = config.geometry.refint
+        for _ in range(refint + 3):
+            device.refresh_tick()
+        assert device.window == 1
+        assert device.window_interval == 2
+
+    def test_tick_refreshes_policy_rows_in_every_bank(self):
+        config = small_test_config(num_banks=2)
+        device = DRAMDevice(config)
+        for bank in device.banks:
+            bank.activate(1)  # disturbs rows 0 and 2
+        device.refresh_tick()  # interval 0 refreshes rows 0..7
+        for bank in device.banks:
+            assert bank.disturbance.disturbance(0) == 0
+            assert bank.disturbance.disturbance(2) == 0
+
+    def test_custom_policy_used(self):
+        config = small_test_config()
+        policy = RandomRefresh(config.geometry, seed=5)
+        device = DRAMDevice(config, refresh_policy=policy)
+        assert device.refresh_policy is policy
+
+    def test_policy_geometry_must_match(self):
+        config = small_test_config()
+        other = small_test_config(rows_per_bank=256)
+        with pytest.raises(ValueError):
+            DRAMDevice(config, refresh_policy=SequentialRefresh(other.geometry))
+
+    def test_aggregates(self):
+        config = small_test_config(num_banks=2)
+        device = DRAMDevice(config)
+        device.activate(0, 10)
+        device.activate(1, 20)
+        device.activate_neighbors(0, 10)
+        assert device.total_activations == 2
+        assert device.total_extra_activations == 2
+        assert device.max_disturbance >= 1
+        assert device.flips == []

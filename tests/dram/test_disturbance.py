@@ -1,0 +1,200 @@
+"""Tests for the Row-Hammer disturbance model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import DRAMGeometry
+from repro.dram.disturbance import BankDisturbance
+
+
+def make(threshold=10, rows=64):
+    geometry = DRAMGeometry(num_banks=1, rows_per_bank=rows, rows_per_interval=8)
+    return BankDisturbance(geometry=geometry, flip_threshold=threshold, bank=0)
+
+
+class TestActivation:
+    def test_disturbs_both_neighbors(self):
+        model = make()
+        model.on_activation(10)
+        assert model.disturbance(9) == 1
+        assert model.disturbance(11) == 1
+
+    def test_does_not_disturb_self_or_distant(self):
+        model = make()
+        model.on_activation(10)
+        assert model.disturbance(10) == 0
+        assert model.disturbance(12) == 0
+
+    def test_edge_row_disturbs_single_neighbor(self):
+        model = make()
+        model.on_activation(0)
+        assert model.disturbance(1) == 1
+        model.on_activation(63)
+        assert model.disturbance(62) == 1
+
+    def test_activation_restores_own_row(self):
+        model = make()
+        model.on_activation(10)  # disturbs 11
+        assert model.disturbance(11) == 1
+        model.on_activation(11)  # activating 11 restores it
+        assert model.disturbance(11) == 0
+
+    def test_counts_accumulate(self):
+        model = make()
+        for _ in range(5):
+            model.on_activation(10)
+        assert model.disturbance(9) == 5
+        assert model.max_disturbance == 5
+
+
+class TestRefresh:
+    def test_refresh_resets_counter(self):
+        model = make()
+        for _ in range(4):
+            model.on_activation(10)
+        model.refresh_row(9)
+        assert model.disturbance(9) == 0
+        assert model.disturbance(11) == 4  # untouched
+
+    def test_refresh_untracked_row_is_noop(self):
+        model = make()
+        model.refresh_row(20)
+        assert model.disturbance(20) == 0
+
+
+class TestActivateNeighbors:
+    def test_act_n_restores_both_victims(self):
+        model = make()
+        for _ in range(6):
+            model.on_activation(10)
+        performed = model.activate_neighbors(10)
+        assert performed == 2
+        assert model.disturbance(9) == 0
+        assert model.disturbance(11) == 0
+
+    def test_act_n_itself_disturbs_second_neighbors(self):
+        model = make()
+        model.activate_neighbors(10)
+        # activating rows 9 and 11 disturbs 8, 10 and 12; row 10 is
+        # disturbed by both
+        assert model.disturbance(8) == 1
+        assert model.disturbance(12) == 1
+        assert model.disturbance(10) == 2
+
+    def test_act_n_at_edge_returns_one(self):
+        model = make()
+        assert model.activate_neighbors(0) == 1
+
+
+class TestFlipDetection:
+    def test_flip_recorded_at_threshold(self):
+        model = make(threshold=3)
+        for _ in range(3):
+            model.on_activation(10)
+        # both neighbours cross the threshold on the same activation
+        assert len(model.flips) == 2
+        for flip in model.flips:
+            assert flip.row in (9, 11)
+            assert flip.count == 3
+
+    def test_both_victims_flip(self):
+        model = make(threshold=3)
+        for _ in range(3):
+            model.on_activation(10)
+        assert len(model.flips) == 2
+        assert {flip.row for flip in model.flips} == {9, 11}
+
+    def test_flip_recorded_once_despite_further_hammering(self):
+        model = make(threshold=3)
+        for _ in range(10):
+            model.on_activation(10)
+        assert len(model.flips) == 2  # one per victim, not per act
+
+    def test_no_flip_below_threshold(self):
+        model = make(threshold=100)
+        for _ in range(99):
+            model.on_activation(10)
+        assert model.flips == []
+        assert model.max_disturbance == 99
+
+    def test_refresh_prevents_flip(self):
+        model = make(threshold=10)
+        for _ in range(9):
+            model.on_activation(10)
+        model.refresh_row(9)
+        model.refresh_row(11)
+        for _ in range(9):
+            model.on_activation(10)
+        assert model.flips == []
+
+    def test_double_sided_sums_contributions(self):
+        model = make(threshold=10)
+        for _ in range(5):
+            model.on_activation(9)
+            model.on_activation(11)
+        # victim 10 disturbed by both aggressors: 10 total
+        assert len([flip for flip in model.flips if flip.row == 10]) == 1
+
+
+class TestInvariants:
+    @given(st.lists(st.integers(min_value=0, max_value=63), max_size=200))
+    def test_counts_never_negative_and_max_consistent(self, rows):
+        model = make(threshold=10_000)
+        for row in rows:
+            model.on_activation(row)
+        counts = [model.disturbance(row) for row in range(64)]
+        assert all(count >= 0 for count in counts)
+        assert model.max_disturbance >= max(counts, default=0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=63), max_size=200))
+    def test_total_disturbance_bounded_by_two_per_act(self, rows):
+        model = make(threshold=10_000)
+        for row in rows:
+            model.on_activation(row)
+        total = sum(model.disturbance(row) for row in range(64))
+        assert total <= 2 * len(rows)
+
+
+class TestDistance2Coupling:
+    """Half-Double extension: second-neighbour disturbance."""
+
+    def make_coupled(self, rate, threshold=10):
+        geometry = DRAMGeometry(
+            num_banks=1, rows_per_bank=64, rows_per_interval=8
+        )
+        return BankDisturbance(
+            geometry=geometry, flip_threshold=threshold, bank=0,
+            distance2_rate=rate,
+        )
+
+    def test_zero_rate_is_inert(self):
+        model = self.make_coupled(0.0)
+        model.on_activation(10)
+        assert model.disturbance(8) == 0
+        assert model.disturbance(12) == 0
+
+    def test_second_neighbors_accumulate_fractionally(self):
+        model = self.make_coupled(0.5)
+        model.on_activation(10)
+        model.on_activation(10)
+        assert model.disturbance(8) == 1  # 2 * 0.5
+        assert model.disturbance(12) == 1
+
+    def test_first_neighbors_unchanged(self):
+        model = self.make_coupled(0.5)
+        model.on_activation(10)
+        assert model.disturbance(9) == 1
+        assert model.disturbance(11) == 1
+
+    def test_fractional_crossing_records_flip(self):
+        model = self.make_coupled(0.5, threshold=2)
+        for _ in range(4):
+            model.on_activation(10)
+        rows = {flip.row for flip in model.flips}
+        assert 8 in rows and 12 in rows
+
+    def test_refresh_clears_fractional_charge(self):
+        model = self.make_coupled(0.5)
+        model.on_activation(10)
+        model.refresh_row(8)
+        assert model.disturbance(8) == 0

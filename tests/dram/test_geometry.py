@@ -1,0 +1,48 @@
+"""Tests for the flat-address mapper."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import DRAMGeometry
+from repro.dram.geometry import AddressMapper
+
+
+def mapper(banks=4, rows=64):
+    return AddressMapper(
+        DRAMGeometry(num_banks=banks, rows_per_bank=rows, rows_per_interval=8)
+    )
+
+
+class TestAddressMapper:
+    def test_capacity(self):
+        assert mapper().capacity_rows == 256
+
+    def test_bank_interleaving(self):
+        m = mapper()
+        assert m.decode(0) == (0, 0)
+        assert m.decode(1) == (1, 0)
+        assert m.decode(4) == (0, 1)
+
+    def test_encode_is_inverse(self):
+        m = mapper()
+        assert m.encode(2, 5) == 5 * 4 + 2
+
+    def test_decode_bounds(self):
+        with pytest.raises(ValueError):
+            mapper().decode(256)
+        with pytest.raises(ValueError):
+            mapper().decode(-1)
+
+    def test_encode_bounds(self):
+        with pytest.raises(ValueError):
+            mapper().encode(4, 0)
+        with pytest.raises(ValueError):
+            mapper().encode(0, 64)
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_roundtrip_property(self, flat):
+        m = mapper()
+        bank, row = m.decode(flat)
+        assert m.encode(bank, row) == flat
+        assert 0 <= bank < 4
+        assert 0 <= row < 64

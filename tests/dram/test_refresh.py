@@ -1,0 +1,111 @@
+"""Tests for the four refresh policies of the robustness experiment."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import DRAMGeometry
+from repro.dram.refresh import (
+    CounterMaskRefresh,
+    RandomRefresh,
+    RemappedRefresh,
+    SequentialRefresh,
+    all_policies,
+)
+
+
+def geometry(rows=512, per_interval=8):
+    return DRAMGeometry(num_banks=1, rows_per_bank=rows, rows_per_interval=per_interval)
+
+
+class TestSequential:
+    def test_matches_paper_example(self):
+        policy = SequentialRefresh(geometry())
+        assert list(policy.rows_for_interval(0)) == list(range(0, 8))
+        assert list(policy.rows_for_interval(1)) == list(range(8, 16))
+
+    def test_full_coverage(self):
+        assert SequentialRefresh(geometry()).validate_full_coverage()
+
+
+class TestRemapped:
+    def test_full_coverage_despite_remapping(self):
+        policy = RemappedRefresh(geometry(), remap_fraction=0.1, seed=3)
+        assert policy.validate_full_coverage()
+
+    def test_some_rows_remapped(self):
+        policy = RemappedRefresh(geometry(), remap_fraction=0.2, seed=3)
+        sequential = SequentialRefresh(geometry())
+        differences = 0
+        for interval in range(64):
+            if list(policy.rows_for_interval(interval)) != list(
+                sequential.rows_for_interval(interval)
+            ):
+                differences += 1
+        assert differences > 0
+
+    def test_zero_fraction_equals_sequential(self):
+        policy = RemappedRefresh(geometry(), remap_fraction=0.0)
+        sequential = SequentialRefresh(geometry())
+        for interval in range(64):
+            assert list(policy.rows_for_interval(interval)) == list(
+                sequential.rows_for_interval(interval)
+            )
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            RemappedRefresh(geometry(), remap_fraction=1.5)
+
+    def test_deterministic_per_seed(self):
+        a = RemappedRefresh(geometry(), remap_fraction=0.2, seed=9)
+        b = RemappedRefresh(geometry(), remap_fraction=0.2, seed=9)
+        for interval in range(8):
+            assert list(a.rows_for_interval(interval)) == list(
+                b.rows_for_interval(interval)
+            )
+
+
+class TestRandom:
+    def test_full_coverage(self):
+        assert RandomRefresh(geometry(), seed=1).validate_full_coverage()
+
+    def test_differs_from_sequential(self):
+        policy = RandomRefresh(geometry(), seed=1)
+        assert list(policy.rows_for_interval(0)) != list(range(8))
+
+    def test_interval_bounds(self):
+        with pytest.raises(ValueError):
+            RandomRefresh(geometry(), seed=1).rows_for_interval(64)
+
+
+class TestCounterMask:
+    def test_full_coverage_power_of_two(self):
+        assert CounterMaskRefresh(geometry(), mask=0b1010).validate_full_coverage()
+
+    def test_mask_zero_is_sequential(self):
+        policy = CounterMaskRefresh(geometry(), mask=0)
+        sequential = SequentialRefresh(geometry())
+        for interval in range(64):
+            assert list(policy.rows_for_interval(interval)) == list(
+                sequential.rows_for_interval(interval)
+            )
+
+    def test_xor_order(self):
+        policy = CounterMaskRefresh(geometry(), mask=1)
+        assert list(policy.rows_for_interval(0)) == list(range(8, 16))
+        assert list(policy.rows_for_interval(1)) == list(range(0, 8))
+
+    @given(mask=st.integers(min_value=0, max_value=63))
+    @settings(max_examples=20)
+    def test_any_mask_full_coverage(self, mask):
+        assert CounterMaskRefresh(geometry(), mask=mask).validate_full_coverage()
+
+
+class TestAllPolicies:
+    def test_returns_four_distinctly_named_policies(self):
+        policies = all_policies(geometry(), seed=0)
+        assert len(policies) == 4
+        assert len({policy.name for policy in policies}) == 4
+
+    def test_every_policy_covers_all_rows(self):
+        for policy in all_policies(geometry(), seed=0):
+            assert policy.validate_full_coverage(), policy.name

@@ -1,0 +1,82 @@
+"""Tests for remapped row adjacency."""
+
+import pytest
+
+from repro.config import DRAMGeometry
+from repro.dram.remap import RemappedGeometry, random_remap_geometry
+
+
+def base():
+    return DRAMGeometry(num_banks=1, rows_per_bank=512, rows_per_interval=8)
+
+
+def remapped(swaps):
+    return RemappedGeometry(
+        num_banks=1, rows_per_bank=512, rows_per_interval=8, swaps=swaps
+    )
+
+
+class TestSwaps:
+    def test_identity_without_swaps(self):
+        geometry = remapped(())
+        assert geometry.neighbors(100) == (99, 101)
+        assert geometry.physical_slot(100) == 100
+
+    def test_swap_moves_both_rows(self):
+        geometry = remapped(((10, 400),))
+        assert geometry.physical_slot(10) == 400
+        assert geometry.physical_slot(400) == 10
+        assert geometry.row_at_slot(400) == 10
+        assert geometry.row_at_slot(10) == 400
+
+    def test_neighbors_follow_physical_slot(self):
+        geometry = remapped(((10, 400),))
+        # logical 10 lives at slot 400: its physical neighbours are the
+        # rows stored at slots 399 and 401
+        assert geometry.neighbors(10) == (399, 401)
+        # logical 400 lives at slot 10
+        assert geometry.neighbors(400) == (9, 11)
+
+    def test_neighbor_of_adjacent_row_is_the_swapped_in_row(self):
+        geometry = remapped(((10, 400),))
+        # slot 11's neighbours are slots 10 and 12; slot 10 now holds
+        # logical row 400
+        assert geometry.neighbors(11) == (400, 12)
+
+    def test_assumed_neighbors_ignore_remap(self):
+        geometry = remapped(((10, 400),))
+        assert geometry.assumed_neighbors(10) == (9, 11)
+        assert geometry.assumed_neighbors(11) == (10, 12)
+
+    def test_rejects_degenerate_swap(self):
+        with pytest.raises(ValueError):
+            remapped(((5, 5),))
+
+    def test_rejects_overlapping_swaps(self):
+        with pytest.raises(ValueError):
+            remapped(((5, 10), (10, 20)))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            remapped(((5, 512),))
+
+
+class TestRandomRemap:
+    def test_requested_pair_count(self):
+        geometry = random_remap_geometry(base(), pairs=8, seed=1)
+        assert len(geometry.swaps) == 8
+
+    def test_deterministic(self):
+        a = random_remap_geometry(base(), pairs=4, seed=2)
+        b = random_remap_geometry(base(), pairs=4, seed=2)
+        assert a.swaps == b.swaps
+
+    def test_slots_form_permutation(self):
+        geometry = random_remap_geometry(base(), pairs=16, seed=3)
+        slots = {geometry.physical_slot(row) for row in range(512)}
+        assert slots == set(range(512))
+
+    def test_every_slot_resolves_back(self):
+        geometry = random_remap_geometry(base(), pairs=16, seed=3)
+        for row in range(512):
+            assert geometry.row_at_slot(geometry.physical_slot(row)) == row

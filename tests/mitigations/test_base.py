@@ -1,0 +1,62 @@
+"""Tests for the mitigation interface and action types."""
+
+from repro.config import small_test_config
+from repro.mitigations.base import (
+    ActivateNeighbors,
+    RefreshRow,
+    actions_as_rows,
+    total_extra_activations,
+)
+from repro.mitigations.para import PARA
+
+
+class TestActions:
+    def test_act_n_trigger_row_is_row(self):
+        action = ActivateNeighbors(row=5)
+        assert action.trigger_row == 5
+
+    def test_refresh_row_carries_trigger(self):
+        action = RefreshRow(row=4, trigger_row=5)
+        assert action.row == 4
+        assert action.trigger_row == 5
+
+    def test_actions_are_hashable_values(self):
+        assert ActivateNeighbors(row=5) == ActivateNeighbors(row=5)
+        assert len({ActivateNeighbors(5), ActivateNeighbors(5)}) == 1
+
+
+class TestHelpers:
+    def test_total_extra_activations_mixed(self):
+        def neighbor_count(row):
+            return 1 if row == 0 else 2
+
+        actions = [
+            ActivateNeighbors(row=0),   # edge: 1
+            ActivateNeighbors(row=5),   # interior: 2
+            RefreshRow(row=3, trigger_row=4),  # 1
+        ]
+        assert total_extra_activations(actions, neighbor_count) == 4
+
+    def test_actions_as_rows(self):
+        actions = [ActivateNeighbors(row=7), RefreshRow(row=2, trigger_row=3)]
+        assert actions_as_rows(actions) == [7, 2]
+
+
+class TestMitigationBase:
+    def test_window_interval_wraps(self):
+        config = small_test_config()
+        mitigation = PARA(config)
+        refint = config.geometry.refint
+        assert mitigation.window_interval(0) == 0
+        assert mitigation.window_interval(refint) == 0
+        assert mitigation.window_interval(refint + 3) == 3
+
+    def test_describe_mentions_name_and_size(self):
+        mitigation = PARA(small_test_config(), bank=2)
+        text = mitigation.describe()
+        assert "PARA" in text
+        assert "bank 2" in text
+
+    def test_default_on_refresh_is_noop(self):
+        mitigation = PARA(small_test_config())
+        assert mitigation.on_refresh(0) == ()

@@ -1,0 +1,154 @@
+"""Tests for the adaptive counter tree."""
+
+import pytest
+
+from repro.config import small_test_config
+from repro.mitigations.base import ActivateNeighbors
+from repro.mitigations.counter_tree import CounterTree
+
+
+def make(flip_threshold=4096, node_budget=64, split_divisor=16):
+    config = small_test_config(flip_threshold=flip_threshold)
+    return CounterTree(
+        config, node_budget=node_budget, split_divisor=split_divisor
+    )
+
+
+class TestConstruction:
+    def test_thresholds_derived(self):
+        tree = make(flip_threshold=4096, split_divisor=16)
+        assert tree.trigger_threshold == 1024
+        assert tree.split_threshold == 64
+
+    def test_rejects_tiny_budget(self):
+        config = small_test_config()
+        with pytest.raises(ValueError):
+            CounterTree(config, node_budget=2)
+
+    def test_starts_as_single_root(self):
+        tree = make()
+        assert tree.node_count == 1
+        assert tree.leaf_sizes() == [512]
+
+    def test_marked_vulnerable_to_saturation(self):
+        assert any("saturation" in v for v in CounterTree.known_vulnerabilities)
+
+
+class TestSplitting:
+    def test_hot_region_gets_refined(self):
+        tree = make()
+        for _ in range(tree.split_threshold):
+            tree.on_activation(100, 1)
+        assert tree.node_count > 1
+        assert tree.finest_size_covering(100) < 512
+
+    def test_refinement_reaches_single_row(self):
+        tree = make(node_budget=64)
+        for _ in range(tree.trigger_threshold):
+            if tree.on_activation(100, 1):
+                break
+        assert tree.finest_size_covering(100) == 1
+
+    def test_cold_regions_stay_coarse(self):
+        tree = make()
+        for _ in range(tree.split_threshold * 4):
+            tree.on_activation(100, 1)
+        assert tree.finest_size_covering(400) > 1
+
+    def test_leaves_partition_the_bank(self):
+        tree = make()
+        from repro.rng import stream
+
+        rng = stream(0, "tree-test")
+        for _ in range(3000):
+            tree.on_activation(rng.randrange(512), 1)
+        assert sum(tree.leaf_sizes()) == 512
+
+    def test_budget_caps_node_count(self):
+        tree = make(node_budget=15)
+        from repro.rng import stream
+
+        rng = stream(0, "tree-budget")
+        for _ in range(5000):
+            tree.on_activation(rng.randrange(512), 1)
+        assert tree.node_count <= 15
+
+
+class TestTrigger:
+    def test_isolated_aggressor_triggers_act_n(self):
+        tree = make()
+        actions = ()
+        for _ in range(2 * tree.trigger_threshold):
+            actions = tree.on_activation(100, 1)
+            if actions:
+                break
+        assert actions == (ActivateNeighbors(row=100),)
+        assert tree.coarse_triggers == 0
+
+    def test_saturated_tree_triggers_coarse_burst(self):
+        tree = make(node_budget=3)  # root + one split only
+        actions = ()
+        for _ in range(2 * tree.trigger_threshold):
+            actions = tree.on_activation(100, 1)
+            if actions:
+                break
+        assert len(actions) > 1  # whole-range refresh burst
+        assert tree.coarse_triggers == 1
+
+    def test_trigger_resets_count(self):
+        tree = make()
+        fired = 0
+        for _ in range(5 * tree.trigger_threshold):
+            if tree.on_activation(100, 1):
+                fired += 1
+        assert fired >= 2  # keeps firing periodically, not once
+
+
+class TestWindowReset:
+    def test_tree_reset_at_window_start(self):
+        tree = make()
+        for _ in range(tree.split_threshold * 2):
+            tree.on_activation(100, 1)
+        assert tree.node_count > 1
+        tree.on_refresh(tree.refint)  # new window
+        assert tree.node_count == 1
+
+    def test_mid_window_refresh_keeps_tree(self):
+        tree = make()
+        for _ in range(tree.split_threshold * 2):
+            tree.on_activation(100, 1)
+        nodes = tree.node_count
+        tree.on_refresh(5)
+        assert tree.node_count == nodes
+
+
+class TestStorage:
+    def test_table_bytes_scale_with_budget(self):
+        small = make(node_budget=64)
+        large = make(node_budget=256)
+        assert large.table_bytes == 4 * small.table_bytes
+
+    def test_paper_scale_budget_near_1kb(self):
+        """[10]: effective trees need no less than ~1 KB per bank."""
+        from repro.config import SimConfig
+
+        tree = CounterTree(SimConfig())
+        assert 900 < tree.table_bytes < 2048
+
+
+class TestProtection:
+    def test_prevents_flip_end_to_end(self):
+        from repro.mitigations.registry import make_factory
+        from repro.sim.engine import run_simulation
+        from repro.traces.attacker import double_sided
+        from repro.traces.mixer import build_trace
+
+        config = small_test_config(rows_per_bank=4096, flip_threshold=40_000)
+        attack = double_sided(
+            config.geometry, bank=0, victim=100, acts_per_interval=165
+        )
+        trace = build_trace(config, total_intervals=512, attacks=[attack])
+        result = run_simulation(
+            config, trace, make_factory("CounterTree"), seed=1
+        )
+        assert not result.attack_succeeded

@@ -1,0 +1,63 @@
+"""Tests for CRA per-row counters."""
+
+from repro.config import SimConfig, small_test_config
+from repro.mitigations.base import ActivateNeighbors
+from repro.mitigations.cra import CRA
+
+
+def make(flip_threshold=8):
+    return CRA(small_test_config(flip_threshold=flip_threshold))
+
+
+class TestTrigger:
+    def test_threshold_is_quarter_flip(self):
+        assert make(flip_threshold=8).trigger_threshold == 2
+
+    def test_act_n_at_threshold(self):
+        cra = make(flip_threshold=8)
+        assert cra.on_activation(50, 0) == ()
+        assert cra.on_activation(50, 0) == (ActivateNeighbors(row=50),)
+
+    def test_counter_resets_after_trigger(self):
+        cra = make(flip_threshold=8)
+        cra.on_activation(50, 0)
+        cra.on_activation(50, 0)
+        assert cra.counter(50) == 0
+
+    def test_counters_independent_per_row(self):
+        cra = make(flip_threshold=100)
+        cra.on_activation(10, 0)
+        cra.on_activation(20, 0)
+        assert cra.counter(10) == 1
+        assert cra.counter(20) == 1
+
+    def test_not_vulnerable_and_deterministic(self):
+        assert CRA.known_vulnerabilities == ()
+
+
+class TestRefreshReset:
+    def test_refresh_clears_only_refreshed_group(self):
+        cra = make(flip_threshold=1_000)
+        cra.on_activation(3, 0)    # group 0 (rows 0..7)
+        cra.on_activation(50, 0)   # group 6
+        cra.on_refresh(0)          # refreshes rows 0..7
+        assert cra.counter(3) == 0
+        assert cra.counter(50) == 1
+
+    def test_reset_follows_window_wrap(self):
+        cra = make(flip_threshold=1_000)
+        refint = cra.refint
+        cra.on_activation(3, 0)
+        cra.on_refresh(refint)  # window-relative 0 again
+        assert cra.counter(3) == 0
+
+
+class TestStorage:
+    def test_paper_scale_storage_is_tens_of_kb(self):
+        cra = CRA(SimConfig())
+        assert 50_000 < cra.table_bytes < 300_000
+
+    def test_storage_scales_with_rows(self):
+        small = CRA(small_test_config(rows_per_bank=256, flip_threshold=2_000))
+        large = CRA(small_test_config(rows_per_bank=512, flip_threshold=2_000))
+        assert large.table_bytes == 2 * small.table_bytes

@@ -1,0 +1,106 @@
+"""Tests for MRLoc's locality queue and weighted probabilities."""
+
+import pytest
+
+from repro.config import small_test_config
+from repro.mitigations.mrloc import MRLoc
+
+
+def make(**kwargs):
+    defaults = dict(seed=1, queue_entries=8, base_probability=0.01, max_boost=4.0)
+    defaults.update(kwargs)
+    return MRLoc(small_test_config(), **defaults)
+
+
+class TestConstruction:
+    def test_rejects_bad_queue(self):
+        with pytest.raises(ValueError):
+            make(queue_entries=0)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            make(base_probability=0.0)
+
+    def test_rejects_bad_boost(self):
+        with pytest.raises(ValueError):
+            make(max_boost=0.5)
+
+    def test_table_bytes_positive_and_scales(self):
+        assert make(queue_entries=16).table_bytes == 2 * make(queue_entries=8).table_bytes
+
+    def test_marked_vulnerable(self):
+        assert MRLoc.known_vulnerabilities
+
+
+class TestProbabilityWeighting:
+    def test_miss_gets_base_probability(self):
+        mrloc = make()
+        assert mrloc.victim_probability(42) == pytest.approx(0.01)
+
+    def test_hit_gets_boost(self):
+        mrloc = make()
+        mrloc.on_activation(100, 0)  # pushes victims 99 and 101
+        assert mrloc.victim_probability(99) > 0.01
+        assert mrloc.victim_probability(101) > 0.01
+
+    def test_recency_increases_boost(self):
+        mrloc = make(queue_entries=8)
+        mrloc.on_activation(10, 0)   # victims 9, 11 (older)
+        mrloc.on_activation(100, 0)  # victims 99, 101 (newer)
+        assert mrloc.victim_probability(101) > mrloc.victim_probability(9)
+
+    def test_boost_capped_at_max(self):
+        mrloc = make(base_probability=0.1, max_boost=4.0)
+        mrloc.on_activation(100, 0)
+        assert mrloc.victim_probability(101) <= 0.4 + 1e-12
+
+    def test_probability_never_exceeds_one(self):
+        mrloc = make(base_probability=0.9, max_boost=4.0)
+        mrloc.on_activation(100, 0)
+        assert mrloc.victim_probability(101) <= 1.0
+
+
+class TestQueue:
+    def test_queue_bounded(self):
+        mrloc = make(queue_entries=4)
+        for row in range(10, 40, 2):
+            mrloc.on_activation(row, 0)
+        assert len(mrloc._queue) == 4
+
+    def test_rehit_moves_to_tail(self):
+        mrloc = make(queue_entries=8)
+        mrloc.on_activation(10, 0)
+        mrloc.on_activation(100, 0)
+        mrloc.on_activation(10, 0)  # victims 9/11 re-pushed
+        assert list(mrloc._queue)[-1] in (9, 11)
+
+    def test_thrashing_removes_locality(self):
+        """The documented multi-aggressor weakness: many distinct
+        aggressors evict every victim before it is seen again."""
+        mrloc = make(queue_entries=4)
+        aggressors = [10, 20, 30, 40, 50, 60]
+        for _ in range(5):
+            for row in aggressors:
+                mrloc.on_activation(row, 0)
+        # by the time row 10's victims come around again they are gone
+        assert mrloc.victim_probability(9) == pytest.approx(0.01)
+        assert mrloc.victim_probability(11) == pytest.approx(0.01)
+
+
+class TestActions:
+    def test_certain_trigger_refreshes_victims(self):
+        mrloc = make(base_probability=1.0)
+        actions = mrloc.on_activation(100, 0)
+        assert {action.row for action in actions} == {99, 101}
+        assert all(action.trigger_row == 100 for action in actions)
+
+    def test_trigger_rate_scales_with_locality(self):
+        cold = make(seed=7, base_probability=0.02)
+        hot = make(seed=7, base_probability=0.02)
+        cold_triggers = 0
+        hot_triggers = 0
+        for index in range(4000):
+            # cold: always-new rows; hot: one hammered row
+            cold_triggers += len(cold.on_activation(2 + (index * 3) % 400, 0))
+            hot_triggers += len(hot.on_activation(100, 0))
+        assert hot_triggers > cold_triggers

@@ -1,0 +1,64 @@
+"""Tests for PARA."""
+
+import pytest
+
+from repro.config import small_test_config
+from repro.mitigations.base import RefreshRow
+from repro.mitigations.para import PARA
+
+
+class TestConstruction:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            PARA(small_test_config(), probability=0.0)
+        with pytest.raises(ValueError):
+            PARA(small_test_config(), probability=1.5)
+
+    def test_stateless_zero_table(self):
+        assert PARA(small_test_config()).table_bytes == 0
+
+    def test_known_vulnerable(self):
+        assert PARA.known_vulnerabilities
+
+
+class TestBehavior:
+    def test_trigger_rate_matches_probability(self):
+        para = PARA(small_test_config(), seed=1, probability=0.05)
+        triggers = sum(
+            1 for _ in range(20_000) if para.on_activation(100, 0)
+        )
+        # Binomial(20000, 0.05): mean 1000, sigma ~31; allow 6 sigma
+        assert 800 < triggers < 1200
+
+    def test_action_refreshes_a_neighbor(self):
+        para = PARA(small_test_config(), seed=1, probability=1.0)
+        (action,) = para.on_activation(100, 0)
+        assert isinstance(action, RefreshRow)
+        assert action.row in (99, 101)
+        assert action.trigger_row == 100
+
+    def test_single_neighbor_at_edge(self):
+        para = PARA(small_test_config(), seed=1, probability=1.0)
+        (action,) = para.on_activation(0, 0)
+        assert action.row == 1
+
+    def test_both_sides_eventually_chosen(self):
+        para = PARA(small_test_config(), seed=1, probability=1.0)
+        sides = {para.on_activation(100, 0)[0].row for _ in range(64)}
+        assert sides == {99, 101}
+
+    def test_deterministic_per_seed(self):
+        a = PARA(small_test_config(), seed=9, probability=0.5)
+        b = PARA(small_test_config(), seed=9, probability=0.5)
+        seq_a = [bool(a.on_activation(50, 0)) for _ in range(100)]
+        seq_b = [bool(b.on_activation(50, 0)) for _ in range(100)]
+        assert seq_a == seq_b
+
+    def test_probability_independent_of_interval(self):
+        """PARA is static: the interval argument must not matter."""
+        para = PARA(small_test_config(), seed=4, probability=0.5)
+        counts = [
+            sum(1 for _ in range(500) if para.on_activation(50, interval))
+            for interval in (0, 1000)
+        ]
+        assert abs(counts[0] - counts[1]) < 120

@@ -1,0 +1,109 @@
+"""Tests for ProHit's hot/cold table mechanics."""
+
+import pytest
+
+from repro.config import small_test_config
+from repro.mitigations.base import RefreshRow
+from repro.mitigations.prohit import ProHit
+
+
+def make(**kwargs):
+    defaults = dict(seed=1, hot_entries=2, cold_entries=4, insert_probability=1.0)
+    defaults.update(kwargs)
+    return ProHit(small_test_config(), **defaults)
+
+
+class TestConstruction:
+    def test_rejects_empty_tables(self):
+        with pytest.raises(ValueError):
+            make(hot_entries=0)
+        with pytest.raises(ValueError):
+            make(cold_entries=0)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            make(insert_probability=0.0)
+
+    def test_table_bytes_scales_with_entries(self):
+        small = ProHit(small_test_config(), hot_entries=4, cold_entries=12)
+        large = ProHit(small_test_config(), hot_entries=8, cold_entries=24)
+        assert large.table_bytes == 2 * small.table_bytes
+
+    def test_not_marked_vulnerable(self):
+        assert ProHit.known_vulnerabilities == ()
+
+
+class TestTables:
+    def test_activation_inserts_victims_into_cold(self):
+        prohit = make()
+        prohit.on_activation(100, 0)
+        assert set(prohit._cold) == {99, 101}
+
+    def test_no_immediate_action_on_activation(self):
+        prohit = make()
+        assert prohit.on_activation(100, 0) == ()
+
+    def test_cold_hits_climb_then_promote(self):
+        prohit = make()
+        prohit.on_activation(100, 0)        # cold: [99, 101]
+        prohit.on_activation(100, 0)        # both climb/promote
+        prohit.on_activation(100, 0)
+        assert 99 in prohit._hot or 101 in prohit._hot
+
+    def test_cold_table_capacity_respected(self):
+        prohit = make(cold_entries=3)
+        for row in (10, 20, 30, 40):
+            prohit.on_activation(row, 0)
+        assert len(prohit._cold) <= 3
+
+    def test_hot_capacity_respected_with_fallback_to_cold(self):
+        prohit = make(hot_entries=1, cold_entries=4)
+        for _ in range(3):
+            prohit.on_activation(100, 0)
+            prohit.on_activation(200, 0)
+        assert len(prohit._hot) <= 1
+
+
+class TestRefresh:
+    def test_refresh_pops_top_hot_entry(self):
+        prohit = make()
+        for _ in range(3):
+            prohit.on_activation(100, 0)
+        hot_before = list(prohit._hot)
+        actions = prohit.on_refresh(1)
+        assert len(actions) == 1
+        (action,) = actions
+        assert isinstance(action, RefreshRow)
+        assert action.row == hot_before[0]
+        assert action.row not in prohit._hot
+
+    def test_refresh_with_empty_hot_is_noop(self):
+        assert make().on_refresh(0) == ()
+
+    def test_trigger_attribution_points_at_aggressor(self):
+        prohit = make()
+        for _ in range(3):
+            prohit.on_activation(100, 0)
+        (action,) = prohit.on_refresh(1)
+        assert action.trigger_row == 100
+
+    def test_repeated_refreshes_drain_hot_table(self):
+        prohit = make(hot_entries=2)
+        for _ in range(6):
+            prohit.on_activation(100, 0)
+        drained = 0
+        for interval in range(5):
+            drained += len(prohit.on_refresh(interval))
+        assert drained >= 1
+        assert prohit._hot == []
+
+
+class TestProbabilisticInsertion:
+    def test_low_probability_rarely_inserts(self):
+        prohit = ProHit(
+            small_test_config(), seed=3, insert_probability=0.001,
+            hot_entries=2, cold_entries=4,
+        )
+        for row in range(2, 300):
+            prohit.on_activation(row, 0)
+        assert len(prohit._cold) + len(prohit._hot) <= 4

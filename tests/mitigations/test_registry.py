@@ -1,0 +1,55 @@
+"""Tests for the technique registry."""
+
+import pytest
+
+from repro.config import small_test_config
+from repro.mitigations.base import Mitigation
+from repro.mitigations.registry import (
+    BASELINES,
+    TECHNIQUES,
+    TIVAPROMI_VARIANTS,
+    make_factory,
+    make_mitigation,
+    technique_names,
+)
+
+
+class TestRegistry:
+    def test_all_nine_present(self):
+        assert len(TECHNIQUES) == 9
+        assert set(BASELINES) | set(TIVAPROMI_VARIANTS) == set(TECHNIQUES)
+
+    def test_paper_groups(self):
+        assert set(BASELINES) == {"PARA", "ProHit", "MRLoc", "TWiCe", "CRA"}
+        assert set(TIVAPROMI_VARIANTS) == {
+            "LiPRoMi", "LoPRoMi", "LoLiPRoMi", "CaPRoMi",
+        }
+
+    def test_every_name_instantiates(self):
+        config = small_test_config()
+        for name in technique_names():
+            instance = make_mitigation(name, config, bank=1, seed=2)
+            assert isinstance(instance, Mitigation)
+            assert instance.name == name
+            assert instance.bank == 1
+            assert instance.table_bytes >= 0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown technique"):
+            make_mitigation("NoSuch", small_test_config())
+
+    def test_kwargs_forwarded(self):
+        para = make_mitigation("PARA", small_test_config(), probability=0.5)
+        assert para.probability == 0.5
+
+    def test_factory_closes_over_name(self):
+        factory = make_factory("TWiCe")
+        assert factory.technique_name == "TWiCe"
+        instance = factory(small_test_config(), 0, 7)
+        assert instance.name == "TWiCe"
+
+    def test_factory_passes_bank_and_seed(self):
+        factory = make_factory("PARA", probability=0.25)
+        instance = factory(small_test_config(), 3, 11)
+        assert instance.bank == 3
+        assert instance.probability == 0.25

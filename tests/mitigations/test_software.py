@@ -1,0 +1,113 @@
+"""Tests for the ANVIL-class software detector."""
+
+import pytest
+
+from repro.config import small_test_config
+from repro.mitigations.base import ActivateNeighbors
+from repro.mitigations.software import SoftwareDetector
+
+
+def make(**kwargs):
+    defaults = dict(
+        seed=1, sample_probability=1.0, suspicion_fraction=0.1,
+        confirmation_windows=2,
+    )
+    defaults.update(kwargs)
+    return SoftwareDetector(small_test_config(), **defaults)
+
+
+def hammer_window(detector, row, interval_base, acts_per_interval=50):
+    """One window of hammering *row*, driving refreshes like the engine."""
+    refint = detector.refint
+    actions = []
+    for interval in range(interval_base, interval_base + refint):
+        actions.extend(detector.on_refresh(interval))
+        for _ in range(acts_per_interval):
+            detector.on_activation(row, interval)
+    return actions
+
+
+class TestConstruction:
+    def test_rejects_bad_sampling(self):
+        with pytest.raises(ValueError):
+            make(sample_probability=0.0)
+
+    def test_rejects_bad_confirmation(self):
+        with pytest.raises(ValueError):
+            make(confirmation_windows=0)
+
+    def test_no_controller_sram(self):
+        assert make().table_bytes == 0
+
+    def test_latency_documented_as_vulnerability(self):
+        assert any(
+            "latency" in item for item in SoftwareDetector.known_vulnerabilities
+        )
+
+
+class TestDetection:
+    def test_no_action_during_first_windows(self):
+        detector = make()
+        actions = hammer_window(detector, 100, 0)
+        assert actions == []  # window 0: nothing confirmed yet
+
+    def test_confirmation_after_configured_windows(self):
+        detector = make(confirmation_windows=2)
+        refint = detector.refint
+        hammer_window(detector, 100, 0)          # window 0 sampled
+        hammer_window(detector, 100, refint)     # analysis(1): suspicious
+        hammer_window(detector, 100, 2 * refint)  # analysis(2): confirmed
+        assert 100 in detector.detections
+        assert detector.detections[100] == 2
+
+    def test_quarantine_refreshes_every_interval(self):
+        detector = make(confirmation_windows=1)
+        refint = detector.refint
+        hammer_window(detector, 100, 0)
+        actions = hammer_window(detector, 100, refint)
+        # once confirmed, every interval's ref returns an act_n
+        assert actions.count(ActivateNeighbors(row=100)) >= refint - 1
+
+    def test_quiet_aggressor_released(self):
+        detector = make(confirmation_windows=1)
+        refint = detector.refint
+        hammer_window(detector, 100, 0)
+        hammer_window(detector, 100, refint)  # confirmed
+        # two idle windows: no activations at all
+        for interval in range(2 * refint, 4 * refint):
+            detector.on_refresh(interval)
+        actions = list(detector.on_refresh(4 * refint))
+        assert actions == []
+
+    def test_benign_spread_traffic_not_flagged(self):
+        detector = make(suspicion_fraction=0.1)
+        refint = detector.refint
+        from repro.rng import stream
+
+        rng = stream(3, "benign")
+        for interval in range(2 * refint):
+            detector.on_refresh(interval)
+            for _ in range(30):
+                detector.on_activation(rng.randrange(512), interval)
+        assert detector.detections == {}
+
+    def test_sampling_misses_with_low_probability(self):
+        detector = make(sample_probability=0.01, confirmation_windows=1)
+        # a short burst is unlikely to build a stable sampled histogram
+        for _ in range(20):
+            detector.on_activation(100, 1)
+        assert detector._sampled < 10
+
+
+class TestHeadToHead:
+    def test_software_loses_the_latency_race(self):
+        """Section II: flips land before detection; hardware has none."""
+        from repro.sim.attacks import software_detection_experiment
+
+        config = small_test_config(rows_per_bank=4096, flip_threshold=30_000)
+        outcome = software_detection_experiment(config, windows=4, rate=120)
+        assert outcome.detected
+        assert outcome.latency_windows >= 1  # "several refresh windows"
+        assert outcome.software_flips_before_detection > 0
+        assert outcome.software_flips_after_detection == 0
+        assert outcome.hardware_flips == 0

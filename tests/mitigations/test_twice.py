@@ -1,0 +1,100 @@
+"""Tests for TWiCe counters, pruning, and capacity bound."""
+
+import pytest
+
+from repro.config import small_test_config
+from repro.mitigations.base import ActivateNeighbors
+from repro.mitigations.twice import TWiCe
+
+
+def make(flip_threshold=400):
+    return TWiCe(small_test_config(flip_threshold=flip_threshold))
+
+
+class TestTrigger:
+    def test_trigger_threshold_is_quarter_flip(self):
+        assert make(flip_threshold=400).trigger_threshold == 100
+
+    def test_triggers_act_n_at_threshold(self):
+        twice = make(flip_threshold=8)  # trigger at 2
+        assert twice.on_activation(50, 1) == ()
+        actions = twice.on_activation(50, 1)
+        assert actions == (ActivateNeighbors(row=50),)
+
+    def test_count_resets_after_trigger(self):
+        twice = make(flip_threshold=8)
+        twice.on_activation(50, 1)
+        twice.on_activation(50, 1)  # triggered
+        assert twice.on_activation(50, 1) == ()  # counting restarts
+
+    def test_not_vulnerable(self):
+        assert TWiCe.known_vulnerabilities == ()
+
+
+class TestPruning:
+    def test_slow_rows_pruned(self):
+        twice = make(flip_threshold=40_000)  # rate threshold ~156/interval
+        twice.on_activation(50, 1)
+        assert twice.occupancy == 1
+        twice.on_refresh(2)
+        assert twice.occupancy == 0
+
+    def test_fast_rows_survive_pruning(self):
+        config = small_test_config(flip_threshold=400)
+        twice = TWiCe(config)
+        # rate threshold = 100 / 64 intervals ~= 1.6 acts/interval
+        for _ in range(10):
+            twice.on_activation(50, 1)
+        twice.on_refresh(2)
+        assert twice.occupancy == 1
+
+    def test_window_start_clears_table(self):
+        twice = make()
+        for _ in range(5):
+            twice.on_activation(50, 1)
+        refint = twice.refint
+        twice.on_refresh(refint)  # window-relative interval 0
+        assert twice.occupancy == 0
+
+    def test_life_accumulates_until_pruned(self):
+        config = small_test_config(flip_threshold=512)  # rate = 2/interval
+        twice = TWiCe(config)
+        for _ in range(8):
+            twice.on_activation(50, 1)  # count 8 covers 4 intervals of life
+        survived = 0
+        for interval in range(2, 8):
+            twice.on_refresh(interval)
+            survived = twice.occupancy
+            if survived == 0:
+                break
+        assert survived == 0  # eventually pruned without further acts
+
+
+class TestCapacity:
+    def test_analytic_capacity_bounds_occupancy(self):
+        config = small_test_config(flip_threshold=2_000)
+        twice = TWiCe(config)
+        from repro.rng import stream
+
+        rng = stream(0, "twice-capacity")
+        for interval in range(1, 64):
+            for _ in range(60):
+                twice.on_activation(rng.randrange(512), interval)
+            twice.on_refresh(interval)
+        assert twice.max_occupancy <= max(
+            twice.analytic_capacity,
+            config.timing.max_acts_per_interval * 2,
+        )
+
+    def test_paper_scale_capacity_in_hundreds(self):
+        from repro.config import SimConfig
+
+        twice = TWiCe(SimConfig())
+        assert 300 < twice.analytic_capacity < 900
+
+    def test_paper_scale_table_kb_range(self):
+        """TWiCe's table must be KBs per bank (the 9x-27x claim)."""
+        from repro.config import SimConfig
+
+        twice = TWiCe(SimConfig())
+        assert 1_000 < twice.table_bytes < 10_000

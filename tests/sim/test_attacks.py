@@ -1,0 +1,189 @@
+"""Tests for the attack experiment suite."""
+
+import pytest
+
+from repro.config import small_test_config
+from repro.sim.attacks import (
+    FloodingOutcome,
+    flooding_experiment,
+    multi_aggressor_experiment,
+    vulnerability_verdicts,
+)
+
+
+class TestFloodingOutcome:
+    def test_median_over_triggered(self):
+        outcome = FloodingOutcome("X", 0, 100)
+        outcome.acts_to_first_trigger = [100, 300, 200]
+        assert outcome.median_acts == 200
+
+    def test_median_none_when_majority_missing(self):
+        outcome = FloodingOutcome("X", 0, 100)
+        outcome.acts_to_first_trigger = [100, None, None]
+        assert outcome.median_acts is None
+
+    def test_safety_margin_check(self):
+        outcome = FloodingOutcome("X", 0, 100)
+        outcome.acts_to_first_trigger = [10_000]
+        assert outcome.below_safety_margin
+        outcome.acts_to_first_trigger = [80_000]
+        assert not outcome.below_safety_margin
+
+
+class TestFloodingExperiment:
+    def test_rejects_bad_start_weight(self):
+        config = small_test_config()
+        with pytest.raises(ValueError):
+            flooding_experiment(config, "LiPRoMi", start_weight=64)
+
+    def test_lopromi_triggers_and_reports(self):
+        config = small_test_config()
+        outcome = flooding_experiment(
+            config, "LoPRoMi", start_weight=0, seeds=(0, 1, 2), max_windows=2
+        )
+        assert outcome.technique == "LoPRoMi"
+        assert len(outcome.acts_to_first_trigger) == 3
+
+    def test_higher_start_weight_triggers_sooner(self):
+        """The time-varying core property: a row long past its refresh
+        has a higher probability, so the flood is caught earlier."""
+        config = small_test_config()
+        late = flooding_experiment(
+            config, "LiPRoMi", start_weight=48, seeds=range(8), max_windows=1
+        )
+        early = flooding_experiment(
+            config, "LiPRoMi", start_weight=0, seeds=range(8), max_windows=1
+        )
+        assert late.median_acts is not None
+        if early.median_acts is not None:
+            assert late.median_acts < early.median_acts
+
+    def test_rate_recorded(self):
+        config = small_test_config()
+        outcome = flooding_experiment(
+            config, "LoPRoMi", rate=50, seeds=(0,), max_windows=1
+        )
+        assert outcome.rate == 50
+
+
+class TestMultiAggressor:
+    def test_points_for_each_count(self):
+        config = small_test_config(flip_threshold=10_000)
+        points = multi_aggressor_experiment(
+            config, "MRLoc", aggressor_counts=(1, 4), windows=1
+        )
+        assert [point.aggressors for point in points] == [1, 4]
+        assert all(point.total_acts > 0 for point in points)
+
+    def test_mrloc_protection_decays_with_aggressors(self):
+        """The queue-thrash vulnerability: more aggressors -> fewer
+        mitigating refreshes per activation budget."""
+        config = small_test_config(flip_threshold=10_000)
+        points = multi_aggressor_experiment(
+            config, "MRLoc", aggressor_counts=(1, 16), windows=2
+        )
+        by_count = {point.aggressors: point for point in points}
+        assert (
+            by_count[16].triggers_per_half_threshold
+            <= by_count[1].triggers_per_half_threshold
+        )
+
+
+class TestTreeSaturation:
+    def test_decoys_keep_tree_coarse(self):
+        from repro.sim.attacks import tree_saturation_experiment
+
+        config = small_test_config(rows_per_bank=4096, flip_threshold=40_000)
+        outcome = tree_saturation_experiment(config, node_budget=64)
+        # alone, the hammer is isolated down to a single row
+        assert outcome.focused_finest == 1
+        assert outcome.focused_coarse_triggers == 0
+        # with decoys the node budget is spent elsewhere
+        assert outcome.saturation_succeeded
+        assert outcome.saturated_coarse_triggers > 0
+
+    def test_big_budget_defeats_saturation(self):
+        from repro.sim.attacks import tree_saturation_experiment
+
+        config = small_test_config(rows_per_bank=4096, flip_threshold=40_000)
+        outcome = tree_saturation_experiment(config, node_budget=4096)
+        assert outcome.saturated_finest == 1
+
+
+class TestVerdicts:
+    def test_matches_paper_column(self):
+        verdicts = vulnerability_verdicts()
+        vulnerable = {name for name, (flag, _) in verdicts.items() if flag}
+        assert vulnerable == {"PARA", "MRLoc", "LiPRoMi"}
+
+    def test_reasons_cite_attacks(self):
+        verdicts = vulnerability_verdicts(["LiPRoMi"])
+        flag, reason = verdicts["LiPRoMi"]
+        assert flag
+        assert "flood" in reason.lower()
+
+    def test_subset_selection(self):
+        verdicts = vulnerability_verdicts(["TWiCe", "CRA"])
+        assert set(verdicts) == {"TWiCe", "CRA"}
+        assert all(not flag for flag, _ in verdicts.values())
+
+
+class TestRemappedAdjacency:
+    """Section II: remapped rows defeat address-based mitigations."""
+
+    def test_act_n_techniques_survive_remapping(self):
+        from repro.sim.attacks import remapped_adjacency_experiment
+
+        config = small_test_config(rows_per_bank=4096, flip_threshold=30_000)
+        outcomes = remapped_adjacency_experiment(
+            config,
+            techniques=("PARA", "ProHit", "MRLoc",
+                        "LoLiPRoMi", "TWiCe", "CaPRoMi"),
+        )
+        # address-based mitigations refresh the wrong rows
+        for name in ("PARA", "ProHit", "MRLoc"):
+            assert not outcomes[name].protected, name
+        # act_n resolves adjacency inside the memory
+        for name in ("LoLiPRoMi", "TWiCe", "CaPRoMi"):
+            assert outcomes[name].protected, name
+
+    def test_act_n_keeps_victim_far_from_threshold(self):
+        from repro.sim.attacks import remapped_adjacency_experiment
+
+        config = small_test_config(rows_per_bank=4096, flip_threshold=30_000)
+        outcomes = remapped_adjacency_experiment(
+            config, techniques=("PARA", "TWiCe")
+        )
+        assert (
+            outcomes["TWiCe"].victim_peak_disturbance
+            < outcomes["PARA"].victim_peak_disturbance
+        )
+
+
+class TestHalfDouble:
+    """Beyond-paper extension: distance-2 (Half-Double) coupling."""
+
+    def test_no_coupling_reproduces_paper_model(self):
+        from repro.sim.attacks import half_double_experiment
+
+        config = small_test_config(rows_per_bank=4096, flip_threshold=2_000)
+        points = half_double_experiment(config, distance2_rates=(0.0,))
+        assert points[0].direct_flips == 0
+        assert points[0].distance2_flips == 0
+
+    def test_strong_coupling_flips_distance2_rows_only(self):
+        from repro.sim.attacks import half_double_experiment
+
+        config = small_test_config(rows_per_bank=4096, flip_threshold=2_000)
+        points = half_double_experiment(config, distance2_rates=(0.3,))
+        assert points[0].direct_flips == 0      # act_n still covers distance 1
+        assert points[0].distance2_flips > 0    # but nothing covers distance 2
+
+    def test_disturbance_grows_with_coupling(self):
+        from repro.sim.attacks import half_double_experiment
+
+        config = small_test_config(rows_per_bank=4096, flip_threshold=50_000)
+        points = half_double_experiment(
+            config, distance2_rates=(0.0, 0.2), windows=1
+        )
+        assert points[1].max_disturbance > points[0].max_disturbance

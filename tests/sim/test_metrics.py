@@ -1,0 +1,70 @@
+"""Tests for SimResult metric definitions."""
+
+import pytest
+
+from repro.dram.disturbance import FlipEvent
+from repro.sim.metrics import SimResult
+
+
+def result(**kwargs):
+    defaults = dict(technique="X", seed=0, flip_threshold=1000)
+    defaults.update(kwargs)
+    return SimResult(**defaults)
+
+
+class TestOverhead:
+    def test_overhead_pct(self):
+        r = result(normal_activations=10_000, extra_activations=10)
+        assert r.overhead_pct == pytest.approx(0.1)
+
+    def test_zero_activations_safe(self):
+        assert result().overhead_pct == 0.0
+        assert result().fpr_pct == 0.0
+        assert result().attack_fraction == 0.0
+
+    def test_fpr_pct(self):
+        r = result(normal_activations=10_000, fp_extra_activations=5)
+        assert r.fpr_pct == pytest.approx(0.05)
+
+    def test_attack_fraction(self):
+        r = result(normal_activations=100, attack_activations=38)
+        assert r.attack_fraction == pytest.approx(0.38)
+
+
+class TestProtection:
+    def test_attack_succeeded_iff_flips(self):
+        assert not result().attack_succeeded
+        flipped = result(flips=[FlipEvent(bank=0, row=1, count=1000)])
+        assert flipped.attack_succeeded
+
+    def test_margin_one_when_untouched(self):
+        assert result(max_disturbance=0).protection_margin == 1.0
+
+    def test_margin_half(self):
+        r = result(max_disturbance=500, flip_threshold=1000)
+        assert r.protection_margin == pytest.approx(0.5)
+
+    def test_margin_zero_on_flip(self):
+        r = result(
+            flips=[FlipEvent(bank=0, row=1, count=1000)], max_disturbance=1000
+        )
+        assert r.protection_margin == 0.0
+
+    def test_margin_clamped_non_negative(self):
+        r = result(max_disturbance=5000, flip_threshold=1000)
+        assert r.protection_margin == 0.0
+
+    def test_unknown_threshold_defaults_to_safe(self):
+        r = result(flip_threshold=0, max_disturbance=10)
+        assert r.protection_margin == 1.0
+
+
+class TestSummary:
+    def test_summary_contains_key_numbers(self):
+        r = result(
+            normal_activations=1000, extra_activations=3, max_disturbance=42
+        )
+        text = r.summary()
+        assert "X" in text
+        assert "0.3000%" in text
+        assert "42" in text

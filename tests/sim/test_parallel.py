@@ -1,0 +1,73 @@
+"""Tests for the parallel campaign runner."""
+
+import pytest
+
+from repro.config import small_test_config
+from repro.sim.parallel import CampaignJob, _run_job, run_campaign
+
+
+class TestJob:
+    def test_job_is_picklable(self):
+        import pickle
+
+        job = CampaignJob(
+            config=small_test_config(),
+            technique="PARA",
+            seed=0,
+            total_intervals=8,
+        )
+        assert pickle.loads(pickle.dumps(job)).technique == "PARA"
+
+    def test_run_job_inline(self):
+        job = CampaignJob(
+            config=small_test_config(num_banks=2),
+            technique="PARA",
+            seed=0,
+            total_intervals=8,
+        )
+        name, seed, result = _run_job(job)
+        assert name == "PARA"
+        assert result.normal_activations > 0
+
+
+class TestCampaign:
+    def test_inline_campaign_aggregates(self):
+        config = small_test_config(num_banks=2)
+        aggregates = run_campaign(
+            config,
+            total_intervals=8,
+            techniques=("PARA", "TWiCe"),
+            seeds=(0, 1),
+            include_unmitigated=True,
+            workers=0,
+        )
+        assert set(aggregates) == {"none", "PARA", "TWiCe"}
+        assert len(aggregates["PARA"].results) == 2
+
+    def test_parallel_matches_inline(self):
+        config = small_test_config(num_banks=2)
+        kwargs = dict(
+            total_intervals=8, techniques=("PARA",), seeds=(0, 1)
+        )
+        inline = run_campaign(config, workers=0, **kwargs)
+        pooled = run_campaign(config, workers=2, **kwargs)
+        inline_extras = sorted(
+            result.extra_activations for result in inline["PARA"].results
+        )
+        pooled_extras = sorted(
+            result.extra_activations for result in pooled["PARA"].results
+        )
+        assert inline_extras == pooled_extras
+
+    def test_workload_kwargs_forwarded(self):
+        config = small_test_config(num_banks=2)
+        aggregates = run_campaign(
+            config,
+            total_intervals=8,
+            techniques=("PARA",),
+            seeds=(0,),
+            workers=0,
+            max_aggressors=5,
+        )
+        result = aggregates["PARA"].results[0]
+        assert result.normal_activations > 0

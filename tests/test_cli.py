@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("table1", "table2", "table3", "fig4", "flood",
+                        "policies", "trace", "run"):
+            args = None
+            try:
+                if command in ("trace",):
+                    args = parser.parse_args([command, "--out", "x"])
+                elif command == "run":
+                    args = parser.parse_args(
+                        [command, "--technique", "PARA", "--trace", "x"]
+                    )
+                else:
+                    args = parser.parse_args([command])
+            except SystemExit:  # pragma: no cover
+                pytest.fail(f"command {command} failed to parse")
+            assert args.command == command
+
+
+class TestStaticCommands:
+    def test_table1_prints_parameters(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Refresh window" in out
+        assert "8192" in out
+
+    def test_table2_prints_cycles(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "CaPRoMi" in out
+        assert "258" in out
+
+
+class TestTraceRoundtrip:
+    def test_trace_then_run(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.txt")
+        assert main(["trace", "--out", trace_path, "--intervals", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        code = main(["run", "--technique", "PARA", "--trace", trace_path])
+        out = capsys.readouterr().out
+        assert "PARA" in out
+        assert code == 0  # 8 intervals cannot flip anything
+
+    def test_run_unmitigated(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.txt")
+        main(["trace", "--out", trace_path, "--intervals", "8"])
+        capsys.readouterr()
+        code = main(["run", "--technique", "none", "--trace", trace_path])
+        out = capsys.readouterr().out
+        assert "none" in out
+        assert code == 0
+
+
+class TestHeavyCommands:
+    """The simulation-backed subcommands, at minimal scale."""
+
+    def test_table3_small(self, capsys):
+        assert main(["table3", "--intervals", "16", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "LoLiPRoMi" in out
+        assert "unmitigated flips" in out
+
+    def test_fig4_small(self, capsys):
+        assert main(["fig4", "--intervals", "16", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "table bytes/bank" in out
+
+    def test_policies_small(self, capsys):
+        assert main(["policies", "--intervals", "16", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "counter-mask" in out
+
+    def test_flood_small(self, capsys):
+        assert main(["flood", "--start-weights", "4096", "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "start weight" in out

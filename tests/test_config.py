@@ -1,0 +1,154 @@
+"""Tests for repro.config: Table I parameters and geometry math."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import (
+    DDR3_TIMING,
+    DRAMGeometry,
+    DRAMTiming,
+    FLIP_THRESHOLD,
+    HALF_FLIP_THRESHOLD,
+    PBASE_PAPER,
+    SimConfig,
+    ddr4_paper_config,
+    small_test_config,
+)
+
+
+class TestDRAMTiming:
+    def test_ddr4_act_cycle_budget_is_54(self):
+        assert DRAMTiming().act_cycle_budget == 54
+
+    def test_ddr4_ref_cycle_budget_is_420(self):
+        assert DRAMTiming().ref_cycle_budget == 420
+
+    def test_ddr3_act_cycle_budget(self):
+        # 45 ns at 320 MHz = 14 cycles
+        assert DDR3_TIMING.act_cycle_budget == 14
+
+    def test_ddr3_ref_cycle_budget(self):
+        assert DDR3_TIMING.ref_cycle_budget == 112
+
+    def test_max_acts_per_interval_near_165(self):
+        # TWiCe derives 165 for DDR4; our derivation must agree closely
+        assert DRAMTiming().max_acts_per_interval == 165
+
+    def test_refresh_window_ns(self):
+        assert DRAMTiming().refresh_window_ns == pytest.approx(64e6)
+
+    def test_refresh_interval_ns(self):
+        assert DRAMTiming().refresh_interval_ns == pytest.approx(7800)
+
+
+class TestDRAMGeometry:
+    def test_paper_refint_is_8192(self):
+        assert DRAMGeometry().refint == 8192
+
+    def test_refresh_interval_of_matches_shift(self):
+        geometry = DRAMGeometry()
+        assert geometry.refresh_interval_of(0) == 0
+        assert geometry.refresh_interval_of(7) == 0
+        assert geometry.refresh_interval_of(8) == 1
+        assert geometry.refresh_interval_of(65_535) == 8191
+
+    def test_rows_of_interval_inverse(self):
+        geometry = DRAMGeometry()
+        rows = geometry.rows_of_interval(3)
+        assert list(rows) == [24, 25, 26, 27, 28, 29, 30, 31]
+        for row in rows:
+            assert geometry.refresh_interval_of(row) == 3
+
+    def test_neighbors_interior(self):
+        assert DRAMGeometry().neighbors(100) == (99, 101)
+
+    def test_neighbors_edges(self):
+        geometry = DRAMGeometry()
+        assert geometry.neighbors(0) == (1,)
+        last = geometry.rows_per_bank - 1
+        assert geometry.neighbors(last) == (last - 1,)
+
+    def test_row_bounds_checked(self):
+        geometry = DRAMGeometry()
+        with pytest.raises(ValueError):
+            geometry.neighbors(-1)
+        with pytest.raises(ValueError):
+            geometry.refresh_interval_of(geometry.rows_per_bank)
+
+    def test_interval_bounds_checked(self):
+        with pytest.raises(ValueError):
+            DRAMGeometry().rows_of_interval(8192)
+
+    def test_rejects_misaligned_rows_per_interval(self):
+        with pytest.raises(ValueError):
+            DRAMGeometry(rows_per_bank=100, rows_per_interval=8)
+
+    def test_rejects_degenerate_geometry(self):
+        with pytest.raises(ValueError):
+            DRAMGeometry(num_banks=0)
+
+    @given(
+        interval=st.integers(min_value=0, max_value=63),
+        offset=st.integers(min_value=0, max_value=7),
+    )
+    def test_mapping_roundtrip_property(self, interval, offset):
+        geometry = DRAMGeometry(rows_per_bank=512, rows_per_interval=8)
+        row = interval * 8 + offset
+        assert geometry.refresh_interval_of(row) == interval
+        assert row in geometry.rows_of_interval(interval)
+
+
+class TestSimConfig:
+    def test_paper_max_probability_near_0_001(self):
+        config = ddr4_paper_config()
+        # Table I: RefInt * Pbase = 9.8e-4
+        assert config.max_probability == pytest.approx(9.8e-4, rel=0.01)
+
+    def test_paper_pbase(self):
+        assert ddr4_paper_config().pbase == PBASE_PAPER == 2.0 ** -23
+
+    def test_flip_threshold_constants(self):
+        assert FLIP_THRESHOLD == 139_000
+        assert HALF_FLIP_THRESHOLD == 69_500
+
+    def test_default_table_sizes_match_paper(self):
+        config = ddr4_paper_config()
+        assert config.history_table_entries == 32
+        assert config.counter_table_entries == 64
+
+    def test_rejects_bad_pbase(self):
+        with pytest.raises(ValueError):
+            SimConfig(pbase=0.0)
+        with pytest.raises(ValueError):
+            SimConfig(pbase=1.5)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            SimConfig(flip_threshold=0)
+
+    def test_rejects_bad_table_sizes(self):
+        with pytest.raises(ValueError):
+            SimConfig(history_table_entries=0)
+        with pytest.raises(ValueError):
+            SimConfig(counter_table_entries=0)
+
+    def test_scaled_replaces_fields(self):
+        config = SimConfig().scaled(history_table_entries=16)
+        assert config.history_table_entries == 16
+        assert config.pbase == SimConfig().pbase
+
+    def test_small_config_preserves_probability_bound(self):
+        small = small_test_config()
+        # RefInt * Pbase must keep the paper's ~0.001 ceiling
+        assert small.max_probability == pytest.approx(
+            2.0 ** -10, rel=1e-9
+        )
+
+    def test_small_config_scales_pbase_with_refint(self):
+        for rows in (256, 512, 1024):
+            small = small_test_config(rows_per_bank=rows)
+            refint = small.geometry.refint
+            assert small.pbase * refint == pytest.approx(2.0 ** -10)
+            assert math.log2(small.pbase).is_integer()

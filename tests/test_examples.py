@@ -1,0 +1,82 @@
+"""Smoke tests: every example script runs end to end.
+
+Each example is executed as a subprocess with scaled-down arguments so
+the suite stays fast; the assertion is that it exits cleanly and prints
+its headline output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert process.returncode == 0, process.stderr
+    return process.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "--intervals", "128")
+        assert "no mitigation" in out
+        assert "LoLiPRoMi" in out
+
+    def test_attack_demo(self):
+        out = run_example("attack_demo.py", "--intervals", "256", "--rate", "140")
+        assert "unprotected" in out
+        assert "CaPRoMi" in out
+
+    def test_compare_mitigations(self):
+        out = run_example("compare_mitigations.py", "--intervals", "128",
+                          "--seeds", "1")
+        assert "Table III" in out
+        assert "PROTECTED" in out or "FLIPPED" in out
+
+    def test_flooding_attack(self):
+        out = run_example("flooding_attack.py", "--seeds", "2",
+                          "--start-weights", "4096")
+        assert "start weight" in out
+
+    def test_refresh_policy_study(self):
+        out = run_example("refresh_policy_study.py", "--intervals", "128",
+                          "--seeds", "1")
+        assert "counter-mask" in out
+
+    def test_full_system_pipeline(self):
+        out = run_example("full_system_pipeline.py", "--intervals", "16")
+        assert "timing violations: 0" in out
+        assert "no mitigation" in out
+
+    def test_counter_tree_saturation(self):
+        out = run_example("counter_tree_saturation.py",
+                          "--node-budgets", "16", "64")
+        assert "finest" in out
+
+    def test_software_vs_hardware(self):
+        out = run_example("software_vs_hardware.py", "--windows", "3")
+        assert "software detector" in out
+
+    def test_every_example_has_a_test(self):
+        scripts = {path.name for path in EXAMPLES.glob("*.py")}
+        tested = {
+            "quickstart.py", "attack_demo.py", "compare_mitigations.py",
+            "flooding_attack.py", "refresh_policy_study.py",
+            "full_system_pipeline.py", "counter_tree_saturation.py",
+            "software_vs_hardware.py", "parallel_campaign.py",
+        }
+        assert scripts <= tested, scripts - tested
+
+    def test_parallel_campaign(self):
+        out = run_example("parallel_campaign.py", "--intervals", "64",
+                          "--seeds", "1", "--workers", "2")
+        assert "PARA" in out

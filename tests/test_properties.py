@@ -1,0 +1,111 @@
+"""Cross-module property-based tests on simulation invariants."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import small_test_config
+from repro.mitigations.registry import make_factory, technique_names
+from repro.sim.engine import run_simulation
+from repro.traces.attacker import AttackSpec
+from repro.traces.mixer import build_trace
+from repro.traces.record import validate_trace
+from repro.traces.workload import WorkloadParams
+
+techniques = st.sampled_from(technique_names())
+
+
+def small_trace(config, seed, rate, aggressor):
+    attack = AttackSpec(
+        bank=0,
+        aggressors=(aggressor,),
+        acts_per_interval=rate,
+        name="prop",
+    )
+    return build_trace(
+        config,
+        total_intervals=16,
+        benign_params=WorkloadParams(avg_acts_per_interval=8),
+        attacks=[attack],
+        seed=seed,
+    )
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    technique=techniques,
+    seed=st.integers(min_value=0, max_value=100),
+    rate=st.integers(min_value=1, max_value=60),
+    aggressor=st.integers(min_value=1, max_value=510),
+)
+def test_engine_invariants(technique, seed, rate, aggressor):
+    """Invariants that must hold for every technique and trace:
+
+    * false-positive extras never exceed total extras;
+    * mitigation triggers never exceed normal activations plus
+      intervals (one collective decision per interval at most for the
+      per-activation techniques, a batch per interval for CaPRoMi);
+    * disturbance stays non-negative and the protection margin in
+      [0, 1];
+    * the trace itself is well-formed.
+    """
+    config = small_test_config(flip_threshold=10_000)
+    trace = small_trace(config, seed, rate, aggressor).materialize()
+    assert validate_trace(trace, act_to_act_ns=45) == []
+    result = run_simulation(config, trace, make_factory(technique), seed=seed)
+    assert 0 <= result.fp_extra_activations <= result.extra_activations
+    assert result.normal_activations == trace.count()
+    assert result.attack_activations <= result.normal_activations
+    assert 0.0 <= result.protection_margin <= 1.0
+    assert result.max_disturbance >= 0
+    assert result.intervals_simulated == 16
+    assert result.extra_activations <= 2 * result.mitigation_triggers + 2
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=50))
+def test_unmitigated_run_never_issues_extras(seed):
+    config = small_test_config(flip_threshold=10_000)
+    trace = small_trace(config, seed, rate=30, aggressor=100)
+    result = run_simulation(config, trace, None, seed=seed)
+    assert result.extra_activations == 0
+    assert result.fp_extra_activations == 0
+    assert result.mitigation_triggers == 0
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=50),
+    technique=techniques,
+)
+def test_mitigation_never_increases_peak_disturbance(seed, technique):
+    """A mitigation may only *restore* rows: the worst-case disturbance
+    with mitigation must not exceed the unmitigated worst case by more
+    than the act_n side effect (act_n activations disturb second-order
+    neighbours by one each)."""
+    config = small_test_config(flip_threshold=10 ** 6)
+    trace = small_trace(config, seed, rate=50, aggressor=100).materialize()
+    unmitigated = run_simulation(config, trace, None, seed=seed)
+    mitigated = run_simulation(config, trace, make_factory(technique), seed=seed)
+    slack = mitigated.mitigation_triggers + 1
+    assert mitigated.max_disturbance <= unmitigated.max_disturbance + slack
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    technique=techniques,
+)
+def test_simulation_is_deterministic(seed, technique):
+    config = small_test_config(flip_threshold=10_000)
+    results = []
+    for _ in range(2):
+        trace = small_trace(config, seed, rate=20, aggressor=50)
+        result = run_simulation(config, trace, make_factory(technique), seed=seed)
+        results.append(
+            (
+                result.normal_activations,
+                result.extra_activations,
+                result.fp_extra_activations,
+                result.max_disturbance,
+            )
+        )
+    assert results[0] == results[1]

@@ -1,0 +1,145 @@
+"""Tests for the attack pattern generators."""
+
+import pytest
+
+from repro.config import DRAMGeometry
+from repro.traces.attacker import (
+    AttackSpec,
+    double_sided,
+    flooding,
+    n_aggressor,
+    ramped_multi_aggressor,
+    single_sided,
+)
+
+
+def geometry():
+    return DRAMGeometry(num_banks=1, rows_per_bank=512, rows_per_interval=8)
+
+
+class TestAttackSpec:
+    def test_rejects_empty_aggressors(self):
+        with pytest.raises(ValueError):
+            AttackSpec(bank=0, aggressors=(), acts_per_interval=1)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            AttackSpec(bank=0, aggressors=(1, 1), acts_per_interval=1)
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            AttackSpec(bank=0, aggressors=(1,), acts_per_interval=0)
+
+    def test_active_window(self):
+        spec = AttackSpec(
+            bank=0, aggressors=(1,), acts_per_interval=4,
+            start_interval=2, end_interval=5,
+        )
+        assert not spec.active_in(1)
+        assert spec.active_in(2)
+        assert spec.active_in(4)
+        assert not spec.active_in(5)
+
+    def test_open_ended(self):
+        spec = AttackSpec(bank=0, aggressors=(1,), acts_per_interval=4)
+        assert spec.active_in(10 ** 6)
+
+    def test_round_robin_is_fair(self):
+        spec = AttackSpec(bank=0, aggressors=(1, 3, 5), acts_per_interval=9)
+        rows = spec.rows_for_interval(0)
+        assert len(rows) == 9
+        assert rows.count(1) == rows.count(3) == rows.count(5) == 3
+
+    def test_round_robin_rotates_across_intervals(self):
+        spec = AttackSpec(bank=0, aggressors=(1, 3), acts_per_interval=3)
+        first = spec.rows_for_interval(0)
+        second = spec.rows_for_interval(1)
+        assert first == [1, 3, 1]
+        assert second == [3, 1, 3]
+
+    def test_inactive_interval_empty(self):
+        spec = AttackSpec(
+            bank=0, aggressors=(1,), acts_per_interval=4, start_interval=10
+        )
+        assert spec.rows_for_interval(0) == []
+
+    def test_victims_exclude_aggressors(self):
+        spec = AttackSpec(bank=0, aggressors=(10, 12), acts_per_interval=1)
+        assert spec.victims == (9, 11, 13)
+
+
+class TestPatternHelpers:
+    def test_single_sided_targets_neighbor(self):
+        spec = single_sided(geometry(), 0, victim=100, acts_per_interval=8)
+        assert spec.aggressors == (101,)
+
+    def test_single_sided_at_top_edge(self):
+        spec = single_sided(geometry(), 0, victim=511, acts_per_interval=8)
+        assert spec.aggressors == (510,)
+
+    def test_double_sided_brackets_victim(self):
+        spec = double_sided(geometry(), 0, victim=100, acts_per_interval=8)
+        assert spec.aggressors == (99, 101)
+
+    def test_double_sided_rejects_edge_victim(self):
+        with pytest.raises(ValueError):
+            double_sided(geometry(), 0, victim=0, acts_per_interval=8)
+
+    def test_n_aggressor_spacing(self):
+        spec = n_aggressor(
+            geometry(), 0, count=4, acts_per_interval=8, first_row=10, spacing=4
+        )
+        assert spec.aggressors == (10, 14, 18, 22)
+
+    def test_n_aggressor_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            n_aggressor(geometry(), 0, count=200, acts_per_interval=8, spacing=4)
+
+    def test_flooding_single_row(self):
+        spec = flooding(geometry(), 0, row=7, acts_per_interval=165)
+        assert spec.aggressors == (7,)
+        assert spec.rows_for_interval(0) == [7] * 165
+
+
+class TestRampedMultiAggressor:
+    def test_segment_count(self):
+        specs = ramped_multi_aggressor(
+            geometry(), 0, total_intervals=100, max_aggressors=10,
+            acts_per_interval=8, first_row=10, spacing=2,
+        )
+        assert len(specs) == 10
+
+    def test_aggressors_are_cumulative(self):
+        specs = ramped_multi_aggressor(
+            geometry(), 0, total_intervals=100, max_aggressors=5,
+            acts_per_interval=8, first_row=10, spacing=2,
+        )
+        for index, spec in enumerate(specs):
+            assert len(spec.aggressors) == index + 1
+            assert set(specs[index - 1].aggressors) <= set(spec.aggressors) or index == 0
+
+    def test_segments_tile_the_trace(self):
+        specs = ramped_multi_aggressor(
+            geometry(), 0, total_intervals=100, max_aggressors=5,
+            acts_per_interval=8, first_row=10, spacing=2,
+        )
+        covered = set()
+        for spec in specs:
+            covered.update(range(spec.start_interval, spec.end_interval))
+        assert covered == set(range(100))
+
+    def test_exactly_one_segment_active_per_interval(self):
+        specs = ramped_multi_aggressor(
+            geometry(), 0, total_intervals=97, max_aggressors=7,
+            acts_per_interval=8, first_row=10, spacing=2,
+        )
+        for interval in range(97):
+            active = [spec for spec in specs if spec.active_in(interval)]
+            assert len(active) == 1
+
+    def test_rejects_row_overflow(self):
+        with pytest.raises(ValueError):
+            ramped_multi_aggressor(
+                geometry(), 0, total_intervals=100, max_aggressors=20,
+                acts_per_interval=8, first_row=500, spacing=2,
+            )

@@ -1,0 +1,138 @@
+"""Tests for the workload/attack mixer."""
+
+import pytest
+
+from repro.config import small_test_config
+from repro.traces.attacker import flooding
+from repro.traces.mixer import build_trace, paper_mixed_workload
+from repro.traces.record import validate_trace
+from repro.traces.workload import WorkloadParams
+
+
+class TestBuildTrace:
+    def test_empty_when_no_sources(self):
+        config = small_test_config()
+        trace = build_trace(config, total_intervals=8).materialize()
+        assert trace.count() == 0
+
+    def test_pure_attack_counts(self):
+        config = small_test_config()
+        attack = flooding(config.geometry, 0, row=5, acts_per_interval=10)
+        trace = build_trace(
+            config, total_intervals=8, attacks=[attack]
+        ).materialize()
+        assert trace.count() == 80
+        assert all(record.is_attack for record in trace)
+        assert all(record.row == 5 for record in trace)
+
+    def test_benign_records_not_flagged(self):
+        config = small_test_config()
+        trace = build_trace(
+            config,
+            total_intervals=8,
+            benign_params=WorkloadParams(avg_acts_per_interval=10),
+        ).materialize()
+        assert trace.count() > 0
+        assert not any(record.is_attack for record in trace)
+
+    def test_per_interval_cap_enforced(self):
+        config = small_test_config()
+        cap = config.timing.max_acts_per_interval
+        attack = flooding(config.geometry, 0, row=5, acts_per_interval=400)
+        trace = build_trace(
+            config, total_intervals=4, attacks=[attack]
+        ).materialize()
+        assert trace.count() == 4 * cap
+
+    def test_trace_is_valid(self):
+        config = small_test_config(num_banks=2)
+        trace = build_trace(
+            config,
+            total_intervals=16,
+            benign_params=WorkloadParams(avg_acts_per_interval=20),
+            attacks=[flooding(config.geometry, 1, row=5, acts_per_interval=30)],
+            seed=3,
+        ).materialize()
+        assert validate_trace(trace, act_to_act_ns=45) == []
+
+    def test_deterministic_per_seed(self):
+        config = small_test_config()
+        make = lambda: build_trace(
+            config,
+            total_intervals=8,
+            benign_params=WorkloadParams(avg_acts_per_interval=10),
+            seed=11,
+        ).materialize()
+        assert list(make()) == list(make())
+
+    def test_rejects_attack_on_missing_bank(self):
+        config = small_test_config(num_banks=1)
+        attack = flooding(config.geometry, 0, row=5, acts_per_interval=10)
+        object.__setattr__(attack, "bank", 3)
+        with pytest.raises(ValueError):
+            build_trace(config, total_intervals=4, attacks=[attack])
+
+    def test_records_sorted_within_interval_across_banks(self):
+        config = small_test_config(num_banks=2)
+        trace = build_trace(
+            config,
+            total_intervals=4,
+            benign_params=WorkloadParams(avg_acts_per_interval=20),
+            seed=5,
+        ).materialize()
+        times = [record.time_ns for record in trace]
+        assert times == sorted(times)
+
+
+class TestPaperMixedWorkload:
+    def test_contains_both_flavours(self):
+        config = small_test_config(num_banks=2)
+        trace = paper_mixed_workload(
+            config, total_intervals=config.geometry.refint, seed=0
+        ).materialize()
+        kinds = {record.is_attack for record in trace}
+        assert kinds == {True, False}
+
+    def test_attack_fraction_substantial_but_mixed(self):
+        """The attacker shares the device with the benign load.
+
+        (On the full 4-bank DDR4 geometry the attacker share lands near
+        the ~38-60 % the paper's PARA FPR split implies; the 2-bank test
+        geometry concentrates the attack, so the band here is loose.)
+        """
+        config = small_test_config(num_banks=2)
+        trace = paper_mixed_workload(
+            config, total_intervals=config.geometry.refint, seed=0
+        ).materialize()
+        attack = sum(1 for record in trace if record.is_attack)
+        fraction = attack / trace.count()
+        assert 0.25 < fraction < 0.85
+
+    def test_aggressor_count_ramps(self):
+        config = small_test_config(num_banks=1, rows_per_bank=2048)
+        trace = paper_mixed_workload(
+            config,
+            total_intervals=200,
+            seed=0,
+            max_aggressors=10,
+            sustained_double_sided=False,
+        ).materialize()
+        early = {
+            record.row
+            for record in trace
+            if record.is_attack and record.time_ns < 10 * trace.meta.interval_ns
+        }
+        late = {
+            record.row
+            for record in trace
+            if record.is_attack and record.time_ns > 190 * trace.meta.interval_ns
+        }
+        assert len(early) < len(late)
+
+    def test_double_sided_attack_present_by_default(self):
+        config = small_test_config(num_banks=2)
+        trace = paper_mixed_workload(
+            config, total_intervals=32, seed=0
+        ).materialize()
+        banks = {record.bank for record in trace if record.is_attack}
+        assert banks == {0, 1}

@@ -1,0 +1,118 @@
+"""Tests for trace serialisation."""
+
+import pytest
+
+from repro.config import small_test_config
+from repro.traces.mixer import build_trace
+from repro.traces.record import Trace, TraceMeta, TraceRecord
+from repro.traces.trace_io import load_trace, save_trace
+from repro.traces.workload import WorkloadParams
+
+
+def sample_trace():
+    meta = TraceMeta(total_intervals=4, interval_ns=7800, num_banks=2)
+    records = [
+        TraceRecord(0, 0, 10, False),
+        TraceRecord(100, 1, 20, True),
+        TraceRecord(7900, 0, 30, False),
+    ]
+    return Trace(meta=meta, records=records)
+
+
+class TestRoundtrip:
+    def test_save_returns_count(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        assert save_trace(sample_trace(), path) == 3
+
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        original = sample_trace()
+        save_trace(original, path)
+        loaded = load_trace(path)
+        assert loaded.meta == original.meta
+        assert list(loaded) == list(original)
+
+    def test_lazy_load_streams(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        save_trace(sample_trace(), path)
+        loaded = load_trace(path, lazy=True)
+        assert not isinstance(loaded.records, list)
+        assert len(list(loaded)) == 3
+
+    def test_generated_trace_roundtrip(self, tmp_path):
+        config = small_test_config()
+        trace = build_trace(
+            config,
+            total_intervals=8,
+            benign_params=WorkloadParams(avg_acts_per_interval=10),
+            seed=2,
+        ).materialize()
+        path = tmp_path / "gen.txt"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert list(loaded) == list(trace)
+
+
+class TestErrors:
+    def test_rejects_non_trace_file(self, tmp_path):
+        path = tmp_path / "bogus.txt"
+        path.write_text("not a trace\n")
+        with pytest.raises(ValueError, match="not a repro trace"):
+            load_trace(path)
+
+    def test_reports_bad_record_line(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        save_trace(sample_trace(), path)
+        with path.open("a") as handle:
+            handle.write("bad,line\n")
+        with pytest.raises(ValueError, match="bad record"):
+            load_trace(path)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        save_trace(sample_trace(), path)
+        with path.open("a") as handle:
+            handle.write("\n\n")
+        assert load_trace(path).count() == 3
+
+
+class TestNpzRoundtrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        from repro.traces.trace_io import load_trace_npz, save_trace_npz
+
+        path = tmp_path / "trace.npz"
+        original = sample_trace()
+        assert save_trace_npz(original, path) == 3
+        loaded = load_trace_npz(path)
+        assert loaded.meta == original.meta
+        assert list(loaded) == list(original)
+
+    def test_npz_smaller_than_text(self, tmp_path):
+        from repro.traces.trace_io import save_trace_npz
+
+        config = small_test_config()
+        trace = build_trace(
+            config,
+            total_intervals=64,
+            benign_params=WorkloadParams(avg_acts_per_interval=40),
+            seed=2,
+        ).materialize()
+        text_path = tmp_path / "t.txt"
+        npz_path = tmp_path / "t.npz"
+        save_trace(trace, text_path)
+        save_trace_npz(trace, npz_path)
+        assert npz_path.stat().st_size < text_path.stat().st_size
+
+    def test_generated_trace_roundtrip(self, tmp_path):
+        from repro.traces.trace_io import load_trace_npz, save_trace_npz
+
+        config = small_test_config()
+        trace = build_trace(
+            config,
+            total_intervals=8,
+            benign_params=WorkloadParams(avg_acts_per_interval=10),
+            seed=3,
+        ).materialize()
+        path = tmp_path / "gen.npz"
+        save_trace_npz(trace, path)
+        assert list(load_trace_npz(path)) == list(trace)

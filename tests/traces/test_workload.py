@@ -1,0 +1,102 @@
+"""Tests for the synthetic benign workload generator."""
+
+import pytest
+
+from repro.config import DRAMGeometry
+from repro.traces.workload import BenignWorkload, WorkloadParams
+
+
+def geometry():
+    return DRAMGeometry(num_banks=1, rows_per_bank=2048, rows_per_interval=8)
+
+
+def make(seed=0, **kwargs):
+    return BenignWorkload(geometry(), WorkloadParams(**kwargs), bank=0, seed=seed)
+
+
+class TestWorkloadParams:
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(avg_acts_per_interval=0)
+
+    def test_rejects_empty_working_set(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(working_set_rows=0)
+
+    def test_rejects_bad_turnover(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(phase_turnover=2.0)
+
+
+class TestRates:
+    def test_mean_rate_close_to_parameter(self):
+        workload = make(avg_acts_per_interval=25.0)
+        counts = [workload.acts_in_interval(i) for i in range(2000)]
+        mean = sum(counts) / len(counts)
+        assert 23.0 < mean < 27.0  # Poisson(25), n=2000
+
+    def test_counts_vary(self):
+        workload = make(avg_acts_per_interval=25.0)
+        counts = {workload.acts_in_interval(i) for i in range(100)}
+        assert len(counts) > 3
+
+    def test_deterministic_per_seed(self):
+        rows_a = make(seed=5).rows_for_interval(0)
+        rows_b = make(seed=5).rows_for_interval(0)
+        assert rows_a == rows_b
+
+    def test_seeds_differ(self):
+        rows_a = [make(seed=1).next_row() for _ in range(20)]
+        rows_b = [make(seed=2).next_row() for _ in range(20)]
+        assert rows_a != rows_b
+
+
+class TestLocality:
+    def test_zipf_concentration(self):
+        """Most activations hit a small top fraction of the working set."""
+        workload = make(
+            working_set_rows=256, zipf_s=1.2, streaming_burst_prob=0.0
+        )
+        from collections import Counter
+
+        counts = Counter(workload.next_row() for _ in range(20_000))
+        top32 = sum(count for _, count in counts.most_common(32))
+        assert top32 / 20_000 > 0.6
+
+    def test_rows_within_bank(self):
+        workload = make()
+        for _ in range(500):
+            assert 0 <= workload.next_row() < 2048
+
+    def test_phase_change_shifts_working_set(self):
+        workload = make(
+            phase_length_intervals=10,
+            phase_turnover=1.0,
+            streaming_burst_prob=0.0,
+            working_set_rows=32,
+        )
+        before = set(workload.rows_for_interval(0))
+        for interval in range(1, 30):
+            workload.acts_in_interval(interval)
+        after = set(workload.rows_for_interval(30))
+        # full turnover twice: overlap should be far from total
+        assert before != after
+
+    def test_streaming_burst_produces_sequential_rows(self):
+        workload = make(streaming_burst_prob=1.0, streaming_burst_length=8)
+        rows = [workload.next_row() for _ in range(9)]
+        # after the burst trigger, rows advance sequentially
+        deltas = {b - a for a, b in zip(rows[1:], rows[2:])}
+        assert deltas == {1} or 1 in deltas
+
+    def test_working_set_capped_by_bank(self):
+        small_geometry = DRAMGeometry(
+            num_banks=1, rows_per_bank=64, rows_per_interval=8
+        )
+        workload = BenignWorkload(
+            small_geometry,
+            WorkloadParams(working_set_rows=10_000, streaming_burst_prob=0.0),
+            bank=0,
+            seed=0,
+        )
+        assert all(0 <= workload.next_row() < 64 for _ in range(200))

@@ -1,0 +1,86 @@
+"""Fast-engine speedup on the flooding benchmark trace.
+
+Replays one full-rate single-row flood (the Section IV attack shape)
+through both simulation engines and reports the speedup per technique.
+The acceptance bar is a >= 3x speedup for the probabilistic TiVaPRoMi
+variants; results must be field-for-field identical, which this bench
+also re-asserts at benchmark scale (the differential tests pin it at
+test scale).
+
+Scale with ``REPRO_BENCH_INTERVALS`` as usual.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import BENCH_INTERVALS, run_once
+from repro.analysis.report import render_table
+from repro.mitigations.registry import make_factory
+from repro.sim.engine import run_simulation
+from repro.sim.fast_engine import run_simulation_fast
+from repro.traces.attacker import AttackSpec
+from repro.traces.mixer import build_trace
+
+#: techniques held to the 3x bar (the paper's probabilistic variants)
+FAST_PATH_TECHNIQUES = ("LiPRoMi", "LoPRoMi", "LoLiPRoMi")
+#: measured and reported, but not held to the bar (PARA has a cheaper
+#: fast path; the counter-based techniques run their reference decision
+#: logic behind the flattened record loop)
+REPORTED_TECHNIQUES = ("PARA", "TWiCe", "CaPRoMi", "none")
+SPEEDUP_FLOOR = 3.0
+
+
+def _flooding_trace(config):
+    row = config.geometry.rows_per_bank // 2
+    acts = config.timing.max_acts_per_interval
+    return build_trace(
+        config,
+        BENCH_INTERVALS,
+        attacks=(
+            AttackSpec(bank=0, aggressors=(row,), acts_per_interval=acts),
+        ),
+        seed=3,
+        materialize=True,
+    )
+
+
+def _measure(config, trace, technique):
+    factory = make_factory(technique) if technique != "none" else None
+    started = time.perf_counter()
+    reference = run_simulation(config, trace, factory, seed=3)
+    mid = time.perf_counter()
+    fast = run_simulation_fast(config, trace, factory, seed=3)
+    ended = time.perf_counter()
+    assert reference.as_dict() == fast.as_dict(), technique
+    return mid - started, ended - mid
+
+
+def test_fast_engine_speedup(benchmark, paper_config):
+    trace = _flooding_trace(paper_config)
+
+    def compute():
+        return {
+            technique: _measure(paper_config, trace, technique)
+            for technique in FAST_PATH_TECHNIQUES + REPORTED_TECHNIQUES
+        }
+
+    timings = run_once(benchmark, compute)
+    rows = []
+    for technique, (ref_seconds, fast_seconds) in timings.items():
+        speedup = ref_seconds / fast_seconds
+        benchmark.extra_info[technique] = round(speedup, 2)
+        rows.append(
+            (technique, f"{ref_seconds:.3f}s", f"{fast_seconds:.3f}s",
+             f"{speedup:.1f}x")
+        )
+    print(f"\n=== fast engine vs reference, flooding trace "
+          f"({trace.count():,} records, {BENCH_INTERVALS} intervals) ===")
+    print(render_table(("technique", "reference", "fast", "speedup"), rows))
+
+    for technique in FAST_PATH_TECHNIQUES:
+        ref_seconds, fast_seconds = timings[technique]
+        assert ref_seconds / fast_seconds >= SPEEDUP_FLOOR, (
+            f"{technique}: {ref_seconds / fast_seconds:.2f}x "
+            f"< {SPEEDUP_FLOOR}x floor"
+        )

@@ -9,7 +9,9 @@
     python -m repro trace --out FILE [--intervals N --seed S]
     python -m repro run --technique NAME --trace FILE
 
-The heavy subcommands accept the same scale knobs as the benchmarks.
+The heavy subcommands accept the same scale knobs as the benchmarks,
+plus ``--engine {reference,fast}`` to pick the simulation engine (the
+fast engine is result-identical; see docs/architecture.md).
 """
 
 from __future__ import annotations
@@ -26,6 +28,18 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
                         help="refresh intervals per run (8192 = full window)")
     parser.add_argument("--seeds", type=int, default=2,
                         help="seeds per technique")
+    _add_engine_arg(parser)
+
+
+def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
+    from repro.sim.engine import ENGINE_NAMES
+
+    parser.add_argument(
+        "--engine", choices=ENGINE_NAMES, default="reference",
+        help="simulation engine: 'fast' is result-identical to "
+             "'reference' (pinned by the differential tests) but "
+             "several times faster",
+    )
 
 
 def _cmd_table1(args) -> int:
@@ -49,7 +63,7 @@ def _comparison(args):
     factory = default_trace_factory(config, total_intervals=args.intervals)
     return config, compare_techniques(
         config, factory, seeds=tuple(range(args.seeds)),
-        include_unmitigated=True,
+        include_unmitigated=True, engine=args.engine,
     )
 
 
@@ -107,6 +121,7 @@ def _cmd_policies(args) -> int:
             config, args.technique, factory,
             seeds=tuple(range(args.seeds)),
             policy_factory=lambda seed, p=policy: p,
+            engine=args.engine,
         )
         rows.append(
             (policy.name, aggregate.overhead_cell(),
@@ -131,13 +146,13 @@ def _cmd_trace(args) -> int:
 
 def _cmd_run(args) -> int:
     from repro.mitigations.registry import make_factory
-    from repro.sim.engine import run_simulation
+    from repro.sim.engine import get_engine
     from repro.traces.trace_io import load_trace
 
     config = SimConfig()
     trace = load_trace(args.trace)
     factory = make_factory(args.technique) if args.technique != "none" else None
-    result = run_simulation(config, trace, factory, seed=args.seed)
+    result = get_engine(args.engine)(config, trace, factory, seed=args.seed)
     print(result.summary())
     return 1 if result.attack_succeeded else 0
 
@@ -184,6 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="technique name, or 'none' for unmitigated")
     run.add_argument("--trace", required=True)
     run.add_argument("--seed", type=int, default=0)
+    _add_engine_arg(run)
     run.set_defaults(func=_cmd_run)
 
     return parser

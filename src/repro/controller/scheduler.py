@@ -68,6 +68,10 @@ class FRFCFSScheduler:
         #: simply have issued it later)
         self.queue_depth = queue_depth
         self.backpressured = 0
+        #: deadline of the upcoming all-bank refresh; an ACT whose column
+        #: access cannot issue strictly before it would be wasted (the
+        #: refresh closes the row first), so such ACTs are deferred
+        self._next_refresh = float("inf")
 
     # -- scheduling core ---------------------------------------------------
 
@@ -102,6 +106,9 @@ class FRFCFSScheduler:
         timer = self.bank_timers[bank]
         pending = self.queues[bank][0]
         if timer.open_row == -1:
+            projected_col = max(timer._earliest_col, now + self.timing.trcd)
+            if projected_col >= self._next_refresh:
+                return False
             if timer.can_act(now) and self.rank_timer.can_act(now):
                 timer.issue_act(now, pending.event.row)
                 self.rank_timer.issue_act(now)
@@ -178,6 +185,7 @@ class FRFCFSScheduler:
             if now >= next_refresh:
                 self._refresh(next_refresh)
                 next_refresh += self.timing.trefi
+            self._next_refresh = next_refresh
             admit(now)
             if self._try_column(now):
                 continue

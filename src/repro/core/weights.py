@@ -48,3 +48,28 @@ def log_weight(weight: int) -> int:
 def probability(weight: int, pbase: float) -> float:
     """Trigger probability ``p_r = w * Pbase``, capped at 1."""
     return min(1.0, weight * pbase)
+
+
+def trigger_probability(
+    current_interval: int,
+    last_refresh_interval: int,
+    refint: int,
+    pbase: float,
+    weighting: str = "linear",
+    in_table: bool = False,
+) -> float:
+    """Eq. 1 + Eq. 2 + cap in one call.
+
+    ``weighting`` selects the variant: ``"linear"`` uses the raw Eq. 1
+    weight, ``"log"`` always quantises it with Eq. 2, and ``"loli"``
+    quantises only rows *not* held in the history table (the LoLiPRoMi
+    hybrid).  The fast engine uses this to materialise per-interval
+    probability vectors from the same math the reference mitigation
+    evaluates row-by-row.
+    """
+    weight = linear_weight(current_interval, last_refresh_interval, refint)
+    if weighting == "log" or (weighting == "loli" and not in_table):
+        weight = log_weight(weight)
+    elif weighting not in ("linear", "loli"):
+        raise ValueError(f"unknown weighting: {weighting}")
+    return probability(weight, pbase)

@@ -15,7 +15,8 @@ from repro.sim.attacks import (
     tree_saturation_experiment,
     vulnerability_verdicts,
 )
-from repro.sim.engine import run_simulation
+from repro.sim.engine import ENGINE_NAMES, get_engine, run_simulation
+from repro.sim.fast_engine import run_simulation_fast
 from repro.sim.experiment import (
     TechniqueAggregate,
     compare_techniques,
@@ -31,6 +32,7 @@ from repro.sim.sweep import (
 )
 
 __all__ = [
+    "ENGINE_NAMES",
     "FloodingOutcome",
     "HalfDoublePoint",
     "MultiAggressorPoint",
@@ -47,7 +49,9 @@ __all__ = [
     "multi_aggressor_experiment",
     "remapped_adjacency_experiment",
     "software_detection_experiment",
+    "get_engine",
     "run_simulation",
+    "run_simulation_fast",
     "run_technique",
     "sweep_counter_table",
     "sweep_history_table",

@@ -52,6 +52,10 @@ class FloodingOutcome:
 
     @property
     def median_acts(self) -> Optional[float]:
+        if not self.triggered:
+            # no seed triggered (or no seeds ran at all): median([])
+            # would raise StatisticsError
+            return None
         if len(self.triggered) < (len(self.acts_to_first_trigger) + 1) // 2:
             return None  # the median seed did not trigger
         return median(self.triggered)

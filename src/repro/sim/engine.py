@@ -95,3 +95,26 @@ def run_simulation(
         result.table_bytes = controller.mitigations[0].table_bytes
     result.wall_seconds = time.perf_counter() - started
     return result
+
+
+#: engine names accepted by :func:`get_engine` (and the CLI ``--engine`` flag)
+ENGINE_NAMES = ("reference", "fast")
+
+
+def get_engine(name: str):
+    """Resolve an engine name to its ``run_simulation``-compatible function.
+
+    ``"reference"`` is the canonical per-record loop above; ``"fast"``
+    is the batched engine of :mod:`repro.sim.fast_engine`, which is
+    kept field-for-field result-identical by the differential test
+    harness.
+    """
+    if name == "reference":
+        return run_simulation
+    if name == "fast":
+        from repro.sim.fast_engine import run_simulation_fast
+
+        return run_simulation_fast
+    raise ValueError(
+        f"unknown engine {name!r} (expected one of {', '.join(ENGINE_NAMES)})"
+    )

@@ -15,7 +15,7 @@ from repro.config import SimConfig
 from repro.dram.refresh import RefreshPolicy
 from repro.mitigations.registry import make_factory, technique_names
 from repro.rng import derive_seed
-from repro.sim.engine import run_simulation
+from repro.sim.engine import get_engine
 from repro.sim.metrics import SimResult
 from repro.traces.mixer import paper_mixed_workload
 from repro.traces.record import Trace
@@ -100,9 +100,16 @@ def run_technique(
     trace_factory: TraceFactory,
     seeds: Sequence[int] = (0, 1, 2),
     policy_factory: Optional[PolicyFactory] = None,
+    engine: str = "reference",
     **technique_kwargs,
 ) -> TechniqueAggregate:
-    """Run *technique* (or ``None`` for no mitigation) over all seeds."""
+    """Run *technique* (or ``None`` for no mitigation) over all seeds.
+
+    ``engine`` selects the simulation engine by name (see
+    :data:`repro.sim.engine.ENGINE_NAMES`); both engines produce
+    identical results, pinned by the differential test harness.
+    """
+    run = get_engine(engine)
     mitigation_factory = (
         make_factory(technique, **technique_kwargs) if technique else None
     )
@@ -110,7 +117,7 @@ def run_technique(
     for seed in seeds:
         trace = trace_factory(derive_seed(seed, "trace"))
         policy = policy_factory(seed) if policy_factory else None
-        result = run_simulation(
+        result = run(
             config,
             trace,
             mitigation_factory,
@@ -127,6 +134,7 @@ def compare_techniques(
     techniques: Optional[Sequence[str]] = None,
     seeds: Sequence[int] = (0, 1, 2),
     include_unmitigated: bool = False,
+    engine: str = "reference",
 ) -> Dict[str, TechniqueAggregate]:
     """Run every technique over the same per-seed traces.
 
@@ -146,7 +154,11 @@ def compare_techniques(
 
     comparison: Dict[str, TechniqueAggregate] = {}
     if include_unmitigated:
-        comparison["none"] = run_technique(config, None, cached_factory, seeds)
+        comparison["none"] = run_technique(
+            config, None, cached_factory, seeds, engine=engine
+        )
     for name in names:
-        comparison[name] = run_technique(config, name, cached_factory, seeds)
+        comparison[name] = run_technique(
+            config, name, cached_factory, seeds, engine=engine
+        )
     return comparison

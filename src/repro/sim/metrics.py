@@ -16,8 +16,8 @@ Definitions (made precise in DESIGN.md section 5):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Optional
 
 from repro.dram.disturbance import FlipEvent
 
@@ -80,6 +80,39 @@ class SimResult:
         if self.flip_threshold <= 0:
             return 1.0
         return max(0.0, 1.0 - self.max_disturbance / self.flip_threshold)
+
+    def as_dict(self, include_wall: bool = False) -> Dict[str, Any]:
+        """JSON-ready dict of every result field.
+
+        ``wall_seconds`` is excluded by default because it is the one
+        field that legitimately differs between two otherwise identical
+        runs; the differential and golden-regression tests compare
+        exactly this dict.
+        """
+        out: Dict[str, Any] = {}
+        for spec in fields(self):
+            if spec.name == "wall_seconds" and not include_wall:
+                continue
+            value = getattr(self, spec.name)
+            if spec.name == "flips":
+                value = [
+                    {
+                        "bank": flip.bank,
+                        "row": flip.row,
+                        "count": flip.count,
+                        "time_ns": flip.time_ns,
+                    }
+                    for flip in value
+                ]
+            out[spec.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimResult":
+        """Inverse of :meth:`as_dict` (missing ``wall_seconds`` -> 0)."""
+        payload = dict(data)
+        payload["flips"] = [FlipEvent(**flip) for flip in payload.get("flips", [])]
+        return cls(**payload)
 
     def summary(self) -> str:
         flips = len(self.flips)

@@ -2,26 +2,40 @@
 
 The paper's campaign (9 techniques x a 1.56 M-interval trace) is
 embarrassingly parallel across (technique, seed) pairs.  This module
-distributes those runs over a process pool.  Because workers must
-receive picklable job descriptions, the trace is described by its
-parameters (the paper workload knobs) rather than a closure; each
-worker regenerates its trace deterministically from the seed, which
-also keeps the comparison paired across techniques.
+distributes those runs over a process pool.  Workers must receive
+picklable job descriptions, so a job carries either the workload knobs
+(each worker regenerates its trace deterministically from the seed) or
+-- the default -- the path of a trace that was generated **once** per
+seed and serialised to a temporary ``.npz`` file: all nine technique
+jobs of a seed then share one trace generation instead of repeating it,
+which also keeps the comparison paired across techniques.
+
+Jobs are dispatched in chunks (one pool task runs a whole chunk) to
+amortise pickling overhead, and an optional ``progress`` callback is
+invoked as chunks complete.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import math
+import os
+import shutil
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SimConfig
 from repro.mitigations.registry import make_factory, technique_names
 from repro.rng import derive_seed
-from repro.sim.engine import run_simulation
+from repro.sim.engine import get_engine
 from repro.sim.experiment import TechniqueAggregate
 from repro.sim.metrics import SimResult
 from repro.traces.mixer import paper_mixed_workload
+from repro.traces.trace_io import load_trace_npz, save_trace_npz
+
+#: called as ``progress(completed_jobs, total_jobs)`` after each chunk
+ProgressCallback = Callable[[int, int], None]
 
 
 @dataclass(frozen=True)
@@ -33,18 +47,30 @@ class CampaignJob:
     seed: int
     total_intervals: int
     workload_kwargs: tuple = ()  # sorted (key, value) pairs
+    #: pre-serialised trace shared by every technique of this seed;
+    #: ``None`` regenerates the trace from the workload knobs instead
+    trace_path: Optional[str] = None
+    engine: str = "reference"
 
 
 def _run_job(job: CampaignJob) -> Tuple[str, int, SimResult]:
-    trace = paper_mixed_workload(
-        job.config,
-        total_intervals=job.total_intervals,
-        seed=derive_seed(job.seed, "trace"),
-        **dict(job.workload_kwargs),
-    )
+    if job.trace_path is not None:
+        trace = load_trace_npz(job.trace_path)
+    else:
+        trace = paper_mixed_workload(
+            job.config,
+            total_intervals=job.total_intervals,
+            seed=derive_seed(job.seed, "trace"),
+            **dict(job.workload_kwargs),
+        )
     factory = make_factory(job.technique) if job.technique else None
-    result = run_simulation(job.config, trace, factory, seed=job.seed)
+    run = get_engine(job.engine)
+    result = run(job.config, trace, factory, seed=job.seed)
     return (job.technique or "none", job.seed, result)
+
+
+def _run_chunk(chunk: List[CampaignJob]) -> List[Tuple[str, int, SimResult]]:
+    return [_run_job(job) for job in chunk]
 
 
 def run_campaign(
@@ -54,6 +80,10 @@ def run_campaign(
     seeds: Sequence[int] = (0, 1, 2),
     include_unmitigated: bool = False,
     workers: Optional[int] = None,
+    engine: str = "reference",
+    memoize_traces: bool = True,
+    chunk_size: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
     **workload_kwargs,
 ) -> Dict[str, TechniqueAggregate]:
     """Run the full comparison campaign over a process pool.
@@ -63,28 +93,83 @@ def run_campaign(
     paper workload, but each (technique, seed) runs in its own process.
     ``workers=None`` uses the pool default; ``workers=0`` runs inline
     (useful under debuggers and coverage).
+
+    ``memoize_traces`` generates each seed's trace once and shares the
+    serialised file across that seed's technique jobs; ``engine``
+    selects the simulation engine (see
+    :data:`repro.sim.engine.ENGINE_NAMES`); ``chunk_size`` jobs are
+    grouped into one pool task (default: about four chunks per worker);
+    ``progress(done, total)`` is called after each completed chunk.
     """
-    names = list(techniques) if techniques is not None else technique_names()
+    get_engine(engine)  # validate the name before spawning anything
+    names: List[Optional[str]] = (
+        list(techniques) if techniques is not None else technique_names()
+    )
     if include_unmitigated:
         names = [None] + names
     frozen_kwargs = tuple(sorted(workload_kwargs.items()))
-    jobs = [
-        CampaignJob(
-            config=config,
-            technique=name,
-            seed=seed,
-            total_intervals=total_intervals,
-            workload_kwargs=frozen_kwargs,
-        )
-        for name in names
-        for seed in seeds
-    ]
-    outcomes: List[Tuple[str, int, SimResult]] = []
-    if workers == 0:
-        outcomes = [_run_job(job) for job in jobs]
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            outcomes = list(pool.map(_run_job, jobs))
+    tmpdir: Optional[str] = None
+    try:
+        trace_paths: Dict[int, str] = {}
+        if memoize_traces:
+            tmpdir = tempfile.mkdtemp(prefix="repro-campaign-")
+            for seed in dict.fromkeys(seeds):
+                trace = paper_mixed_workload(
+                    config,
+                    total_intervals=total_intervals,
+                    seed=derive_seed(seed, "trace"),
+                    **workload_kwargs,
+                )
+                path = os.path.join(tmpdir, f"trace-{seed}.npz")
+                save_trace_npz(trace, path)
+                trace_paths[seed] = path
+        jobs = [
+            CampaignJob(
+                config=config,
+                technique=name,
+                seed=seed,
+                total_intervals=total_intervals,
+                workload_kwargs=frozen_kwargs,
+                trace_path=trace_paths.get(seed),
+                engine=engine,
+            )
+            for name in names
+            for seed in seeds
+        ]
+        total = len(jobs)
+        outcomes: List[Optional[Tuple[str, int, SimResult]]] = [None] * total
+        done = 0
+        if workers == 0:
+            for index, job in enumerate(jobs):
+                outcomes[index] = _run_job(job)
+                done += 1
+                if progress is not None:
+                    progress(done, total)
+        else:
+            if chunk_size is None:
+                pool_width = workers or os.cpu_count() or 1
+                chunk_size = max(1, math.ceil(total / (4 * pool_width)))
+            chunks = [
+                (start, jobs[start : start + chunk_size])
+                for start in range(0, total, chunk_size)
+            ]
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_run_chunk, chunk): start
+                    for start, chunk in chunks
+                }
+                for future in as_completed(futures):
+                    start = futures[future]
+                    chunk_outcomes = future.result()
+                    outcomes[start : start + len(chunk_outcomes)] = chunk_outcomes
+                    done += len(chunk_outcomes)
+                    if progress is not None:
+                        progress(done, total)
+    finally:
+        if tmpdir is not None:
+            shutil.rmtree(tmpdir, ignore_errors=True)
+    # outcomes is ordered by job index (technique-major, seed-minor)
+    # regardless of completion order
     aggregates: Dict[str, TechniqueAggregate] = {}
     for name, _seed, result in outcomes:
         aggregates.setdefault(name, TechniqueAggregate(technique=name))

@@ -103,3 +103,35 @@ class TestStorage:
     def test_interval_bits(self):
         assert HistoryTable(entries=1, refint=8192).interval_bits == 13
         assert HistoryTable(entries=1, refint=64).interval_bits == 6
+
+class TestFIFOProperty:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=15),
+                st.integers(min_value=0, max_value=63),
+            ),
+            max_size=120,
+        )
+    )
+    def test_matches_insertion_ordered_dict_model(self, ops):
+        """The table behaves exactly like an insertion-ordered dict with
+        oldest-first eviction: update-in-place keeps an entry's position,
+        a new entry at capacity evicts the head.  The fast engine's
+        history-table mirror relies on precisely this equivalence."""
+        capacity = 4
+        table = HistoryTable(entries=capacity, refint=64)
+        model = {}
+        for row, interval in ops:
+            table.record(row, interval)
+            if row in model:
+                model[row] = interval
+            else:
+                if len(model) >= capacity:
+                    del model[next(iter(model))]
+                model[row] = interval
+            assert len(table) == len(model)
+            entries = [table.entry_at(i) for i in range(len(table))]
+            assert [(e.row, e.interval) for e in entries] == list(model.items())
+        for row in range(16):
+            assert table.lookup(row) == model.get(row)

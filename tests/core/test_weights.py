@@ -5,7 +5,12 @@ import math
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core.weights import linear_weight, log_weight, probability
+from repro.core.weights import (
+    linear_weight,
+    log_weight,
+    probability,
+    trigger_probability,
+)
 
 
 class TestLinearWeight:
@@ -93,3 +98,60 @@ class TestProbability:
 
     def test_zero_weight_zero_probability(self):
         assert probability(0, 0.5) == 0.0
+
+class TestLogWeightBound:
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_power_of_two_and_tight(self, weight):
+        """Eq. 2 bound: ``w_log = 2^k`` with ``2^(k-1) < w + 1 <= 2^k``."""
+        quantised = log_weight(weight)
+        assert quantised & (quantised - 1) == 0  # exact power of two
+        assert quantised // 2 < weight + 1 <= quantised
+
+
+class TestTriggerProbability:
+    @given(
+        refresh=st.integers(min_value=0, max_value=63),
+        elapsed=st.integers(min_value=0, max_value=62),
+        pbase=st.floats(min_value=1e-6, max_value=0.5),
+        weighting=st.sampled_from(["linear", "log", "loli"]),
+        in_table=st.booleans(),
+    )
+    def test_monotone_in_intervals_since_refresh(
+        self, refresh, elapsed, pbase, weighting, in_table
+    ):
+        """More intervals since the last refresh never lowers p."""
+        now = (refresh + elapsed) % 64
+        later = (refresh + elapsed + 1) % 64
+        p_now = trigger_probability(now, refresh, 64, pbase, weighting, in_table)
+        p_later = trigger_probability(later, refresh, 64, pbase, weighting, in_table)
+        assert 0.0 <= p_now <= p_later <= 1.0
+
+    @given(
+        current=st.integers(min_value=0, max_value=63),
+        refresh=st.integers(min_value=0, max_value=63),
+        pbase=st.floats(min_value=1e-6, max_value=1.0),
+    )
+    def test_composes_the_weight_functions(self, current, refresh, pbase):
+        weight = linear_weight(current, refresh, 64)
+        assert trigger_probability(
+            current, refresh, 64, pbase, "linear"
+        ) == probability(weight, pbase)
+        assert trigger_probability(
+            current, refresh, 64, pbase, "log"
+        ) == probability(log_weight(weight), pbase)
+
+    @given(
+        current=st.integers(min_value=0, max_value=63),
+        refresh=st.integers(min_value=0, max_value=63),
+    )
+    def test_loli_switches_on_table_membership(self, current, refresh):
+        """LoLiPRoMi: linear weight inside the table, log weight outside."""
+        pbase = 1e-4
+        in_table = trigger_probability(current, refresh, 64, pbase, "loli", True)
+        outside = trigger_probability(current, refresh, 64, pbase, "loli", False)
+        assert in_table == trigger_probability(current, refresh, 64, pbase, "linear")
+        assert outside == trigger_probability(current, refresh, 64, pbase, "log")
+
+    def test_rejects_unknown_weighting(self):
+        with pytest.raises(ValueError):
+            trigger_probability(0, 0, 64, 0.001, "quadratic")

@@ -1,0 +1,64 @@
+"""Regenerate the golden-result fixtures.
+
+    PYTHONPATH=src python tests/fixtures/make_golden.py
+
+Writes ``golden_trace.txt`` (a small mixed workload in the text trace
+format) and ``golden_results.json`` (the expected ``SimResult`` of every
+registered technique plus the unmitigated baseline on that trace).
+
+Only regenerate when simulation semantics intentionally change, and
+call it out in the commit message: ``tests/sim/test_golden.py`` treats
+any drift from these files as a regression.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.config import small_test_config
+from repro.mitigations.registry import make_factory, technique_names
+from repro.sim.engine import run_simulation
+from repro.traces.mixer import paper_mixed_workload
+from repro.traces.trace_io import load_trace, save_trace
+
+FIXTURE_DIR = Path(__file__).resolve().parent
+TRACE_PATH = FIXTURE_DIR / "golden_trace.txt"
+RESULTS_PATH = FIXTURE_DIR / "golden_results.json"
+
+#: fixture parameters (documented in the JSON header for humans)
+SEED = 42
+TOTAL_INTERVALS = 24
+
+
+def golden_config():
+    return small_test_config()
+
+
+def main() -> None:
+    config = golden_config()
+    trace = paper_mixed_workload(
+        config, total_intervals=TOTAL_INTERVALS, seed=SEED
+    )
+    count = save_trace(trace, TRACE_PATH)
+    results = {}
+    for technique in [None] + technique_names():
+        factory = make_factory(technique) if technique else None
+        result = run_simulation(
+            config, load_trace(TRACE_PATH), factory, seed=SEED
+        )
+        results[technique or "none"] = result.as_dict()
+    payload = {
+        "_comment": "regenerate with: PYTHONPATH=src python tests/fixtures/make_golden.py",
+        "seed": SEED,
+        "total_intervals": TOTAL_INTERVALS,
+        "records": count,
+        "results": results,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {count} records to {TRACE_PATH.name} and "
+          f"{len(results)} results to {RESULTS_PATH.name}")
+
+
+if __name__ == "__main__":
+    main()

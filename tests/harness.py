@@ -1,0 +1,73 @@
+"""Differential test harness for the simulation engines.
+
+The fast engine (:mod:`repro.sim.fast_engine`) is only allowed to exist
+because this harness pins it field-for-field to the reference engine:
+every comparison runs both engines over *identically generated* traces
+and asserts that the two :class:`~repro.sim.metrics.SimResult` objects
+agree on every field except ``wall_seconds``.
+
+Traces are requested through a zero-argument factory rather than passed
+as values: lazily generated traces are one-shot iterators, so handing
+the same object to both engines would silently feed the second engine
+an empty trace.  The factory is called once per engine, and determinism
+of the generators makes the two traces identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.sim.engine import run_simulation
+from repro.sim.fast_engine import run_simulation_fast
+from repro.sim.metrics import SimResult
+from repro.traces.record import Trace
+
+TraceFactory = Callable[[], Trace]
+
+
+def diff_results(
+    reference: SimResult, candidate: SimResult
+) -> Dict[str, Tuple[Any, Any]]:
+    """Fields on which the two results disagree (``wall_seconds`` excluded).
+
+    Returns ``{field: (reference_value, candidate_value)}`` -- empty
+    when the results are equivalent.
+    """
+    ref = reference.as_dict()
+    cand = candidate.as_dict()
+    return {
+        key: (ref[key], cand[key])
+        for key in ref
+        if ref[key] != cand[key]
+    }
+
+
+def assert_engines_equivalent(
+    config,
+    trace_factory: TraceFactory,
+    mitigation_factory,
+    seed: int = 0,
+    **engine_kwargs,
+) -> SimResult:
+    """Run both engines and assert result equivalence.
+
+    ``engine_kwargs`` (``refresh_policy``, ``stop_after_first_trigger``,
+    ``max_activations``) are forwarded to both engines.  Returns the
+    reference result so callers can make further assertions on it.
+    """
+    reference = run_simulation(
+        config, trace_factory(), mitigation_factory, seed=seed, **engine_kwargs
+    )
+    fast = run_simulation_fast(
+        config, trace_factory(), mitigation_factory, seed=seed, **engine_kwargs
+    )
+    differences = diff_results(reference, fast)
+    assert not differences, (
+        f"engines diverged for technique={reference.technique!r} "
+        f"seed={seed} kwargs={engine_kwargs!r}:\n"
+        + "\n".join(
+            f"  {field}: reference={ref!r} fast={cand!r}"
+            for field, (ref, cand) in differences.items()
+        )
+    )
+    return reference

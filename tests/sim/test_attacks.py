@@ -22,6 +22,16 @@ class TestFloodingOutcome:
         outcome.acts_to_first_trigger = [100, None, None]
         assert outcome.median_acts is None
 
+    def test_median_none_when_no_seed_triggered(self):
+        # regression: median([]) used to raise StatisticsError because
+        # the majority check passes vacuously for an empty outcome
+        outcome = FloodingOutcome("X", 0, 100)
+        assert outcome.median_acts is None
+        assert not outcome.below_safety_margin
+        outcome.acts_to_first_trigger = [None, None]
+        assert outcome.median_acts is None
+        assert not outcome.below_safety_margin
+
     def test_safety_margin_check(self):
         outcome = FloodingOutcome("X", 0, 100)
         outcome.acts_to_first_trigger = [10_000]

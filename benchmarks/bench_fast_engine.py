@@ -14,11 +14,12 @@ from __future__ import annotations
 
 import time
 
-from benchmarks.conftest import BENCH_INTERVALS, run_once
+from benchmarks.conftest import BENCH_INTERVALS, run_once, write_bench_output
 from repro.analysis.report import render_table
 from repro.mitigations.registry import make_factory
 from repro.sim.engine import run_simulation
 from repro.sim.fast_engine import run_simulation_fast
+from repro.telemetry import NullTracer
 from repro.traces.attacker import AttackSpec
 from repro.traces.mixer import build_trace
 
@@ -50,7 +51,11 @@ def _measure(config, trace, technique):
     started = time.perf_counter()
     reference = run_simulation(config, trace, factory, seed=3)
     mid = time.perf_counter()
-    fast = run_simulation_fast(config, trace, factory, seed=3)
+    # the fast run carries a NullTracer, so the 3x floor below also
+    # certifies that the disabled telemetry layer costs nothing
+    fast = run_simulation_fast(
+        config, trace, factory, seed=3, tracer=NullTracer()
+    )
     ended = time.perf_counter()
     assert reference.as_dict() == fast.as_dict(), technique
     return mid - started, ended - mid
@@ -74,9 +79,13 @@ def test_fast_engine_speedup(benchmark, paper_config):
             (technique, f"{ref_seconds:.3f}s", f"{fast_seconds:.3f}s",
              f"{speedup:.1f}x")
         )
-    print(f"\n=== fast engine vs reference, flooding trace "
-          f"({trace.count():,} records, {BENCH_INTERVALS} intervals) ===")
-    print(render_table(("technique", "reference", "fast", "speedup"), rows))
+    report = (
+        f"=== fast engine vs reference, flooding trace "
+        f"({trace.count():,} records, {BENCH_INTERVALS} intervals) ===\n"
+        + render_table(("technique", "reference", "fast", "speedup"), rows)
+    )
+    print("\n" + report)
+    write_bench_output("fast_engine_speedup", report)
 
     for technique in FAST_PATH_TECHNIQUES:
         ref_seconds, fast_seconds = timings[technique]
@@ -84,3 +93,54 @@ def test_fast_engine_speedup(benchmark, paper_config):
             f"{technique}: {ref_seconds / fast_seconds:.2f}x "
             f"< {SPEEDUP_FLOOR}x floor"
         )
+
+
+#: a NullTracer run may be at most this much slower than a plain run
+#: (ratio bound, plus an absolute epsilon to absorb timer noise on the
+#: reduced CI scale)
+NULL_TRACER_OVERHEAD_RATIO = 1.02
+NULL_TRACER_OVERHEAD_EPSILON_S = 0.05
+
+
+def test_null_tracer_overhead(benchmark, paper_config):
+    """Disabled telemetry must not regress the fast engine.
+
+    ``NullTracer`` is collapsed to ``telemetry=None`` at engine entry,
+    so the only admissible cost is that collapse plus per-interval
+    ``if tele is not None`` checks.  Best-of-3 timings keep the
+    comparison robust against scheduler noise.
+    """
+    trace = _flooding_trace(paper_config)
+    factory = make_factory("LoLiPRoMi")
+
+    def best_of(runs, **kwargs):
+        best = None
+        for _ in range(runs):
+            started = time.perf_counter()
+            result = run_simulation_fast(
+                paper_config, trace, factory, seed=3, **kwargs
+            )
+            elapsed = time.perf_counter() - started
+            if best is None or elapsed < best[0]:
+                best = (elapsed, result)
+        return best
+
+    def compute():
+        plain = best_of(3)
+        nulled = best_of(3, tracer=NullTracer())
+        return plain, nulled
+
+    (plain_s, plain_result), (null_s, null_result) = run_once(
+        benchmark, compute
+    )
+    assert plain_result.as_dict() == null_result.as_dict()
+    benchmark.extra_info["overhead_pct"] = round(
+        100.0 * (null_s / plain_s - 1.0), 2
+    )
+    print(f"\nNullTracer overhead: plain={plain_s:.3f}s "
+          f"null={null_s:.3f}s ({100.0 * (null_s / plain_s - 1.0):+.2f}%)")
+    assert null_s <= plain_s * NULL_TRACER_OVERHEAD_RATIO + \
+        NULL_TRACER_OVERHEAD_EPSILON_S, (
+        f"NullTracer regressed the fast engine: {plain_s:.3f}s -> "
+        f"{null_s:.3f}s"
+    )

@@ -16,6 +16,7 @@ estimates.
 from __future__ import annotations
 
 import os
+from pathlib import Path
 from typing import Dict
 
 import pytest
@@ -54,3 +55,20 @@ def paper_config() -> SimConfig:
 def run_once(benchmark, function):
     """Run *function* exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(function, rounds=1, iterations=1)
+
+
+#: benchmark text output directory (gitignored)
+BENCH_OUT_DIR = Path(__file__).resolve().parent / "out"
+
+
+def write_bench_output(name: str, text: str) -> Path:
+    """Persist a benchmark's printed report under ``benchmarks/out/``.
+
+    Keeps rendered tables out of the repo root (they used to end up
+    there via shell redirects) and gives CI a stable artifact path.
+    """
+    BENCH_OUT_DIR.mkdir(parents=True, exist_ok=True)
+    target = BENCH_OUT_DIR / f"{name}.txt"
+    target.write_text(text + ("\n" if not text.endswith("\n") else ""),
+                      encoding="utf-8")
+    return target

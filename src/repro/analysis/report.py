@@ -179,3 +179,63 @@ def render_comparison(comparison: Mapping[str, "TechniqueAggregate"]) -> str:
     return render_table(
         ("technique", "overhead", "FPR", "flips", "table B/bank"), rows
     )
+
+
+def render_manifest(manifest) -> str:
+    """Human-readable summary of a :class:`~repro.telemetry.RunManifest`.
+
+    The header recaps the provenance fields (config hash, engine,
+    seeds, git revision), then one row per technique, then the headline
+    metric counters when the run collected any.
+    """
+    header_rows = [
+        ("engine", manifest.engine),
+        ("config hash", manifest.config_hash),
+        ("seeds", ", ".join(str(seed) for seed in manifest.seeds) or "-"),
+        ("git rev", (manifest.git_rev or "unknown")[:12]),
+        ("created", manifest.created_at or "-"),
+        ("schema", str(manifest.schema_version)),
+    ]
+    if manifest.total_intervals is not None:
+        header_rows.append(("intervals", str(manifest.total_intervals)))
+    sections = [render_table(("field", "value"), header_rows)]
+    if manifest.results:
+        rows = [
+            (
+                name,
+                str(summary.get("runs", 0)),
+                f"{summary.get('overhead_mean_pct', 0.0):.4f}%",
+                f"{summary.get('fpr_mean_pct', 0.0):.4f}%",
+                str(summary.get("total_flips", 0)),
+                f"{summary.get('wall_seconds', 0.0):.2f}s",
+            )
+            for name, summary in sorted(manifest.results.items())
+        ]
+        sections.append(render_table(
+            ("technique", "runs", "overhead", "FPR", "flips", "wall"), rows
+        ))
+    counters = manifest.metrics.get("counters", {}) if manifest.metrics else {}
+    if counters:
+        rows = [
+            (name, f"{entry.get('value', 0):,}"
+                   + (" (saturated)" if entry.get("saturated") else ""))
+            for name, entry in sorted(counters.items())
+        ]
+        sections.append(render_table(("counter", "value"), rows))
+    return "\n\n".join(sections)
+
+
+def render_manifest_diff(
+    a_label: str, b_label: str, differences: Mapping[str, tuple]
+) -> str:
+    """Render :func:`~repro.telemetry.diff_manifests` output."""
+    if not differences:
+        return f"manifests match: {a_label} == {b_label} (volatile fields ignored)"
+    rows = [
+        (path, str(left), str(right))
+        for path, (left, right) in sorted(differences.items())
+    ]
+    table = render_table((
+        "path", f"a: {a_label}", f"b: {b_label}"
+    ), rows)
+    return f"{len(rows)} difference(s):\n\n{table}"

@@ -11,7 +11,15 @@
 
 The heavy subcommands accept the same scale knobs as the benchmarks,
 plus ``--engine {reference,fast}`` to pick the simulation engine (the
-fast engine is result-identical; see docs/architecture.md).
+fast engine is result-identical; see docs/architecture.md), and the
+observability flags (see docs/observability.md):
+
+    --trace-events FILE    stream telemetry events as JSON lines
+    --manifest FILE        write a reproducibility manifest (config
+                           hash, seeds, git rev, results, metrics)
+    --profile              print a wall-clock phase breakdown
+
+    python -m repro manifest-diff A.json B.json   # compare two runs
 """
 
 from __future__ import annotations
@@ -29,6 +37,64 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seeds", type=int, default=2,
                         help="seeds per technique")
     _add_engine_arg(parser)
+    _add_telemetry_args(parser)
+
+
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-events", metavar="FILE", default=None,
+        help="write telemetry events (triggers, refreshes, interval "
+             "rollovers) to FILE as JSON lines",
+    )
+    parser.add_argument(
+        "--manifest", metavar="FILE", default=None,
+        help="write a run manifest (config hash, seeds, engine, git "
+             "rev, per-technique results, metrics) to FILE",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print a wall-clock phase breakdown after the run",
+    )
+
+
+def _telemetry_from_args(args):
+    """Build (tracer, metrics, profiler) from the CLI flags, or Nones."""
+    from repro.telemetry import JsonlTracer, MetricsRegistry, Profiler
+
+    tracer = JsonlTracer(args.trace_events) if args.trace_events else None
+    # the manifest embeds the metrics snapshot, so --manifest implies
+    # metrics collection (it is interval-granular and near-free)
+    metrics = MetricsRegistry() if (args.manifest or args.trace_events) else None
+    profiler = Profiler() if args.profile else None
+    return tracer, metrics, profiler
+
+
+def _finish_telemetry(
+    args, config, tracer, metrics, profiler,
+    comparison=None, total_intervals=None, extra=None,
+) -> None:
+    """Close the tracer, write the manifest, print the profile."""
+    from repro.telemetry import build_manifest
+
+    if tracer is not None:
+        tracer.close()
+        print(f"wrote {tracer.events_written:,} events to {tracer.path}",
+              file=sys.stderr)
+    if args.manifest:
+        manifest = build_manifest(
+            config,
+            engine=getattr(args, "engine", "reference"),
+            seeds=tuple(range(args.seeds)) if hasattr(args, "seeds") else (),
+            comparison=comparison,
+            metrics=metrics,
+            profiler=profiler,
+            total_intervals=total_intervals,
+            extra=extra,
+        )
+        print(f"wrote manifest to {manifest.write(args.manifest)}",
+              file=sys.stderr)
+    if profiler is not None:
+        print("\n" + profiler.report())
 
 
 def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
@@ -56,7 +122,7 @@ def _cmd_table2(args) -> int:
     return 0
 
 
-def _comparison(args):
+def _comparison(args, tracer=None, metrics=None, profiler=None):
     from repro.sim.experiment import compare_techniques, default_trace_factory
 
     config = SimConfig()
@@ -64,6 +130,7 @@ def _comparison(args):
     return config, compare_techniques(
         config, factory, seeds=tuple(range(args.seeds)),
         include_unmitigated=True, engine=args.engine,
+        tracer=tracer, metrics=metrics, profiler=profiler,
     )
 
 
@@ -71,10 +138,17 @@ def _cmd_table3(args) -> int:
     from repro.analysis.area import table3_resources
     from repro.analysis.report import render_table3
 
-    config, comparison = _comparison(args)
+    tracer, metrics, profiler = _telemetry_from_args(args)
+    config, comparison = _comparison(args, tracer, metrics, profiler)
+    full_comparison = dict(comparison)
     unmitigated = comparison.pop("none")
     print(f"unmitigated flips: {unmitigated.total_flips}\n")
     print(render_table3(config, comparison, table3_resources(config)))
+    _finish_telemetry(
+        args, config, tracer, metrics, profiler,
+        comparison=full_comparison, total_intervals=args.intervals,
+        extra={"command": "table3"},
+    )
     return 0
 
 
@@ -82,10 +156,17 @@ def _cmd_fig4(args) -> int:
     from repro.analysis.area import fig4_points
     from repro.analysis.report import render_fig4
 
-    config, comparison = _comparison(args)
+    tracer, metrics, profiler = _telemetry_from_args(args)
+    config, comparison = _comparison(args, tracer, metrics, profiler)
+    full_comparison = dict(comparison)
     comparison.pop("none")
     overheads = {name: agg.overhead_mean for name, agg in comparison.items()}
     print(render_fig4(fig4_points(config, overheads)))
+    _finish_telemetry(
+        args, config, tracer, metrics, profiler,
+        comparison=full_comparison, total_intervals=args.intervals,
+        extra={"command": "fig4"},
+    )
     return 0
 
 
@@ -113,21 +194,30 @@ def _cmd_policies(args) -> int:
     from repro.dram.refresh import all_policies
     from repro.sim.experiment import default_trace_factory, run_technique
 
+    tracer, metrics, profiler = _telemetry_from_args(args)
     config = SimConfig()
     factory = default_trace_factory(config, total_intervals=args.intervals)
     rows = []
+    comparison = {}
     for policy in all_policies(config.geometry, seed=0):
         aggregate = run_technique(
             config, args.technique, factory,
             seeds=tuple(range(args.seeds)),
             policy_factory=lambda seed, p=policy: p,
             engine=args.engine,
+            tracer=tracer, metrics=metrics, profiler=profiler,
         )
+        comparison[f"{args.technique}@{policy.name}"] = aggregate
         rows.append(
             (policy.name, aggregate.overhead_cell(),
              str(aggregate.total_flips))
         )
     print(render_table(("policy", "overhead", "flips"), rows))
+    _finish_telemetry(
+        args, config, tracer, metrics, profiler,
+        comparison=comparison, total_intervals=args.intervals,
+        extra={"command": "policies", "technique": args.technique},
+    )
     return 0
 
 
@@ -147,14 +237,38 @@ def _cmd_trace(args) -> int:
 def _cmd_run(args) -> int:
     from repro.mitigations.registry import make_factory
     from repro.sim.engine import get_engine
+    from repro.sim.experiment import TechniqueAggregate
     from repro.traces.trace_io import load_trace
 
+    tracer, metrics, profiler = _telemetry_from_args(args)
     config = SimConfig()
     trace = load_trace(args.trace)
     factory = make_factory(args.technique) if args.technique != "none" else None
-    result = get_engine(args.engine)(config, trace, factory, seed=args.seed)
+    result = get_engine(args.engine)(
+        config, trace, factory, seed=args.seed,
+        tracer=tracer, metrics=metrics, profiler=profiler,
+    )
     print(result.summary())
+    aggregate = TechniqueAggregate(technique=args.technique)
+    aggregate.results.append(result)
+    args.seeds = 1  # manifest seed range for a single run
+    _finish_telemetry(
+        args, config, tracer, metrics, profiler,
+        comparison={args.technique: aggregate},
+        extra={"command": "run", "trace": args.trace, "seed": args.seed},
+    )
     return 1 if result.attack_succeeded else 0
+
+
+def _cmd_manifest_diff(args) -> int:
+    from repro.analysis.report import render_manifest_diff
+    from repro.telemetry import RunManifest, diff_manifests
+
+    left = RunManifest.load(args.a)
+    right = RunManifest.load(args.b)
+    differences = diff_manifests(left, right)
+    print(render_manifest_diff(args.a, args.b, differences))
+    return 1 if differences else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -200,7 +314,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace", required=True)
     run.add_argument("--seed", type=int, default=0)
     _add_engine_arg(run)
+    _add_telemetry_args(run)
     run.set_defaults(func=_cmd_run)
+
+    manifest_diff = subparsers.add_parser(
+        "manifest-diff",
+        help="compare two run manifests (exit 1 if results differ)",
+    )
+    manifest_diff.add_argument("a", help="baseline manifest JSON")
+    manifest_diff.add_argument("b", help="candidate manifest JSON")
+    manifest_diff.set_defaults(func=_cmd_manifest_diff)
 
     return parser
 

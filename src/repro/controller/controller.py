@@ -47,6 +47,9 @@ class MemoryController:
     mitigation_factory: Optional[MitigationFactory] = None
     refresh_policy: Optional[RefreshPolicy] = None
     seed: int = 0
+    #: optional :class:`repro.telemetry.hooks.EngineTelemetry`; purely
+    #: observational -- never consulted for any simulation decision
+    telemetry: Optional[object] = None
     device: DRAMDevice = field(init=False)
     mitigations: List[Mitigation] = field(init=False)
     #: the Fig. 1 buffer between the mitigation and the interrupt logic
@@ -73,6 +76,9 @@ class MemoryController:
                 )
                 for bank in range(banks)
             ]
+        if self.telemetry is not None:
+            for mitigation in self.mitigations:
+                mitigation.telemetry = self.telemetry
         self._aggressors = [set() for _ in range(banks)]
 
     @property
@@ -86,6 +92,8 @@ class MemoryController:
         never shown to the mitigation.
         """
         self._time_ns = time_ns
+        if self.telemetry is not None:
+            self.telemetry.now = time_ns
         self._drain_buffer()
         if is_attack:
             self._aggressors[bank].add(row)
@@ -117,6 +125,11 @@ class MemoryController:
                     trigger_was_attack=trigger in self._aggressors[bank],
                 )
             )
+            if self.telemetry is not None:
+                self.telemetry.on_trigger(
+                    bank, action.row, self.device.interval,
+                    type(action).__name__,
+                )
         if len(self._rh_buffer) > self.max_buffer_occupancy:
             self.max_buffer_occupancy = len(self._rh_buffer)
 
@@ -143,6 +156,11 @@ class MemoryController:
         self.extra_activations += cost
         if not pending.trigger_was_attack:
             self.fp_extra_activations += cost
+        if self.telemetry is not None:
+            self.telemetry.on_apply(
+                pending.bank, action.row, self.device.interval, cost,
+                not pending.trigger_was_attack,
+            )
 
     def finish(self) -> None:
         """Flush any buffered mitigation actions at end of simulation."""

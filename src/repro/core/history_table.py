@@ -68,21 +68,25 @@ class HistoryTable:
             return self._entries[index]
         return None
 
-    def record(self, row: int, interval: int) -> None:
+    def record(self, row: int, interval: int) -> Optional[int]:
         """Store that *row* got a mitigating refresh during *interval*.
 
         Updates the row's entry in place when present; otherwise
         appends, evicting the oldest entry when at capacity (FIFO).
+        Returns the evicted row, or ``None`` when nothing was evicted
+        (telemetry uses this to emit history-evict events).
         """
         if not 0 <= interval < self.refint:
             raise ValueError(f"interval {interval} outside [0, {self.refint})")
         for entry in self._entries:
             if entry.row == row:
                 entry.interval = interval
-                return
+                return None
+        evicted: Optional[int] = None
         if len(self._entries) >= self.capacity:
-            self._entries.pop(0)
+            evicted = self._entries.pop(0).row
         self._entries.append(HistoryEntry(row=row, interval=interval))
+        return evicted
 
     def clear(self) -> None:
         """New refresh window: forget everything."""

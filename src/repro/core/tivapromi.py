@@ -87,9 +87,20 @@ class TiVaPRoMiBase(Mitigation):
         return probability(self.effective_weight(raw, in_table), self.pbase)
 
     def on_activation(self, row: int, interval: int) -> Sequence[MitigationAction]:
-        if self._rng.random() >= self.trigger_probability(row, interval):
+        # same arithmetic as trigger_probability(), unrolled so the
+        # telemetry hooks can observe the weight without recomputing it
+        raw, in_table = self.raw_weight(row, interval)
+        weight = self.effective_weight(raw, in_table)
+        if self._rng.random() >= probability(weight, self.pbase):
             return ()
-        self.history.record(row, self.window_interval(interval))
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.on_trigger_weight(
+                self.bank, row, interval, weight, in_table
+            )
+        evicted = self.history.record(row, self.window_interval(interval))
+        if telemetry is not None and evicted is not None:
+            telemetry.on_history_evict(self.bank, evicted, interval)
         return (ActivateNeighbors(row=row),)
 
     def on_refresh(self, interval: int) -> Sequence[MitigationAction]:
@@ -100,6 +111,11 @@ class TiVaPRoMiBase(Mitigation):
     @property
     def table_bytes(self) -> int:
         return self.history.table_bytes
+
+    @property
+    def table_occupancy(self) -> int:
+        """Live history-table entries (telemetry occupancy histogram)."""
+        return len(self.history)
 
 
 class LiPRoMi(TiVaPRoMiBase):

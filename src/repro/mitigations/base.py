@@ -60,6 +60,11 @@ class Mitigation(ABC):
 
     #: short identifier used by the registry and reports
     name: ClassVar[str] = "abstract"
+    #: optional :class:`repro.telemetry.hooks.EngineTelemetry` sink set
+    #: by the engines when observability is enabled; techniques emitting
+    #: events (the TiVaPRoMi variants) must guard every use with a
+    #: ``None`` check so the default run stays hook-free
+    telemetry = None
     #: attacks the literature documents against this technique (the
     #: basis of Table III's "Vulnerable to Attack" column); empty means
     #: no known bypass

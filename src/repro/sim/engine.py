@@ -18,7 +18,17 @@ from repro.config import SimConfig
 from repro.controller.controller import MemoryController, MitigationFactory
 from repro.dram.refresh import RefreshPolicy
 from repro.sim.metrics import SimResult
+from repro.telemetry.hooks import EngineTelemetry
+from repro.telemetry.profiler import section_of
 from repro.traces.record import Trace
+
+
+def _occupancies(controller: MemoryController):
+    """Per-bank mitigation-table occupancy (None for tableless techniques)."""
+    return [
+        getattr(mitigation, "table_occupancy", None)
+        for mitigation in controller.mitigations
+    ]
 
 
 def run_simulation(
@@ -29,6 +39,9 @@ def run_simulation(
     refresh_policy: Optional[RefreshPolicy] = None,
     stop_after_first_trigger: bool = False,
     max_activations: Optional[int] = None,
+    tracer=None,
+    metrics=None,
+    profiler=None,
 ) -> SimResult:
     """Run one technique (or no mitigation) over *trace*.
 
@@ -37,13 +50,21 @@ def run_simulation(
     ``stop_after_first_trigger`` ends the run at the first mitigation
     trigger (used by the flooding experiments, which only need the
     activation count up to that point).
+
+    ``tracer`` / ``metrics`` / ``profiler`` enable the observability
+    layer (see :mod:`repro.telemetry`); all three default to off and
+    none of them can alter the returned :class:`SimResult`.
     """
-    controller = MemoryController(
-        config=config,
-        mitigation_factory=mitigation_factory,
-        refresh_policy=refresh_policy,
-        seed=seed,
-    )
+    started = time.perf_counter()
+    tele = EngineTelemetry.create(tracer, metrics)
+    with section_of(profiler, "engine:setup"):
+        controller = MemoryController(
+            config=config,
+            mitigation_factory=mitigation_factory,
+            refresh_policy=refresh_policy,
+            seed=seed,
+            telemetry=tele,
+        )
     technique = "none"
     if controller.mitigations:
         technique = controller.mitigations[0].name
@@ -52,36 +73,57 @@ def run_simulation(
     )
     interval_ns = trace.meta.interval_ns
     total_intervals = trace.meta.total_intervals
-    started = time.perf_counter()
     current_interval = -1
     activation_index = 0
 
-    for record in trace:
-        record_interval = record.time_ns // interval_ns
-        while current_interval < record_interval:
-            current_interval += 1
-            controller.refresh_tick()
-        is_attack = record.is_attack
-        controller.activate(record.bank, record.row, record.time_ns, is_attack)
-        activation_index += 1
-        result.normal_activations += 1
-        if is_attack:
-            result.attack_activations += 1
-        if (
-            result.first_trigger_activation is None
-            and controller.mitigation_triggers > 0
-        ):
-            result.first_trigger_activation = activation_index
-            if stop_after_first_trigger:
+    with section_of(profiler, "engine:replay"):
+        for record in trace:
+            record_interval = record.time_ns // interval_ns
+            while current_interval < record_interval:
+                current_interval += 1
+                controller.refresh_tick()
+                if tele is not None:
+                    tele.on_interval(
+                        current_interval,
+                        current_interval * interval_ns,
+                        result.normal_activations,
+                        result.attack_activations,
+                        _occupancies(controller),
+                    )
+            is_attack = record.is_attack
+            controller.activate(
+                record.bank, record.row, record.time_ns, is_attack
+            )
+            activation_index += 1
+            result.normal_activations += 1
+            if is_attack:
+                result.attack_activations += 1
+            if (
+                result.first_trigger_activation is None
+                and controller.mitigation_triggers > 0
+            ):
+                result.first_trigger_activation = activation_index
+                if stop_after_first_trigger:
+                    break
+            if max_activations is not None and activation_index >= max_activations:
                 break
-        if max_activations is not None and activation_index >= max_activations:
-            break
 
-    if not (stop_after_first_trigger and result.first_trigger_activation):
-        while current_interval < total_intervals - 1:
-            current_interval += 1
-            controller.refresh_tick()
-    controller.finish()
+    with section_of(profiler, "engine:drain"):
+        if not (stop_after_first_trigger and result.first_trigger_activation):
+            while current_interval < total_intervals - 1:
+                current_interval += 1
+                controller.refresh_tick()
+                if tele is not None:
+                    tele.on_interval(
+                        current_interval,
+                        current_interval * interval_ns,
+                        result.normal_activations,
+                        result.attack_activations,
+                        _occupancies(controller),
+                    )
+        controller.finish()
+    if tele is not None:
+        tele.finish(result.normal_activations, result.attack_activations)
 
     device = controller.device
     result.extra_activations = controller.extra_activations

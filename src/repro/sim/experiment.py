@@ -17,6 +17,7 @@ from repro.mitigations.registry import make_factory, technique_names
 from repro.rng import derive_seed
 from repro.sim.engine import get_engine
 from repro.sim.metrics import SimResult
+from repro.telemetry.profiler import section_of
 from repro.traces.mixer import paper_mixed_workload
 from repro.traces.record import Trace
 
@@ -43,15 +44,17 @@ class TechniqueAggregate:
 
     @property
     def overhead_mean(self) -> float:
-        return mean(self.overheads)
+        return mean(self.overheads) if self.results else 0.0
 
     @property
     def overhead_std(self) -> float:
+        # std() itself returns 0.0 below two samples, so a single-seed
+        # campaign reports (mu +- 0.0)% instead of raising
         return std(self.overheads)
 
     @property
     def fpr_mean(self) -> float:
-        return mean(self.fprs)
+        return mean(self.fprs) if self.results else 0.0
 
     @property
     def total_flips(self) -> int:
@@ -67,7 +70,14 @@ class TechniqueAggregate:
 
     @property
     def min_protection_margin(self) -> float:
+        if not self.results:
+            return 0.0
         return min(result.protection_margin for result in self.results)
+
+    @property
+    def wall_seconds(self) -> float:
+        """Total engine wall-clock across all seeds (manifest timing)."""
+        return sum(result.wall_seconds for result in self.results)
 
     def overhead_cell(self) -> str:
         """Table III style ``(mu +- sigma)%`` cell."""
@@ -101,6 +111,9 @@ def run_technique(
     seeds: Sequence[int] = (0, 1, 2),
     policy_factory: Optional[PolicyFactory] = None,
     engine: str = "reference",
+    tracer=None,
+    metrics=None,
+    profiler=None,
     **technique_kwargs,
 ) -> TechniqueAggregate:
     """Run *technique* (or ``None`` for no mitigation) over all seeds.
@@ -108,22 +121,30 @@ def run_technique(
     ``engine`` selects the simulation engine by name (see
     :data:`repro.sim.engine.ENGINE_NAMES`); both engines produce
     identical results, pinned by the differential test harness.
+    ``tracer`` / ``metrics`` / ``profiler`` are handed to every per-seed
+    engine run (all seeds share them, so metric counters aggregate
+    across the whole technique); they never change any result.
     """
     run = get_engine(engine)
     mitigation_factory = (
         make_factory(technique, **technique_kwargs) if technique else None
     )
     aggregate = TechniqueAggregate(technique=technique or "none")
+    label = technique or "none"
     for seed in seeds:
-        trace = trace_factory(derive_seed(seed, "trace"))
+        with section_of(profiler, f"trace:{label}"):
+            trace = trace_factory(derive_seed(seed, "trace"))
         policy = policy_factory(seed) if policy_factory else None
-        result = run(
-            config,
-            trace,
-            mitigation_factory,
-            seed=seed,
-            refresh_policy=policy,
-        )
+        with section_of(profiler, f"technique:{label}"):
+            result = run(
+                config,
+                trace,
+                mitigation_factory,
+                seed=seed,
+                refresh_policy=policy,
+                tracer=tracer,
+                metrics=metrics,
+            )
         aggregate.results.append(result)
     return aggregate
 
@@ -135,6 +156,9 @@ def compare_techniques(
     seeds: Sequence[int] = (0, 1, 2),
     include_unmitigated: bool = False,
     engine: str = "reference",
+    tracer=None,
+    metrics=None,
+    profiler=None,
 ) -> Dict[str, TechniqueAggregate]:
     """Run every technique over the same per-seed traces.
 
@@ -153,12 +177,15 @@ def compare_techniques(
         return trace
 
     comparison: Dict[str, TechniqueAggregate] = {}
+    telemetry_kwargs = dict(tracer=tracer, metrics=metrics, profiler=profiler)
     if include_unmitigated:
         comparison["none"] = run_technique(
-            config, None, cached_factory, seeds, engine=engine
+            config, None, cached_factory, seeds, engine=engine,
+            **telemetry_kwargs,
         )
     for name in names:
         comparison[name] = run_technique(
-            config, name, cached_factory, seeds, engine=engine
+            config, name, cached_factory, seeds, engine=engine,
+            **telemetry_kwargs,
         )
     return comparison

@@ -61,13 +61,15 @@ from typing import Dict, List, Optional, Tuple
 from repro.config import SimConfig
 from repro.controller.controller import MitigationFactory
 from repro.core.tivapromi import LiPRoMi, LoLiPRoMi, LoPRoMi, TiVaPRoMiBase
-from repro.core.weights import trigger_probability
+from repro.core.weights import linear_weight, log_weight, trigger_probability
 from repro.dram.disturbance import FlipEvent
 from repro.dram.refresh import RefreshPolicy, SequentialRefresh
 from repro.mitigations.base import ActivateNeighbors, Mitigation, RefreshRow
 from repro.mitigations.para import PARA
 from repro.rng import derive_seed
 from repro.sim.metrics import SimResult
+from repro.telemetry.hooks import EngineTelemetry
+from repro.telemetry.profiler import section_of
 from repro.traces.record import Trace
 
 #: minimum number of empty intervals before the span short-circuit is
@@ -94,6 +96,10 @@ class _GenericDecider:
             type(mitigation).on_refresh is Mitigation.on_refresh
         )
 
+    def attach_telemetry(self, telemetry) -> None:
+        # the wrapped reference mitigation owns the technique hooks
+        self.mitigation.telemetry = telemetry
+
     @property
     def name(self) -> str:
         return self.mitigation.name
@@ -101,6 +107,10 @@ class _GenericDecider:
     @property
     def table_bytes(self) -> int:
         return self.mitigation.table_bytes
+
+    @property
+    def table_occupancy(self):
+        return getattr(self.mitigation, "table_occupancy", None)
 
     def on_activation(self, row: int, interval: int):
         return self.mitigation.on_activation(row, interval)
@@ -126,13 +136,14 @@ class _TiVaPRoMiDecider:
     __slots__ = (
         "name", "mitigation", "weighting", "pbase", "capacity", "refint",
         "slot_fn", "_rand", "_buf", "_pos", "table", "_slots", "_slot_p",
-        "_p_interval",
+        "_p_interval", "telemetry",
     )
 
     trivial_refresh = True
 
     def __init__(self, mitigation: TiVaPRoMiBase):
         self.mitigation = mitigation
+        self.telemetry = None
         self.name = mitigation.name
         self.weighting = type(mitigation).weighting
         self.pbase = mitigation.pbase
@@ -152,9 +163,16 @@ class _TiVaPRoMiDecider:
         self._slot_p: Dict[int, float] = {}
         self._p_interval: Optional[int] = None
 
+    def attach_telemetry(self, telemetry) -> None:
+        self.telemetry = telemetry
+
     @property
     def table_bytes(self) -> int:
         return self.mitigation.table_bytes
+
+    @property
+    def table_occupancy(self) -> int:
+        return len(self.table)
 
     def on_activation(self, row: int, interval: int):
         pos = self._pos
@@ -163,6 +181,8 @@ class _TiVaPRoMiDecider:
             rand = self._rand
             buf = self._buf = [rand() for _ in range(4096)]
             pos = 0
+            if self.telemetry is not None:
+                self.telemetry.on_rng_block(self.mitigation.bank, 4096)
         draw = buf[pos]
         self._pos = pos + 1
         p = self._probability(row, interval)
@@ -205,13 +225,42 @@ class _TiVaPRoMiDecider:
         p = weight * self.pbase
         return p if p < 1.0 else 1.0
 
+    def _weight_of(self, row: int, interval: int, hit: bool) -> int:
+        """Effective (uncapped) weight, telemetry only -- never on the
+        decision path, which uses the cached :meth:`_probability`."""
+        window_now = interval % self.refint
+        if hit:
+            weight = window_now - self.table[row]
+            if weight < 0:
+                weight += self.refint
+            # a history hit is weighted linearly except under pure 'log'
+            return log_weight(weight) if self.weighting == "log" else weight
+        slot = self._slots.get(row)
+        if slot is None:
+            slot = self._slots[row] = self.slot_fn(row)
+        weight = linear_weight(window_now, slot, self.refint)
+        # both 'log' and 'loli' quantise rows missing from the table
+        return weight if self.weighting == "linear" else log_weight(weight)
+
     def _record_trigger(self, row: int, interval: int):
         table = self.table
+        telemetry = self.telemetry
+        if telemetry is not None:
+            hit = row in table
+            telemetry.on_trigger_weight(
+                self.mitigation.bank, row, interval,
+                self._weight_of(row, interval, hit), hit,
+            )
         if row in table:
             table[row] = interval % self.refint
         else:
             if len(table) >= self.capacity:
-                del table[next(iter(table))]
+                oldest = next(iter(table))
+                del table[oldest]
+                if telemetry is not None:
+                    telemetry.on_history_evict(
+                        self.mitigation.bank, oldest, interval
+                    )
             table[row] = interval % self.refint
         return (ActivateNeighbors(row=row),)
 
@@ -235,6 +284,8 @@ class _TiVaPRoMiDecider:
                 rand = self._rand
                 buf = self._buf = [rand() for _ in range(4096)]
                 pos = 0
+                if self.telemetry is not None:
+                    self.telemetry.on_rng_block(self.mitigation.bank, 4096)
             end = pos + (count - clean)
             if end > len(buf):
                 end = len(buf)
@@ -275,13 +326,14 @@ class _PARADecider:
 
     __slots__ = (
         "name", "mitigation", "probability", "_rng", "_buf", "_pos",
-        "_state", "geometry", "_neighbors",
+        "_state", "geometry", "_neighbors", "telemetry",
     )
 
     trivial_refresh = True
 
     def __init__(self, mitigation: PARA):
         self.mitigation = mitigation
+        self.telemetry = None
         self.name = mitigation.name
         self.probability = mitigation.probability
         self._rng = mitigation._rng
@@ -291,9 +343,16 @@ class _PARADecider:
         self.geometry = mitigation.config.geometry
         self._neighbors: Dict[int, Tuple[int, ...]] = {}
 
+    def attach_telemetry(self, telemetry) -> None:
+        self.telemetry = telemetry
+
     @property
     def table_bytes(self) -> int:
         return self.mitigation.table_bytes
+
+    @property
+    def table_occupancy(self):
+        return None  # PARA is stateless
 
     def on_activation(self, row: int, interval: int):
         pos = self._pos
@@ -304,6 +363,8 @@ class _PARADecider:
             rand = rng.random
             buf = self._buf = [rand() for _ in range(256)]
             pos = 0
+            if self.telemetry is not None:
+                self.telemetry.on_rng_block(self.mitigation.bank, 256)
         draw = buf[pos]
         pos += 1
         self._pos = pos
@@ -335,6 +396,8 @@ class _PARADecider:
                 rand = rng.random
                 buf = self._buf = [rand() for _ in range(256)]
                 pos = 0
+                if self.telemetry is not None:
+                    self.telemetry.on_rng_block(self.mitigation.bank, 256)
             end = pos + (count - clean)
             if end > len(buf):
                 end = len(buf)
@@ -384,13 +447,18 @@ def run_simulation_fast(
     refresh_policy: Optional[RefreshPolicy] = None,
     stop_after_first_trigger: bool = False,
     max_activations: Optional[int] = None,
+    tracer=None,
+    metrics=None,
+    profiler=None,
 ) -> SimResult:
     """Drop-in fast replacement for :func:`repro.sim.engine.run_simulation`.
 
     Same signature, same semantics, same ``SimResult`` fields (only
     ``wall_seconds`` differs).  See the module docstring for the
     batching strategy and ``tests/sim/test_differential.py`` for the
-    equivalence guarantee.
+    equivalence guarantee.  The telemetry event stream legitimately
+    differs from the reference engine's (batched rollovers, rng-block
+    events); only the ``SimResult`` is pinned identical.
     """
     geometry = config.geometry
     policy = refresh_policy if refresh_policy is not None else SequentialRefresh(geometry)
@@ -399,16 +467,23 @@ def run_simulation_fast(
     num_banks = geometry.num_banks
     refint = geometry.refint
     started = time.perf_counter()
+    tele = EngineTelemetry.create(tracer, metrics)
 
-    if mitigation_factory is None:
-        deciders: List = []
-    else:
-        deciders = [
-            _make_decider(
-                mitigation_factory(config, bank, derive_seed(seed, "mitigation", bank))
-            )
-            for bank in range(num_banks)
-        ]
+    with section_of(profiler, "engine:setup"):
+        if mitigation_factory is None:
+            deciders: List = []
+        else:
+            deciders = [
+                _make_decider(
+                    mitigation_factory(
+                        config, bank, derive_seed(seed, "mitigation", bank)
+                    )
+                )
+                for bank in range(num_banks)
+            ]
+        if tele is not None:
+            for decider in deciders:
+                decider.attach_telemetry(tele)
     technique = deciders[0].name if deciders else "none"
     result = SimResult(
         technique=technique, seed=seed, flip_threshold=config.flip_threshold
@@ -502,6 +577,10 @@ def run_simulation_fast(
             extra_activations += cost
             if not was_attack:
                 fp_extra_activations += cost
+            if tele is not None:
+                tele.on_apply(
+                    bank, action.row, current_interval, cost, not was_attack
+                )
         pending.clear()
 
     def enqueue(bank: int, actions) -> None:
@@ -509,6 +588,10 @@ def run_simulation_fast(
         bank_aggressors = aggressors[bank]
         for action in actions:
             pending.append((bank, action, action.trigger_row in bank_aggressors))
+            if tele is not None:
+                tele.on_trigger(
+                    bank, action.row, current_interval, type(action).__name__
+                )
         if len(pending) > max_occupancy:
             max_occupancy = len(pending)
 
@@ -528,6 +611,14 @@ def run_simulation_fast(
                 enqueue(bank, actions)
         if pending:
             apply_pending()
+        if tele is not None:
+            tele.on_interval(
+                current_interval,
+                current_interval * interval_ns,
+                activation_index,
+                attack_activations,
+                [decider.table_occupancy for decider in deciders],
+            )
 
     def skip_to(target: int) -> None:
         """Fast-forward over refresh ticks of record-free intervals.
@@ -540,6 +631,7 @@ def run_simulation_fast(
         nonlocal current_interval
         if pending:
             apply_pending()
+        first_skipped = current_interval + 1
         span = target - current_interval
         if span >= refint:
             # at least one full window: every row refreshed at least once
@@ -574,6 +666,10 @@ def run_simulation_fast(
             for decider in deciders:
                 decider.clear_window()
         current_interval = target
+        if tele is not None:
+            tele.on_interval_skip(
+                first_skipped, target, target * interval_ns
+            )
 
     # Hot loop.  A record starts a new chunk exactly when its timestamp
     # reaches the next interval boundary (equivalent to the reference's
@@ -582,6 +678,7 @@ def run_simulation_fast(
     # The distance-1 disturbance update is inlined; ``do_activation``
     # is kept for the rare mitigation-action path.
     stop = False
+    replay_started = time.perf_counter()
     boundary = 0  # (current_interval + 1) * interval_ns
     neighbors_get = neighbors_of.get
     has_deciders = bool(deciders)
@@ -611,6 +708,8 @@ def run_simulation_fast(
                     refresh_tick()
             boundary = (current_interval + 1) * interval_ns
         time_now = time_ns
+        if tele is not None:
+            tele.now = time_ns
         if pending:
             apply_pending()
         bank = record[1]
@@ -689,6 +788,8 @@ def run_simulation_fast(
                         )
                 activation_index += done
                 time_now = run[done - 1][0]
+                if tele is not None:
+                    tele.now = time_now
                 if actions:
                     enqueue(bank, actions)
                 if done < length:
@@ -737,17 +838,23 @@ def run_simulation_fast(
             stop = True
             break
 
-    if not (stop_after_first_trigger and first_trigger):
-        if (
-            all_trivial
-            and total_intervals - 1 - current_interval > _SKIP_THRESHOLD
-        ):
-            skip_to(total_intervals - 1)
-        else:
-            while current_interval < total_intervals - 1:
-                refresh_tick()
-    if pending:
-        apply_pending()
+    if profiler is not None:
+        profiler.add("engine:replay", time.perf_counter() - replay_started)
+
+    with section_of(profiler, "engine:drain"):
+        if not (stop_after_first_trigger and first_trigger):
+            if (
+                all_trivial
+                and total_intervals - 1 - current_interval > _SKIP_THRESHOLD
+            ):
+                skip_to(total_intervals - 1)
+            else:
+                while current_interval < total_intervals - 1:
+                    refresh_tick()
+        if pending:
+            apply_pending()
+    if tele is not None:
+        tele.finish(activation_index, attack_activations)
 
     flips: List[FlipEvent] = []
     for events in bank_flips:

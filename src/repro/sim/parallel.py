@@ -31,6 +31,8 @@ from repro.rng import derive_seed
 from repro.sim.engine import get_engine
 from repro.sim.experiment import TechniqueAggregate
 from repro.sim.metrics import SimResult
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.profiler import section_of
 from repro.traces.mixer import paper_mixed_workload
 from repro.traces.trace_io import load_trace_npz, save_trace_npz
 
@@ -51,9 +53,17 @@ class CampaignJob:
     #: ``None`` regenerates the trace from the workload knobs instead
     trace_path: Optional[str] = None
     engine: str = "reference"
+    #: collect a per-job :class:`MetricsRegistry` in the worker and ship
+    #: it back for merging (tracers cannot cross process boundaries, but
+    #: metric counters merge exactly)
+    collect_metrics: bool = False
 
 
-def _run_job(job: CampaignJob) -> Tuple[str, int, SimResult]:
+#: (technique, seed, result, per-job metrics or None)
+JobOutcome = Tuple[str, int, SimResult, Optional[MetricsRegistry]]
+
+
+def _run_job(job: CampaignJob, tracer=None) -> JobOutcome:
     if job.trace_path is not None:
         trace = load_trace_npz(job.trace_path)
     else:
@@ -65,11 +75,15 @@ def _run_job(job: CampaignJob) -> Tuple[str, int, SimResult]:
         )
     factory = make_factory(job.technique) if job.technique else None
     run = get_engine(job.engine)
-    result = run(job.config, trace, factory, seed=job.seed)
-    return (job.technique or "none", job.seed, result)
+    metrics = MetricsRegistry() if job.collect_metrics else None
+    result = run(
+        job.config, trace, factory, seed=job.seed, tracer=tracer,
+        metrics=metrics,
+    )
+    return (job.technique or "none", job.seed, result, metrics)
 
 
-def _run_chunk(chunk: List[CampaignJob]) -> List[Tuple[str, int, SimResult]]:
+def _run_chunk(chunk: List[CampaignJob]) -> List[JobOutcome]:
     return [_run_job(job) for job in chunk]
 
 
@@ -84,6 +98,9 @@ def run_campaign(
     memoize_traces: bool = True,
     chunk_size: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    tracer=None,
+    metrics=None,
+    profiler=None,
     **workload_kwargs,
 ) -> Dict[str, TechniqueAggregate]:
     """Run the full comparison campaign over a process pool.
@@ -100,8 +117,20 @@ def run_campaign(
     :data:`repro.sim.engine.ENGINE_NAMES`); ``chunk_size`` jobs are
     grouped into one pool task (default: about four chunks per worker);
     ``progress(done, total)`` is called after each completed chunk.
+
+    ``metrics`` works in every mode: pool workers collect their own
+    registry and the shards are merged into the caller's on return.
+    ``tracer`` streams cannot cross a process boundary, so an *enabled*
+    tracer requires ``workers=0``; ``profiler`` likewise only times the
+    coarse campaign phases in pool mode.
     """
     get_engine(engine)  # validate the name before spawning anything
+    tracer_enabled = tracer is not None and getattr(tracer, "enabled", True)
+    if tracer_enabled and workers != 0:
+        raise ValueError(
+            "event tracing requires workers=0: tracer streams cannot "
+            "cross a process-pool boundary"
+        )
     names: List[Optional[str]] = (
         list(techniques) if techniques is not None else technique_names()
     )
@@ -113,16 +142,17 @@ def run_campaign(
         trace_paths: Dict[int, str] = {}
         if memoize_traces:
             tmpdir = tempfile.mkdtemp(prefix="repro-campaign-")
-            for seed in dict.fromkeys(seeds):
-                trace = paper_mixed_workload(
-                    config,
-                    total_intervals=total_intervals,
-                    seed=derive_seed(seed, "trace"),
-                    **workload_kwargs,
-                )
-                path = os.path.join(tmpdir, f"trace-{seed}.npz")
-                save_trace_npz(trace, path)
-                trace_paths[seed] = path
+            with section_of(profiler, "campaign:traces"):
+                for seed in dict.fromkeys(seeds):
+                    trace = paper_mixed_workload(
+                        config,
+                        total_intervals=total_intervals,
+                        seed=derive_seed(seed, "trace"),
+                        **workload_kwargs,
+                    )
+                    path = os.path.join(tmpdir, f"trace-{seed}.npz")
+                    save_trace_npz(trace, path)
+                    trace_paths[seed] = path
         jobs = [
             CampaignJob(
                 config=config,
@@ -132,19 +162,23 @@ def run_campaign(
                 workload_kwargs=frozen_kwargs,
                 trace_path=trace_paths.get(seed),
                 engine=engine,
+                collect_metrics=metrics is not None,
             )
             for name in names
             for seed in seeds
         ]
         total = len(jobs)
-        outcomes: List[Optional[Tuple[str, int, SimResult]]] = [None] * total
+        outcomes: List[Optional[JobOutcome]] = [None] * total
         done = 0
         if workers == 0:
-            for index, job in enumerate(jobs):
-                outcomes[index] = _run_job(job)
-                done += 1
-                if progress is not None:
-                    progress(done, total)
+            with section_of(profiler, "campaign:inline"):
+                for index, job in enumerate(jobs):
+                    outcomes[index] = _run_job(
+                        job, tracer=tracer if tracer_enabled else None
+                    )
+                    done += 1
+                    if progress is not None:
+                        progress(done, total)
         else:
             if chunk_size is None:
                 pool_width = workers or os.cpu_count() or 1
@@ -153,25 +187,28 @@ def run_campaign(
                 (start, jobs[start : start + chunk_size])
                 for start in range(0, total, chunk_size)
             ]
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(_run_chunk, chunk): start
-                    for start, chunk in chunks
-                }
-                for future in as_completed(futures):
-                    start = futures[future]
-                    chunk_outcomes = future.result()
-                    outcomes[start : start + len(chunk_outcomes)] = chunk_outcomes
-                    done += len(chunk_outcomes)
-                    if progress is not None:
-                        progress(done, total)
+            with section_of(profiler, "campaign:pool"):
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = {
+                        pool.submit(_run_chunk, chunk): start
+                        for start, chunk in chunks
+                    }
+                    for future in as_completed(futures):
+                        start = futures[future]
+                        chunk_outcomes = future.result()
+                        outcomes[start : start + len(chunk_outcomes)] = chunk_outcomes
+                        done += len(chunk_outcomes)
+                        if progress is not None:
+                            progress(done, total)
     finally:
         if tmpdir is not None:
             shutil.rmtree(tmpdir, ignore_errors=True)
     # outcomes is ordered by job index (technique-major, seed-minor)
     # regardless of completion order
     aggregates: Dict[str, TechniqueAggregate] = {}
-    for name, _seed, result in outcomes:
+    for name, _seed, result, job_metrics in outcomes:
         aggregates.setdefault(name, TechniqueAggregate(technique=name))
         aggregates[name].results.append(result)
+        if metrics is not None and job_metrics is not None:
+            metrics.merge(job_metrics)
     return aggregates

@@ -1,0 +1,50 @@
+"""Observability layer: event tracing, run metrics, manifests, profiling.
+
+Zero-cost when disabled: every entry point of the simulation stack
+accepts ``tracer=None`` / ``metrics=None`` / ``profiler=None`` and the
+engines skip the whole layer behind a single ``None`` check (pinned by
+the overhead guard in ``benchmarks/bench_fast_engine.py``).  Enabling
+it never changes simulation results -- the differential harness proves
+both engines produce bit-identical :class:`~repro.sim.metrics.SimResult`
+objects with telemetry on and off.
+
+See ``docs/observability.md`` for the event schema, manifest fields
+and workflow recipes.
+"""
+
+from repro.telemetry.events import EVENT_KINDS
+from repro.telemetry.hooks import EngineTelemetry
+from repro.telemetry.manifest import (
+    RunManifest,
+    build_manifest,
+    config_digest,
+    diff_manifests,
+)
+from repro.telemetry.metrics import Counter, Histogram, MetricsRegistry
+from repro.telemetry.profiler import Profiler, section_of
+from repro.telemetry.tracer import (
+    JsonlTracer,
+    NullTracer,
+    RecordingTracer,
+    Tracer,
+    read_jsonl_events,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "EngineTelemetry",
+    "RunManifest",
+    "build_manifest",
+    "config_digest",
+    "diff_manifests",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "Profiler",
+    "section_of",
+    "JsonlTracer",
+    "NullTracer",
+    "RecordingTracer",
+    "Tracer",
+    "read_jsonl_events",
+]

@@ -71,3 +71,48 @@ def assert_engines_equivalent(
         )
     )
     return reference
+
+
+def assert_telemetry_transparent(
+    config,
+    trace_factory: TraceFactory,
+    mitigation_factory,
+    seed: int = 0,
+    engine: str = "reference",
+    **engine_kwargs,
+):
+    """Assert that enabled telemetry does not perturb the result.
+
+    Runs *engine* twice over identically generated traces -- once bare,
+    once with a :class:`RecordingTracer` and a fresh
+    :class:`MetricsRegistry` -- and asserts the two ``SimResult``\\ s are
+    field-for-field identical.  Telemetry only observes (it never draws
+    from the RNG streams or mutates simulation state), so any
+    divergence here is a hook placed on the decision path.
+
+    Returns ``(result, tracer, metrics)`` from the instrumented run for
+    further assertions on the event stream.
+    """
+    from repro.sim.engine import get_engine
+    from repro.telemetry import MetricsRegistry, RecordingTracer
+
+    run = get_engine(engine)
+    bare = run(
+        config, trace_factory(), mitigation_factory, seed=seed, **engine_kwargs
+    )
+    tracer = RecordingTracer()
+    metrics = MetricsRegistry()
+    observed = run(
+        config, trace_factory(), mitigation_factory, seed=seed,
+        tracer=tracer, metrics=metrics, **engine_kwargs
+    )
+    differences = diff_results(bare, observed)
+    assert not differences, (
+        f"telemetry perturbed the {engine} engine for "
+        f"technique={bare.technique!r} seed={seed}:\n"
+        + "\n".join(
+            f"  {field}: bare={ref!r} observed={cand!r}"
+            for field, (ref, cand) in differences.items()
+        )
+    )
+    return observed, tracer, metrics

@@ -68,6 +68,41 @@ class TestAggregate:
     def test_summary_text(self):
         assert "T" in self.make().summary()
 
+    def test_single_seed_std_is_zero(self):
+        """Regression: a single-seed campaign must report sigma = 0.0
+        (and a well-formed Table III cell), not raise."""
+        aggregate = TechniqueAggregate(technique="T")
+        aggregate.results.append(
+            SimResult(
+                technique="T",
+                seed=0,
+                normal_activations=10_000,
+                extra_activations=10,
+                fp_extra_activations=2,
+                flip_threshold=1000,
+            )
+        )
+        assert aggregate.overhead_std == 0.0
+        assert aggregate.overhead_mean == pytest.approx(0.1)
+        assert "+- 0.0000" in aggregate.overhead_cell()
+
+    def test_empty_aggregate_is_inert(self):
+        """No seeds run yet: every statistic degrades to zero."""
+        aggregate = TechniqueAggregate(technique="T")
+        assert aggregate.overhead_mean == 0.0
+        assert aggregate.overhead_std == 0.0
+        assert aggregate.fpr_mean == 0.0
+        assert aggregate.total_flips == 0
+        assert aggregate.table_bytes == 0
+        assert aggregate.min_protection_margin == 0.0
+        assert aggregate.wall_seconds == 0.0
+
+    def test_wall_seconds_sums_across_seeds(self):
+        aggregate = self.make()
+        for result in aggregate.results:
+            result.wall_seconds = 0.5
+        assert aggregate.wall_seconds == pytest.approx(1.5)
+
 
 class TestRunTechnique:
     def test_one_result_per_seed(self):

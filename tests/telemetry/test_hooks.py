@@ -1,0 +1,116 @@
+"""EngineTelemetry hook-bundle semantics (delta derivation, gating)."""
+
+from repro.telemetry import events as ev
+from repro.telemetry.hooks import EngineTelemetry
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import NullTracer, RecordingTracer
+
+
+class TestCreate:
+    def test_all_off_collapses_to_none(self):
+        assert EngineTelemetry.create(None, None) is None
+
+    def test_null_tracer_is_treated_as_none(self):
+        assert EngineTelemetry.create(NullTracer(), None) is None
+
+    def test_metrics_alone_enables(self):
+        tele = EngineTelemetry.create(None, MetricsRegistry())
+        assert tele is not None
+        assert tele.tracer is None
+
+    def test_tracer_alone_enables(self):
+        tele = EngineTelemetry.create(RecordingTracer(), None)
+        assert tele is not None
+        assert tele.metrics is None
+
+
+class TestIntervalDeltas:
+    def test_running_totals_become_per_interval_deltas(self):
+        metrics = MetricsRegistry()
+        tracer = RecordingTracer()
+        tele = EngineTelemetry.create(tracer, metrics)
+        tele.on_interval(0, 1000, 10, 2)
+        tele.on_interval(1, 2000, 25, 2)
+        assert metrics.counters["activations"].value == 25
+        batches = tracer.of_kind(ev.ACTIVATION_BATCH)
+        assert [event["count"] for event in batches] == [10, 15]
+        assert [event["attack_count"] for event in batches] == [2, 0]
+
+    def test_trigger_counts_reset_per_interval(self):
+        metrics = MetricsRegistry()
+        tele = EngineTelemetry.create(None, metrics)
+        tele.on_trigger(0, 7, 0, "ActivateNeighbors")
+        tele.on_trigger(0, 8, 0, "ActivateNeighbors")
+        tele.on_interval(0, 1000, 5, 0)
+        tele.on_interval(1, 2000, 5, 0)
+        histogram = metrics.histograms["triggers_per_interval"]
+        # one interval saw 2 triggers, one saw 0
+        assert histogram.count == 2
+        assert histogram.total == 2.0
+
+    def test_empty_interval_emits_no_activation_batch(self):
+        tracer = RecordingTracer()
+        tele = EngineTelemetry.create(tracer, None)
+        tele.on_interval(0, 1000, 0, 0)
+        assert tracer.kinds() == [ev.INTERVAL_ROLLOVER]
+
+    def test_finish_flushes_the_tail(self):
+        tracer = RecordingTracer()
+        metrics = MetricsRegistry()
+        tele = EngineTelemetry.create(tracer, metrics)
+        tele.on_interval(0, 1000, 10, 0)
+        tele.finish(17, 3)
+        assert metrics.counters["activations"].value == 17
+        tail = tracer.of_kind(ev.ACTIVATION_BATCH)[-1]
+        assert tail["count"] == 7
+        assert tail["interval"] == -1
+
+    def test_interval_skip_records_zero_trigger_intervals(self):
+        tracer = RecordingTracer()
+        metrics = MetricsRegistry()
+        tele = EngineTelemetry.create(tracer, metrics)
+        tele.on_interval_skip(3, 12, 120_000)
+        assert metrics.counters["intervals"].value == 10
+        assert metrics.histograms["triggers_per_interval"].count == 10
+        (rollover,) = tracer.of_kind(ev.INTERVAL_ROLLOVER)
+        assert rollover["skipped"] == 10
+        assert rollover["interval"] == 12
+
+    def test_interval_skip_of_nothing_is_silent(self):
+        tracer = RecordingTracer()
+        tele = EngineTelemetry.create(tracer, None)
+        tele.on_interval_skip(5, 4, 0)
+        assert len(tracer) == 0
+
+    def test_occupancy_histogram_skips_stateless_banks(self):
+        metrics = MetricsRegistry()
+        tele = EngineTelemetry.create(None, metrics)
+        tele.on_interval(0, 1000, 1, 0, occupancy=[3, None, 5])
+        assert metrics.histograms["table_occupancy"].count == 2
+
+    def test_time_only_moves_forward(self):
+        tele = EngineTelemetry.create(RecordingTracer(), None)
+        tele.now = 500
+        tele.on_interval(0, 100, 1, 0)  # stale rollover timestamp
+        assert tele.now == 500
+
+
+class TestTechniqueHooks:
+    def test_history_hit_emits_event_and_counter(self):
+        tracer = RecordingTracer()
+        metrics = MetricsRegistry()
+        tele = EngineTelemetry.create(tracer, metrics)
+        tele.on_trigger_weight(0, 7, 3, 128, hit=True)
+        tele.on_trigger_weight(0, 9, 3, 64, hit=False)
+        assert metrics.counters["history_hits"].value == 1
+        assert metrics.histograms["trigger_weight"].count == 2
+        (hit,) = tracer.of_kind(ev.HISTORY_HIT)
+        assert hit["weight"] == 128
+
+    def test_rng_block_accounting(self):
+        metrics = MetricsRegistry()
+        tele = EngineTelemetry.create(None, metrics)
+        tele.on_rng_block(0, 4096)
+        tele.on_rng_block(1, 256)
+        assert metrics.counters["rng_blocks"].value == 2
+        assert metrics.counters["rng_draws"].value == 4352

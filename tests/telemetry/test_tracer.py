@@ -1,0 +1,77 @@
+"""Tracer implementations and the JSONL round trip."""
+
+import pytest
+
+from repro.telemetry import events as ev
+from repro.telemetry.tracer import (
+    JsonlTracer,
+    NullTracer,
+    RecordingTracer,
+    Tracer,
+    read_jsonl_events,
+)
+
+
+class TestNullTracer:
+    def test_is_disabled(self):
+        assert NullTracer.enabled is False
+
+    def test_satisfies_the_protocol(self):
+        assert isinstance(NullTracer(), Tracer)
+
+
+class TestRecordingTracer:
+    def test_records_in_emission_order(self):
+        tracer = RecordingTracer()
+        tracer.emit(ev.trigger(10, 0, 0, 7, "ActivateNeighbors"))
+        tracer.emit(ev.interval_rollover(20, 1, 5, 1))
+        assert tracer.kinds() == [ev.TRIGGER, ev.INTERVAL_ROLLOVER]
+        assert len(tracer) == 2
+
+    def test_of_kind_filters(self):
+        tracer = RecordingTracer()
+        tracer.emit(ev.trigger(10, 0, 0, 7, "ActivateNeighbors"))
+        tracer.emit(ev.rng_block(10, 0, 4096))
+        (block,) = tracer.of_kind(ev.RNG_BLOCK)
+        assert block["count"] == 4096
+
+
+class TestJsonlTracer:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        emitted = [
+            ev.activation_batch(100, 0, 50, 10),
+            ev.trigger(150, 0, 1, 42, "RefreshRow"),
+            ev.mitigating_refresh(160, 0, 1, 41, 1, False),
+        ]
+        with JsonlTracer(path) as tracer:
+            for event in emitted:
+                tracer.emit(event)
+            assert tracer.events_written == 3
+        assert read_jsonl_events(path) == emitted
+
+    def test_one_compact_json_object_per_line(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with JsonlTracer(path) as tracer:
+            tracer.emit(ev.rng_block(0, 0, 256))
+        lines = (tmp_path / "events.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+        assert " " not in lines[0]
+
+    def test_close_is_idempotent(self, tmp_path):
+        tracer = JsonlTracer(str(tmp_path / "events.jsonl"))
+        tracer.close()
+        tracer.close()
+
+    def test_emit_after_close_raises(self, tmp_path):
+        tracer = JsonlTracer(str(tmp_path / "events.jsonl"))
+        tracer.close()
+        with pytest.raises(ValueError):
+            tracer.emit(ev.rng_block(0, 0, 256))
+
+
+def test_event_kind_constants_are_complete():
+    assert set(ev.EVENT_KINDS) == {
+        "activation-batch", "trigger", "mitigating-refresh",
+        "history-hit", "history-evict", "interval-rollover", "rng-block",
+    }

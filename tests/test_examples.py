@@ -66,6 +66,14 @@ class TestExamples:
         out = run_example("software_vs_hardware.py", "--windows", "3")
         assert "software detector" in out
 
+    def test_traced_run(self, tmp_path):
+        out = run_example("traced_run.py", "--intervals", "96",
+                          "--out", str(tmp_path / "events.jsonl"))
+        assert "event counts by kind" in out
+        assert "interval-rollover" in out
+        assert "telemetry observes, never decides" in out
+        assert (tmp_path / "events.jsonl").exists()
+
     def test_every_example_has_a_test(self):
         scripts = {path.name for path in EXAMPLES.glob("*.py")}
         tested = {
@@ -73,6 +81,7 @@ class TestExamples:
             "flooding_attack.py", "refresh_policy_study.py",
             "full_system_pipeline.py", "counter_tree_saturation.py",
             "software_vs_hardware.py", "parallel_campaign.py",
+            "traced_run.py",
         }
         assert scripts <= tested, scripts - tested
 

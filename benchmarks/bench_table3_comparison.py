@@ -22,10 +22,10 @@ Paper reference rows (DDR4 LUTs / vulnerable / overhead / FPR):
     LoLiPRoMi  5,374   (15x)    No   (0.014  +- 0.00027)%  0.011%
 """
 
-from benchmarks.conftest import BENCH_SEEDS, paper_comparison, run_once
+from benchmarks.conftest import paper_comparison, run_once
 from repro.analysis.area import table3_resources
 from repro.analysis.report import render_table3
-from repro.mitigations.registry import BASELINES, TIVAPROMI_VARIANTS
+from repro.mitigations.registry import TIVAPROMI_VARIANTS
 from repro.sim.attacks import vulnerability_verdicts
 
 

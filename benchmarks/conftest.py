@@ -59,6 +59,9 @@ def run_once(benchmark, function):
 
 #: benchmark text output directory (gitignored)
 BENCH_OUT_DIR = Path(__file__).resolve().parent / "out"
+# Created at import time as well: some benchmarks shell-redirect into this
+# directory before ``write_bench_output`` ever runs.
+BENCH_OUT_DIR.mkdir(parents=True, exist_ok=True)
 
 
 def write_bench_output(name: str, text: str) -> Path:

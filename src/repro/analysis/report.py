@@ -239,3 +239,71 @@ def render_manifest_diff(
         "path", f"a: {a_label}", f"b: {b_label}"
     ), rows)
     return f"{len(rows)} difference(s):\n\n{table}"
+
+
+def render_campaign_failures(failures: Sequence) -> str:
+    """Degraded-shard table for a fault-tolerant campaign."""
+    rows = [
+        (
+            failure.technique,
+            str(failure.seed),
+            str(failure.attempts),
+            failure.kind,
+            failure.error,
+        )
+        for failure in failures
+    ]
+    table = render_table(
+        ("technique", "seed", "attempts", "kind", "error"), rows
+    )
+    return f"{len(rows)} degraded shard(s):\n\n{table}"
+
+
+def render_campaign(
+    comparison: Mapping[str, "TechniqueAggregate"],
+    failures: Sequence = (),
+) -> str:
+    """Campaign summary: one line per technique plus degraded shards."""
+    sections = ["\n".join(
+        aggregate.summary() for aggregate in comparison.values()
+    )]
+    if failures:
+        sections.append(render_campaign_failures(failures))
+    return "\n\n".join(sections)
+
+
+def render_campaign_status(status) -> str:
+    """Render a :class:`~repro.campaign.store.CampaignStatus`.
+
+    Header recaps the stored spec; the body shows per-technique
+    completed seeds so an interrupted campaign's remaining work is
+    visible at a glance.
+    """
+    spec = status.spec
+    header_rows = [
+        ("engine", spec.engine),
+        ("config hash", spec.config_hash),
+        ("intervals", str(spec.total_intervals)),
+        ("seeds", ", ".join(str(seed) for seed in spec.seeds)),
+        ("shards", f"{len(status.completed)}/{status.total} completed"),
+        ("state", "complete" if status.complete else "resumable"),
+    ]
+    sections = [render_table(("field", "value"), header_rows)]
+    done = {}
+    for technique, seed in status.completed:
+        done.setdefault(technique, []).append(seed)
+    rows = [
+        (
+            technique,
+            ", ".join(str(s) for s in done.get(technique, [])) or "-",
+            ", ".join(
+                str(seed) for name, seed in status.missing
+                if name == technique
+            ) or "-",
+        )
+        for technique in spec.techniques
+    ]
+    sections.append(render_table(("technique", "done", "missing"), rows))
+    if status.failures:
+        sections.append(render_campaign_failures(status.failures))
+    return "\n\n".join(sections)

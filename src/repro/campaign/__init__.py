@@ -1,0 +1,52 @@
+"""Durable, fault-tolerant campaign orchestration.
+
+Long (paper-scale) campaigns checkpoint every completed shard to a
+directory and can be killed and resumed without losing or changing any
+result -- see ``docs/campaigns.md`` for the checkpoint layout, resume
+semantics, and failure policies.
+
+Public surface:
+
+* :func:`run_durable_campaign` -- checkpointed/resumable wrapper
+  around :func:`repro.sim.parallel.run_campaign`;
+* :class:`CampaignStore` / :class:`CampaignSpec` /
+  :class:`ShardRecord` -- the checkpoint persistence layer;
+* :class:`FaultInjector` -- deterministic crash/hang/error injection
+  for fault-tolerance tests (never active unless explicitly supplied
+  or set through ``REPRO_FAULT_INJECT``).
+"""
+
+from repro.campaign.faults import (
+    CRASH_EXIT_CODE,
+    FAULT_ENV_VAR,
+    FaultInjector,
+    FaultRule,
+    InjectedFault,
+    SimulatedCrash,
+)
+from repro.campaign.runner import campaign_status, run_durable_campaign
+from repro.campaign.store import (
+    CampaignSpec,
+    CampaignStateError,
+    CampaignStatus,
+    CampaignStore,
+    CheckpointMismatchError,
+    ShardRecord,
+)
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "FAULT_ENV_VAR",
+    "FaultInjector",
+    "FaultRule",
+    "InjectedFault",
+    "SimulatedCrash",
+    "campaign_status",
+    "run_durable_campaign",
+    "CampaignSpec",
+    "CampaignStateError",
+    "CampaignStatus",
+    "CampaignStore",
+    "CheckpointMismatchError",
+    "ShardRecord",
+]

@@ -1,0 +1,210 @@
+"""Durable, crash-safe campaign orchestration.
+
+:func:`run_durable_campaign` wraps :func:`repro.sim.parallel.
+run_campaign` with a :class:`~repro.campaign.store.CampaignStore`:
+every completed (technique, seed) shard is checkpointed the moment it
+lands, and a killed campaign restarted with ``resume=True`` validates
+the stored spec (config hash, engine, grid), skips the completed
+shards, and re-dispatches only the remainder.
+
+Determinism contract: because each shard is a pure function of
+(config, technique, seed, engine) and the final aggregates are rebuilt
+from the store in the campaign's canonical shard order, an interrupted
++ resumed campaign returns aggregates **bit-identical** to an
+uninterrupted one (``tests/campaign/test_kill_resume.py`` proves this
+by SIGKILLing a live campaign).  Metrics keep the same contract: shard
+registries are restored from the checkpoints and re-merged, so a
+resumed run's manifest matches the uninterrupted run's up to the
+documented volatile fields.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.config import SimConfig
+from repro.mitigations.registry import technique_names
+from repro.sim.experiment import TechniqueAggregate
+from repro.sim.parallel import (
+    CampaignResult,
+    JobOutcome,
+    ProgressCallback,
+    RetryPolicy,
+    ShardFailure,
+    run_campaign,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+from repro.campaign.store import (
+    CampaignSpec,
+    CampaignStateError,
+    CampaignStore,
+    ShardRecord,
+)
+
+#: orchestration counters recomputed store-wide after every run, so a
+#: resumed campaign reports whole-campaign totals, not this process's
+_RECOMPUTED_COUNTERS = ("campaign.shards_completed", "campaign.shards_degraded")
+
+
+def run_durable_campaign(
+    config: SimConfig,
+    total_intervals: int,
+    checkpoint_dir,
+    resume: bool = False,
+    techniques: Optional[Sequence[str]] = None,
+    seeds: Sequence[int] = (0, 1, 2),
+    include_unmitigated: bool = False,
+    workers: Optional[int] = None,
+    engine: str = "reference",
+    memoize_traces: bool = True,
+    chunk_size: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+    tracer=None,
+    metrics: Optional[MetricsRegistry] = None,
+    profiler=None,
+    retry: Optional[RetryPolicy] = None,
+    fault_injector=None,
+    sleep: Callable[[float], None] = time.sleep,
+    **workload_kwargs,
+) -> CampaignResult:
+    """Run (or resume) a campaign with per-shard checkpointing.
+
+    Same contract as :func:`repro.sim.parallel.run_campaign` plus:
+
+    * ``checkpoint_dir`` -- directory holding the campaign spec and one
+      JSON file per completed shard (see :mod:`repro.campaign.store`).
+    * ``resume`` -- continue a checkpoint that already exists.  The
+      stored spec must match the requested campaign exactly (config
+      hash, engine, grid, workload knobs); any mismatch raises
+      :class:`~repro.campaign.store.CheckpointMismatchError` before any
+      work is dispatched.  Without ``resume``, an existing checkpoint
+      is refused rather than silently overwritten.
+    * ``retry`` / ``fault_injector`` -- worker-level fault tolerance
+      and its deterministic test hook (see
+      :class:`~repro.sim.parallel.RetryPolicy` and
+      :mod:`repro.campaign.faults`).
+
+    Shards degraded under ``retry.on_failure == "skip"`` are *not*
+    checkpointed as complete: a later ``resume`` retries exactly those
+    shards, so a degraded campaign heals incrementally.
+    """
+    names: List[Optional[str]] = (
+        list(techniques) if techniques is not None else technique_names()
+    )
+    if include_unmitigated:
+        names = [None] + names
+    spec = CampaignSpec.build(
+        config,
+        engine=engine,
+        total_intervals=total_intervals,
+        techniques=names,
+        seeds=seeds,
+        workload_kwargs=workload_kwargs,
+    )
+    store = CampaignStore(checkpoint_dir)
+    if store.exists:
+        if not resume:
+            raise CampaignStateError(
+                f"checkpoint directory {store.root} already holds a "
+                "campaign; pass resume=True (--resume) to continue it or "
+                "choose a fresh directory"
+            )
+        store.ensure_matches(spec)
+    else:
+        store.initialize(spec)
+    shards = store.load_shards()
+    pending: List[Tuple[Optional[str], int]] = [
+        (name, seed)
+        for name in names
+        for seed in seeds
+        if (name or "none", seed) not in shards
+    ]
+    failures: List[ShardFailure] = []
+    if pending:
+        # jobs collect into a scratch registry; the caller's registry is
+        # rebuilt from the store below so that resumed and uninterrupted
+        # campaigns report identical whole-campaign metrics.  The scratch
+        # registry is unconditional: shard metrics must land in the
+        # checkpoint even when this invocation didn't ask for metrics,
+        # or a later resume with a manifest would be missing the
+        # counters of every shard completed before the interruption.
+        scratch = MetricsRegistry()
+
+        def persist(outcome: JobOutcome, attempts: int) -> None:
+            name, seed, result, job_metrics = outcome
+            store.write_shard(
+                ShardRecord(
+                    technique=name,
+                    seed=seed,
+                    result=result,
+                    attempts=attempts,
+                    metrics=(
+                        job_metrics.as_dict()
+                        if job_metrics is not None else None
+                    ),
+                )
+            )
+
+        result = run_campaign(
+            config,
+            total_intervals,
+            seeds=seeds,
+            workers=workers,
+            engine=engine,
+            memoize_traces=memoize_traces,
+            chunk_size=chunk_size,
+            progress=progress,
+            tracer=tracer,
+            metrics=scratch,
+            profiler=profiler,
+            pairs=pending,
+            retry=retry,
+            fault_injector=fault_injector,
+            shard_callback=persist,
+            sleep=sleep,
+            **workload_kwargs,
+        )
+        failures = result.failures
+        store.write_failures(failures)
+        if metrics is not None:
+            for name, counter in scratch.counters.items():
+                if (
+                    name.startswith("campaign.")
+                    and name not in _RECOMPUTED_COUNTERS
+                ):
+                    metrics.counter(name, limit=counter.limit).add(counter.value)
+        shards = store.load_shards()
+    # canonical rebuild: technique-major, seed-minor, straight from the
+    # store -- the order (and therefore every float accumulation) is
+    # identical whether or not the campaign was ever interrupted
+    aggregates = CampaignResult(failures=failures)
+    for name in names:
+        key = name or "none"
+        aggregate = TechniqueAggregate(technique=key)
+        for seed in seeds:
+            record = shards.get((key, seed))
+            if record is not None:
+                aggregate.results.append(record.result)
+            else:
+                # every pending shard was dispatched, so a missing one
+                # exhausted its attempts under on_failure="skip"
+                aggregate.degraded_seeds.append(seed)
+        aggregates[key] = aggregate
+    if metrics is not None:
+        for key in spec.shard_keys():
+            record = shards.get(key)
+            if record is not None and record.metrics:
+                metrics.merge(MetricsRegistry.from_dict(record.metrics))
+        completed = sum(1 for key in spec.shard_keys() if key in shards)
+        degraded = len(spec.shard_keys()) - completed
+        metrics.counter("campaign.shards_completed").add(completed)
+        if degraded:
+            metrics.counter("campaign.shards_degraded").add(degraded)
+    return aggregates
+
+
+def campaign_status(checkpoint_dir):
+    """Convenience wrapper: :meth:`CampaignStore.status` for a path."""
+    return CampaignStore(checkpoint_dir).status()

@@ -8,6 +8,8 @@
     python -m repro policies [--intervals N]
     python -m repro trace --out FILE [--intervals N --seed S]
     python -m repro run --technique NAME --trace FILE
+    python -m repro campaign --checkpoint-dir DIR [--resume]
+    python -m repro campaign-status DIR
 
 The heavy subcommands accept the same scale knobs as the benchmarks,
 plus ``--engine {reference,fast}`` to pick the simulation engine (the
@@ -20,6 +22,13 @@ observability flags (see docs/observability.md):
     --profile              print a wall-clock phase breakdown
 
     python -m repro manifest-diff A.json B.json   # compare two runs
+
+``campaign`` runs the full technique comparison with per-shard
+checkpointing: kill it at any point and re-run with ``--resume`` to
+continue from the completed shards (see docs/campaigns.md).  Worker
+faults are handled by ``--max-retries/--shard-timeout`` with
+exponential backoff, and ``--on-shard-failure skip`` degrades failed
+shards instead of aborting the campaign.
 """
 
 from __future__ import annotations
@@ -71,7 +80,7 @@ def _telemetry_from_args(args):
 
 def _finish_telemetry(
     args, config, tracer, metrics, profiler,
-    comparison=None, total_intervals=None, extra=None,
+    comparison=None, total_intervals=None, extra=None, failures=None,
 ) -> None:
     """Close the tracer, write the manifest, print the profile."""
     from repro.telemetry import build_manifest
@@ -90,6 +99,7 @@ def _finish_telemetry(
             profiler=profiler,
             total_intervals=total_intervals,
             extra=extra,
+            failures=failures,
         )
         print(f"wrote manifest to {manifest.write(args.manifest)}",
               file=sys.stderr)
@@ -260,13 +270,72 @@ def _cmd_run(args) -> int:
     return 1 if result.attack_succeeded else 0
 
 
+def _cmd_campaign(args) -> int:
+    from repro.analysis.report import render_campaign
+    from repro.campaign import FaultInjector, run_durable_campaign
+    from repro.sim.parallel import RetryPolicy
+
+    tracer, metrics, profiler = _telemetry_from_args(args)
+    config = SimConfig()
+    retry = None
+    if (
+        args.max_retries
+        or args.shard_timeout is not None
+        or args.on_shard_failure != "raise"
+    ):
+        retry = RetryPolicy(
+            max_retries=args.max_retries,
+            backoff_base=args.backoff_base,
+            shard_timeout=args.shard_timeout,
+            on_failure=args.on_shard_failure,
+        )
+    aggregates = run_durable_campaign(
+        config,
+        total_intervals=args.intervals,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        techniques=args.techniques,
+        seeds=tuple(range(args.seeds)),
+        include_unmitigated=args.include_unmitigated,
+        workers=args.workers,
+        engine=args.engine,
+        retry=retry,
+        fault_injector=FaultInjector.from_env(),
+        tracer=tracer,
+        metrics=metrics,
+        profiler=profiler,
+    )
+    print(render_campaign(aggregates, aggregates.failures))
+    _finish_telemetry(
+        args, config, tracer, metrics, profiler,
+        comparison=aggregates, total_intervals=args.intervals,
+        extra={"command": "campaign"}, failures=aggregates.failures,
+    )
+    return 1 if aggregates.failures else 0
+
+
+def _cmd_campaign_status(args) -> int:
+    from repro.analysis.report import render_campaign_status
+    from repro.campaign import CampaignStore
+
+    store = CampaignStore(args.checkpoint_dir)
+    if not store.exists:
+        print(f"no campaign checkpoint at {args.checkpoint_dir}",
+              file=sys.stderr)
+        return 2
+    print(render_campaign_status(store.status()))
+    return 0
+
+
 def _cmd_manifest_diff(args) -> int:
     from repro.analysis.report import render_manifest_diff
     from repro.telemetry import RunManifest, diff_manifests
+    from repro.telemetry.manifest import VOLATILE_FIELDS
 
     left = RunManifest.load(args.a)
     right = RunManifest.load(args.b)
-    differences = diff_manifests(left, right)
+    ignore = tuple(VOLATILE_FIELDS) + tuple(args.ignore or ())
+    differences = diff_manifests(left, right, ignore=ignore)
     print(render_manifest_diff(args.a, args.b, differences))
     return 1 if differences else 0
 
@@ -317,12 +386,71 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_args(run)
     run.set_defaults(func=_cmd_run)
 
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="checkpointed technique-comparison campaign (resumable)",
+    )
+    campaign.add_argument(
+        "--checkpoint-dir", required=True, metavar="DIR",
+        help="directory for the campaign spec and per-shard checkpoints",
+    )
+    campaign.add_argument(
+        "--resume", action="store_true",
+        help="continue an existing checkpoint (validates its config "
+             "hash and grid, then runs only the missing shards)",
+    )
+    _add_scale_args(campaign)
+    campaign.add_argument(
+        "--techniques", nargs="+", default=None, metavar="NAME",
+        help="techniques to run (default: all nine)",
+    )
+    campaign.add_argument(
+        "--include-unmitigated", action="store_true",
+        help="also run the unprotected baseline",
+    )
+    campaign.add_argument(
+        "--workers", type=int, default=None,
+        help="pool width (default: one per CPU; 0 runs inline)",
+    )
+    campaign.add_argument(
+        "--max-retries", type=int, default=0,
+        help="extra attempts per crashed/hung/failed shard "
+             "(exponential backoff between attempts)",
+    )
+    campaign.add_argument(
+        "--backoff-base", type=float, default=0.5, metavar="SECONDS",
+        help="first retry delay; doubles per subsequent retry",
+    )
+    campaign.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="declare a shard hung after this long (pool mode only; "
+             "see docs/campaigns.md for round semantics)",
+    )
+    campaign.add_argument(
+        "--on-shard-failure", choices=("raise", "skip"), default="raise",
+        help="after retries are exhausted: abort the campaign (raise) "
+             "or record a degraded shard and continue (skip)",
+    )
+    campaign.set_defaults(func=_cmd_campaign)
+
+    campaign_status = subparsers.add_parser(
+        "campaign-status",
+        help="inspect a campaign checkpoint directory",
+    )
+    campaign_status.add_argument("checkpoint_dir", metavar="DIR")
+    campaign_status.set_defaults(func=_cmd_campaign_status)
+
     manifest_diff = subparsers.add_parser(
         "manifest-diff",
         help="compare two run manifests (exit 1 if results differ)",
     )
     manifest_diff.add_argument("a", help="baseline manifest JSON")
     manifest_diff.add_argument("b", help="candidate manifest JSON")
+    manifest_diff.add_argument(
+        "--ignore", action="append", default=[], metavar="FIELD",
+        help="extra field/path to ignore (repeatable; volatile fields "
+             "are always ignored)",
+    )
     manifest_diff.set_defaults(func=_cmd_manifest_diff)
 
     return parser

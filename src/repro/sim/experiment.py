@@ -33,6 +33,10 @@ class TechniqueAggregate:
 
     technique: str
     results: List[SimResult] = field(default_factory=list)
+    #: seeds whose shard was dropped by a fault-tolerant campaign
+    #: (``on_shard_failure=skip``); statistics above cover the
+    #: surviving seeds only, so reports must surface these
+    degraded_seeds: List[int] = field(default_factory=list)
 
     @property
     def overheads(self) -> List[float]:
@@ -83,11 +87,19 @@ class TechniqueAggregate:
         """Table III style ``(mu +- sigma)%`` cell."""
         return mean_pm_std(self.overheads)
 
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degraded_seeds)
+
     def summary(self) -> str:
+        degraded = (
+            f" DEGRADED(seeds={sorted(self.degraded_seeds)})"
+            if self.degraded_seeds else ""
+        )
         return (
             f"{self.technique:<10} overhead={self.overhead_cell()} "
             f"fpr={self.fpr_mean:.4f}% flips={self.total_flips} "
-            f"table={self.table_bytes}B"
+            f"table={self.table_bytes}B{degraded}"
         )
 
 

@@ -1,4 +1,4 @@
-"""Parallel experiment execution.
+"""Parallel experiment execution with worker-level fault tolerance.
 
 The paper's campaign (9 techniques x a 1.56 M-interval trace) is
 embarrassingly parallel across (technique, seed) pairs.  This module
@@ -13,6 +13,16 @@ which also keeps the comparison paired across techniques.
 Jobs are dispatched in chunks (one pool task runs a whole chunk) to
 amortise pickling overhead, and an optional ``progress`` callback is
 invoked as chunks complete.
+
+Passing a :class:`RetryPolicy` turns on fault tolerance: a crashed or
+hung shard is retried with exponential backoff up to ``max_retries``
+extra attempts, after which the campaign either fails
+(``on_failure="raise"``) or records the shard as *degraded*
+(``on_failure="skip"``) and carries on.  Retry, timeout and crash
+counts surface through the ``metrics`` registry under ``campaign.*``
+names.  Hour-scale campaigns should combine this with the durable
+checkpointing in :mod:`repro.campaign`, which persists every completed
+shard and can resume an interrupted campaign.
 """
 
 from __future__ import annotations
@@ -21,9 +31,12 @@ import math
 import os
 import shutil
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SimConfig
 from repro.mitigations.registry import make_factory, technique_names
@@ -38,6 +51,115 @@ from repro.traces.trace_io import load_trace_npz, save_trace_npz
 
 #: called as ``progress(completed_jobs, total_jobs)`` after each chunk
 ProgressCallback = Callable[[int, int], None]
+
+#: shard failure policies accepted by :class:`RetryPolicy`
+ON_FAILURE_MODES = ("raise", "skip")
+
+
+class ShardTimeout(RuntimeError):
+    """A shard attempt exceeded the retry policy's ``shard_timeout``."""
+
+    shard_fault_kind = "timeout"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Worker-level fault handling for a campaign.
+
+    ``max_retries`` extra attempts are granted per shard beyond the
+    first; retry *n* (1-based) is preceded by a backoff delay of
+    ``min(backoff_cap, backoff_base * backoff_factor ** (n - 1))``
+    seconds.  ``shard_timeout`` bounds one pool dispatch round: a round
+    of *n* pending shards on a *w*-wide pool may take
+    ``shard_timeout * ceil(n / w)`` seconds before every unfinished
+    shard in it is declared hung (each then consumes one retry
+    attempt), so set it comfortably above a single shard's expected
+    duration.  Timeouts require pool mode; inline execution
+    (``workers=0``) is single-threaded and cannot interrupt a shard.
+
+    ``on_failure`` decides what happens when a shard exhausts its
+    attempts: ``"raise"`` re-raises the shard's final exception,
+    ``"skip"`` records a :class:`ShardFailure` and degrades the
+    campaign summary instead.
+    """
+
+    max_retries: int = 0
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_cap: float = 30.0
+    shard_timeout: Optional[float] = None
+    on_failure: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0: {self.max_retries}")
+        if self.on_failure not in ON_FAILURE_MODES:
+            raise ValueError(
+                f"on_failure must be one of {ON_FAILURE_MODES}: "
+                f"{self.on_failure!r}"
+            )
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError(
+                f"shard_timeout must be positive: {self.shard_timeout}"
+            )
+        if self.backoff_base < 0 or self.backoff_factor < 0:
+            raise ValueError("backoff parameters must be non-negative")
+
+    def delay(self, retry: int) -> float:
+        """Backoff before 1-based retry number *retry* (0 for retry 0)."""
+        if retry <= 0 or self.backoff_base == 0:
+            return 0.0
+        return min(
+            self.backoff_cap,
+            self.backoff_base * self.backoff_factor ** (retry - 1),
+        )
+
+
+@dataclass
+class ShardFailure:
+    """One shard that exhausted its attempts under ``on_failure="skip"``."""
+
+    technique: str
+    seed: int
+    attempts: int
+    kind: str  # "error" | "crash" | "timeout"
+    error: str
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "technique": self.technique,
+            "seed": self.seed,
+            "attempts": self.attempts,
+            "kind": self.kind,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ShardFailure":
+        return cls(
+            technique=data["technique"],
+            seed=int(data["seed"]),
+            attempts=int(data["attempts"]),
+            kind=data["kind"],
+            error=data.get("error", ""),
+        )
+
+
+class CampaignResult(Dict[str, TechniqueAggregate]):
+    """``{technique: TechniqueAggregate}`` plus degraded-shard records.
+
+    Behaves exactly like the plain dict :func:`run_campaign` has always
+    returned; ``failures`` lists the shards that were skipped under
+    ``on_failure="skip"`` (empty for a fully healthy campaign).
+    """
+
+    def __init__(self, *args, failures=None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.failures: List[ShardFailure] = list(failures or [])
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.failures)
 
 
 @dataclass(frozen=True)
@@ -57,13 +179,25 @@ class CampaignJob:
     #: it back for merging (tracers cannot cross process boundaries, but
     #: metric counters merge exactly)
     collect_metrics: bool = False
+    #: retry attempt number (0 = first try); informs fault injection
+    attempt: int = 0
+    #: test-only deterministic fault hook (see :mod:`repro.campaign.faults`)
+    fault_injector: Optional[Any] = None
 
 
 #: (technique, seed, result, per-job metrics or None)
 JobOutcome = Tuple[str, int, SimResult, Optional[MetricsRegistry]]
 
+#: called with each completed shard outcome and its attempt count; the
+#: durable campaign runner uses this to checkpoint shards as they land
+ShardCallback = Callable[[JobOutcome, int], None]
 
-def _run_job(job: CampaignJob, tracer=None) -> JobOutcome:
+
+def _run_job(job: CampaignJob, tracer=None, in_worker: bool = True) -> JobOutcome:
+    if job.fault_injector is not None:
+        job.fault_injector.fire(
+            job.technique or "none", job.seed, job.attempt, in_worker=in_worker
+        )
     if job.trace_path is not None:
         trace = load_trace_npz(job.trace_path)
     else:
@@ -87,6 +221,197 @@ def _run_chunk(chunk: List[CampaignJob]) -> List[JobOutcome]:
     return [_run_job(job) for job in chunk]
 
 
+def _count(metrics: Optional[MetricsRegistry], name: str, amount: int = 1) -> None:
+    if metrics is not None and amount:
+        metrics.counter(name).add(amount)
+
+
+#: metrics counter name per failure kind
+FAULT_COUNTERS = {
+    "error": "campaign.shard_errors",
+    "crash": "campaign.shard_crashes",
+    "timeout": "campaign.shard_timeouts",
+}
+
+
+def _fault_kind(exc: BaseException) -> str:
+    if isinstance(exc, BrokenProcessPool):
+        return "crash"
+    return getattr(exc, "shard_fault_kind", "error")
+
+
+def _kill_workers(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting for hung workers.
+
+    ``shutdown(cancel_futures=True)`` drops queued work; killing the
+    worker processes directly (private but stable CPython attribute)
+    keeps a truly hung shard from blocking the campaign or interpreter
+    exit.
+    """
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.kill()
+        except Exception:  # pragma: no cover - racing process exit
+            pass
+
+
+def _exhaust(
+    job: CampaignJob,
+    attempts: int,
+    exc: BaseException,
+    policy: RetryPolicy,
+    failures: List[ShardFailure],
+    metrics: Optional[MetricsRegistry],
+) -> None:
+    """Handle a shard that used up every attempt: raise or degrade."""
+    if policy.on_failure == "raise":
+        raise exc
+    failure = ShardFailure(
+        technique=job.technique or "none",
+        seed=job.seed,
+        attempts=attempts,
+        kind=_fault_kind(exc),
+        error=f"{type(exc).__name__}: {exc}",
+    )
+    failures.append(failure)
+    _count(metrics, "campaign.shards_degraded")
+
+
+def _dispatch_inline(
+    jobs: Sequence[CampaignJob],
+    policy: RetryPolicy,
+    tracer,
+    metrics: Optional[MetricsRegistry],
+    progress: Optional[ProgressCallback],
+    shard_callback: Optional[ShardCallback],
+    failures: List[ShardFailure],
+    sleep: Callable[[float], None],
+) -> List[Optional[JobOutcome]]:
+    total = len(jobs)
+    outcomes: List[Optional[JobOutcome]] = [None] * total
+    done = 0
+    for index, job in enumerate(jobs):
+        attempt = 0
+        while True:
+            try:
+                outcome = _run_job(
+                    replace(job, attempt=attempt), tracer=tracer,
+                    in_worker=False,
+                )
+            except Exception as exc:
+                attempt += 1
+                _count(metrics, FAULT_COUNTERS[_fault_kind(exc)])
+                if attempt > policy.max_retries:
+                    _exhaust(job, attempt, exc, policy, failures, metrics)
+                    break
+                _count(metrics, "campaign.shard_retries")
+                delay = policy.delay(attempt)
+                if delay > 0:
+                    sleep(delay)
+            else:
+                outcomes[index] = outcome
+                if shard_callback is not None:
+                    shard_callback(outcome, attempt + 1)
+                break
+        done += 1
+        if progress is not None:
+            progress(done, total)
+    return outcomes
+
+
+def _dispatch_tolerant_pool(
+    jobs: Sequence[CampaignJob],
+    policy: RetryPolicy,
+    workers: Optional[int],
+    metrics: Optional[MetricsRegistry],
+    progress: Optional[ProgressCallback],
+    shard_callback: Optional[ShardCallback],
+    failures: List[ShardFailure],
+    sleep: Callable[[float], None],
+) -> List[Optional[JobOutcome]]:
+    """Per-job pool dispatch with retry rounds.
+
+    Shards run one per pool task (no chunking) so an ordinary worker
+    exception is attributed to exactly one shard's attempt.  Each round
+    submits every pending shard to a fresh pool; failures are retried
+    in the next round after the policy's backoff (one sleep per round,
+    the largest delay owed to any retried shard).
+
+    A worker *crash* breaks the whole pool, and a *timeout* ends the
+    round, so either one also fails every shard still in flight -- the
+    innocent shards are retried alongside the guilty one and each such
+    event consumes one attempt from all of them.  Size ``max_retries``
+    accordingly when crashes are expected to repeat.
+    """
+    total = len(jobs)
+    outcomes: List[Optional[JobOutcome]] = [None] * total
+    attempts = [0] * total
+    pending = list(range(total))
+    width = workers or os.cpu_count() or 1
+    done = 0
+    while pending:
+        failed: Dict[int, BaseException] = {}
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(
+                    _run_job, replace(jobs[index], attempt=attempts[index])
+                ): index
+                for index in pending
+            }
+            deadline = None
+            if policy.shard_timeout is not None:
+                deadline = policy.shard_timeout * max(
+                    1, math.ceil(len(pending) / width)
+                )
+            try:
+                for future in as_completed(futures, timeout=deadline):
+                    index = futures[future]
+                    try:
+                        outcome = future.result()
+                    except Exception as exc:
+                        failed[index] = exc
+                        continue
+                    outcomes[index] = outcome
+                    done += 1
+                    if shard_callback is not None:
+                        shard_callback(outcome, attempts[index] + 1)
+                    if progress is not None:
+                        progress(done + len(failures), total)
+            except FuturesTimeout:
+                for future, index in futures.items():
+                    if outcomes[index] is None and index not in failed:
+                        job = jobs[index]
+                        failed[index] = ShardTimeout(
+                            f"shard {job.technique or 'none'}/seed={job.seed} "
+                            f"exceeded shard_timeout={policy.shard_timeout}s "
+                            f"on attempt {attempts[index]}"
+                        )
+                _kill_workers(pool)
+        retry_next: List[int] = []
+        for index in sorted(failed):
+            exc = failed[index]
+            attempts[index] += 1
+            _count(metrics, FAULT_COUNTERS[_fault_kind(exc)])
+            if attempts[index] > policy.max_retries:
+                _exhaust(
+                    jobs[index], attempts[index], exc, policy, failures,
+                    metrics,
+                )
+                if progress is not None:
+                    progress(done + len(failures), total)
+            else:
+                _count(metrics, "campaign.shard_retries")
+                retry_next.append(index)
+        if retry_next:
+            delay = max(policy.delay(attempts[index]) for index in retry_next)
+            if delay > 0:
+                sleep(delay)
+        pending = retry_next
+    return outcomes
+
+
 def run_campaign(
     config: SimConfig,
     total_intervals: int,
@@ -101,8 +426,13 @@ def run_campaign(
     tracer=None,
     metrics=None,
     profiler=None,
+    pairs: Optional[Sequence[Tuple[Optional[str], int]]] = None,
+    retry: Optional[RetryPolicy] = None,
+    fault_injector=None,
+    shard_callback: Optional[ShardCallback] = None,
+    sleep: Callable[[float], None] = time.sleep,
     **workload_kwargs,
-) -> Dict[str, TechniqueAggregate]:
+) -> CampaignResult:
     """Run the full comparison campaign over a process pool.
 
     Semantically equivalent to
@@ -123,6 +453,20 @@ def run_campaign(
     ``tracer`` streams cannot cross a process boundary, so an *enabled*
     tracer requires ``workers=0``; ``profiler`` likewise only times the
     coarse campaign phases in pool mode.
+
+    ``pairs`` overrides the ``techniques x seeds`` grid with an explicit
+    (technique, seed) work list -- the durable campaign runner passes
+    the not-yet-completed remainder here on resume.  ``retry`` enables
+    worker-level fault tolerance (see :class:`RetryPolicy`); in pool
+    mode it switches dispatch from chunks to one job per pool task so
+    failures are attributed to single shards.  ``shard_callback(outcome,
+    attempts)`` fires as each shard completes (checkpointing hook), and
+    ``fault_injector`` plants deterministic test faults in the workers.
+    ``sleep`` is the backoff clock (injectable for tests).
+
+    Returns a :class:`CampaignResult` -- a ``{technique:
+    TechniqueAggregate}`` dict whose ``failures`` attribute lists any
+    shards degraded under ``on_failure="skip"``.
     """
     get_engine(engine)  # validate the name before spawning anything
     tracer_enabled = tracer is not None and getattr(tracer, "enabled", True)
@@ -131,19 +475,25 @@ def run_campaign(
             "event tracing requires workers=0: tracer streams cannot "
             "cross a process-pool boundary"
         )
-    names: List[Optional[str]] = (
-        list(techniques) if techniques is not None else technique_names()
-    )
-    if include_unmitigated:
-        names = [None] + names
+    if pairs is not None:
+        pair_list: List[Tuple[Optional[str], int]] = list(pairs)
+    else:
+        names: List[Optional[str]] = (
+            list(techniques) if techniques is not None else technique_names()
+        )
+        if include_unmitigated:
+            names = [None] + names
+        pair_list = [(name, seed) for name in names for seed in seeds]
+    ordered_names = list(dict.fromkeys(name or "none" for name, _ in pair_list))
     frozen_kwargs = tuple(sorted(workload_kwargs.items()))
+    failures: List[ShardFailure] = []
     tmpdir: Optional[str] = None
     try:
         trace_paths: Dict[int, str] = {}
         if memoize_traces:
             tmpdir = tempfile.mkdtemp(prefix="repro-campaign-")
             with section_of(profiler, "campaign:traces"):
-                for seed in dict.fromkeys(seeds):
+                for seed in dict.fromkeys(seed for _, seed in pair_list):
                     trace = paper_mixed_workload(
                         config,
                         total_intervals=total_intervals,
@@ -163,22 +513,31 @@ def run_campaign(
                 trace_path=trace_paths.get(seed),
                 engine=engine,
                 collect_metrics=metrics is not None,
+                fault_injector=fault_injector,
             )
-            for name in names
-            for seed in seeds
+            for name, seed in pair_list
         ]
         total = len(jobs)
         outcomes: List[Optional[JobOutcome]] = [None] * total
         done = 0
         if workers == 0:
             with section_of(profiler, "campaign:inline"):
-                for index, job in enumerate(jobs):
-                    outcomes[index] = _run_job(
-                        job, tracer=tracer if tracer_enabled else None
-                    )
-                    done += 1
-                    if progress is not None:
-                        progress(done, total)
+                outcomes = _dispatch_inline(
+                    jobs,
+                    retry or RetryPolicy(),
+                    tracer if tracer_enabled else None,
+                    metrics,
+                    progress,
+                    shard_callback,
+                    failures,
+                    sleep,
+                )
+        elif retry is not None:
+            with section_of(profiler, "campaign:pool"):
+                outcomes = _dispatch_tolerant_pool(
+                    jobs, retry, workers, metrics, progress, shard_callback,
+                    failures, sleep,
+                )
         else:
             if chunk_size is None:
                 pool_width = workers or os.cpu_count() or 1
@@ -196,7 +555,12 @@ def run_campaign(
                     for future in as_completed(futures):
                         start = futures[future]
                         chunk_outcomes = future.result()
-                        outcomes[start : start + len(chunk_outcomes)] = chunk_outcomes
+                        outcomes[start : start + len(chunk_outcomes)] = (
+                            chunk_outcomes
+                        )
+                        if shard_callback is not None:
+                            for outcome in chunk_outcomes:
+                                shard_callback(outcome, 1)
                         done += len(chunk_outcomes)
                         if progress is not None:
                             progress(done, total)
@@ -204,11 +568,21 @@ def run_campaign(
         if tmpdir is not None:
             shutil.rmtree(tmpdir, ignore_errors=True)
     # outcomes is ordered by job index (technique-major, seed-minor)
-    # regardless of completion order
-    aggregates: Dict[str, TechniqueAggregate] = {}
-    for name, _seed, result, job_metrics in outcomes:
-        aggregates.setdefault(name, TechniqueAggregate(technique=name))
+    # regardless of completion order; degraded shards stay None
+    aggregates = CampaignResult(failures=failures)
+    for name in ordered_names:
+        aggregates[name] = TechniqueAggregate(technique=name)
+    for outcome in outcomes:
+        if outcome is None:
+            continue
+        name, _seed, result, job_metrics = outcome
         aggregates[name].results.append(result)
         if metrics is not None and job_metrics is not None:
             metrics.merge(job_metrics)
+    for failure in failures:
+        aggregates[failure.technique].degraded_seeds.append(failure.seed)
+    _count(
+        metrics, "campaign.shards_completed",
+        sum(1 for outcome in outcomes if outcome is not None),
+    )
     return aggregates

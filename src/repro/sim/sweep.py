@@ -16,6 +16,16 @@ from repro.sim.attacks import flooding_experiment
 from repro.sim.experiment import TraceFactory, run_technique
 
 
+def _unique(values: Sequence) -> List:
+    """Deduplicate a sweep grid, keeping first-seen order.
+
+    Sweep grids come from CLI lists and config files where repeated
+    values are easy to produce; simulating a duplicated design point
+    twice would waste a full multi-seed campaign per duplicate.
+    """
+    return list(dict.fromkeys(values))
+
+
 @dataclass
 class SweepPoint:
     """One setting of the swept parameter and its outcomes."""
@@ -68,7 +78,7 @@ def sweep_history_table(
 ) -> List[SweepPoint]:
     """History-table entries vs overhead (paper's fixed point: 32)."""
     points = []
-    for size in sizes:
+    for size in _unique(sizes):
         cfg = config.scaled(history_table_entries=size)
         points.append(
             _measure(
@@ -89,7 +99,7 @@ def sweep_counter_table(
 ) -> List[SweepPoint]:
     """CaPRoMi counter-table entries (paper's fixed point: 64)."""
     points = []
-    for size in sizes:
+    for size in _unique(sizes):
         cfg = config.scaled(counter_table_entries=size)
         points.append(
             _measure(
@@ -111,7 +121,7 @@ def sweep_pbase(
 ) -> List[SweepPoint]:
     """``Pbase`` scaling: overhead grows, flood reaction time shrinks."""
     points = []
-    for scale in scales:
+    for scale in _unique(scales):
         cfg = config.scaled(pbase=config.pbase * scale)
         points.append(
             _measure(

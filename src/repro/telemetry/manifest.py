@@ -96,6 +96,9 @@ class RunManifest:
     results: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     #: :meth:`MetricsRegistry.as_dict` snapshot (may be empty)
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: shards a fault-tolerant campaign skipped after exhausting their
+    #: retries (``ShardFailure.as_dict`` entries; empty = healthy run)
+    degraded: List[Dict[str, Any]] = field(default_factory=list)
     #: profiler phase breakdown (may be empty)
     timings: Dict[str, Any] = field(default_factory=dict)
     #: caller-supplied context (CLI args, workload knobs, ...)
@@ -151,13 +154,16 @@ def build_manifest(
     profiler=None,
     total_intervals: Optional[int] = None,
     extra: Optional[Mapping[str, Any]] = None,
+    failures: Optional[Sequence[Any]] = None,
 ) -> RunManifest:
     """Assemble a :class:`RunManifest` from a finished run.
 
     *comparison* is a ``{technique: TechniqueAggregate}`` mapping as
     returned by ``compare_techniques``/``run_campaign``; *metrics* a
     :class:`~repro.telemetry.metrics.MetricsRegistry`; *profiler* a
-    :class:`~repro.telemetry.profiler.Profiler`.
+    :class:`~repro.telemetry.profiler.Profiler`; *failures* the
+    degraded-shard records of a fault-tolerant campaign
+    (:class:`~repro.sim.parallel.ShardFailure`).
     """
     comparison = comparison or {}
     return RunManifest(
@@ -175,6 +181,7 @@ def build_manifest(
             for name, aggregate in comparison.items()
         },
         metrics=metrics.as_dict() if metrics is not None else {},
+        degraded=[failure.as_dict() for failure in failures or []],
         timings=profiler.as_dict() if profiler is not None else {},
         extra=dict(extra) if extra else {},
     )

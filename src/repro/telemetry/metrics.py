@@ -170,6 +170,34 @@ class MetricsRegistry:
             mine_t["seconds"] += entry["seconds"]
             mine_t["calls"] += entry["calls"]
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from an :meth:`as_dict` snapshot.
+
+        The round-trip is exact, so checkpointed campaign shards can
+        restore their metrics on resume and merge into the live
+        registry as if the shard had just run.
+        """
+        registry = cls()
+        for name, entry in (data.get("counters") or {}).items():
+            counter = registry.counter(name, limit=entry.get("limit"))
+            counter.add(entry.get("value", 0))
+            if entry.get("saturated"):
+                counter.saturated = True
+        for name, entry in (data.get("histograms") or {}).items():
+            histogram = registry.histogram(name, entry["bounds"])
+            histogram.counts = list(entry.get("counts", histogram.counts))
+            histogram.count = entry.get("count", 0)
+            histogram.total = entry.get("total", 0.0)
+            histogram.min = entry.get("min")
+            histogram.max = entry.get("max")
+        for name, entry in (data.get("timers") or {}).items():
+            registry.timers[name] = {
+                "seconds": entry.get("seconds", 0.0),
+                "calls": entry.get("calls", 0),
+            }
+        return registry
+
     def as_dict(self) -> Dict[str, Any]:
         return {
             "counters": {

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.area import (
-    area_estimate,
     fig4_points,
     search_parallelism,
     storage_reduction_vs_twice,

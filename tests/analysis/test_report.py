@@ -9,7 +9,7 @@ from repro.analysis.report import (
     render_table2,
     render_table3,
 )
-from repro.config import SimConfig, small_test_config
+from repro.config import SimConfig
 from repro.sim.attacks import FloodingOutcome
 from repro.sim.experiment import TechniqueAggregate
 from repro.sim.metrics import SimResult

@@ -1,6 +1,5 @@
 """Tests for the closed-form models, including simulator cross-checks."""
 
-import math
 
 import pytest
 

@@ -7,7 +7,6 @@ from repro.config import small_test_config
 from repro.traces.attacker import flooding
 from repro.traces.mixer import build_trace, paper_mixed_workload
 from repro.traces.record import Trace, TraceMeta, TraceRecord
-from repro.traces.workload import WorkloadParams
 
 
 def manual_trace():

@@ -1,0 +1,93 @@
+"""Tests for the deterministic fault injector."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.campaign.faults import (
+    FAULT_ENV_VAR,
+    FaultInjector,
+    FaultRule,
+    InjectedFault,
+    SimulatedCrash,
+)
+
+
+class TestFaultRule:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown fault mode"):
+            FaultRule(mode="explode")
+
+    def test_wildcards_match_everything(self):
+        rule = FaultRule(mode="error")
+        assert rule.matches("PARA", 0, 0)
+        assert rule.matches("TWiCe", 7, 3)
+
+    def test_specific_fields_filter(self):
+        rule = FaultRule(mode="error", technique="PARA", seed=1, attempts=(0, 1))
+        assert rule.matches("PARA", 1, 0)
+        assert rule.matches("PARA", 1, 1)
+        assert not rule.matches("PARA", 1, 2)  # attempt outside window
+        assert not rule.matches("PARA", 0, 0)  # wrong seed
+        assert not rule.matches("TWiCe", 1, 0)  # wrong technique
+
+    def test_dict_round_trip(self):
+        rule = FaultRule(mode="hang", technique="PARA", attempts=(0,), seconds=2.5)
+        assert FaultRule.from_dict(rule.as_dict()) == rule
+
+
+class TestFaultInjector:
+    def test_no_rules_is_a_noop(self):
+        FaultInjector().fire("PARA", 0, 0)  # must not raise
+
+    def test_error_rule_raises_injected_fault(self):
+        injector = FaultInjector.from_rules(
+            [{"mode": "error", "technique": "PARA"}]
+        )
+        with pytest.raises(InjectedFault, match="PARA/seed=0/attempt=0"):
+            injector.fire("PARA", 0, 0)
+        injector.fire("TWiCe", 0, 0)  # non-matching shard unaffected
+
+    def test_crash_inline_raises_simulated_crash(self):
+        injector = FaultInjector.from_rules([{"mode": "crash"}])
+        with pytest.raises(SimulatedCrash) as excinfo:
+            injector.fire("PARA", 0, 0, in_worker=False)
+        assert excinfo.value.shard_fault_kind == "crash"
+
+    def test_hang_sleeps_for_rule_seconds(self, monkeypatch):
+        slept = []
+        monkeypatch.setattr("repro.campaign.faults.time.sleep", slept.append)
+        injector = FaultInjector.from_rules([{"mode": "hang", "seconds": 9.0}])
+        injector.fire("PARA", 0, 0)
+        assert slept == [9.0]
+
+    def test_attempt_window_allows_eventual_success(self):
+        injector = FaultInjector.from_rules(
+            [{"mode": "error", "attempts": [0, 1]}]
+        )
+        for attempt in (0, 1):
+            with pytest.raises(InjectedFault):
+                injector.fire("PARA", 0, attempt)
+        injector.fire("PARA", 0, 2)  # third attempt passes
+
+    def test_spec_round_trip_and_pickle(self):
+        injector = FaultInjector.from_rules(
+            [{"mode": "crash", "technique": "PARA", "seed": 1, "attempts": [0]}]
+        )
+        assert FaultInjector.from_spec(injector.spec()) == injector
+        assert pickle.loads(pickle.dumps(injector)) == injector
+
+    def test_from_spec_rejects_non_list(self):
+        with pytest.raises(ValueError, match="JSON list"):
+            FaultInjector.from_spec('{"mode": "error"}')
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv(FAULT_ENV_VAR, raising=False)
+        assert FaultInjector.from_env() is None
+        monkeypatch.setenv(
+            FAULT_ENV_VAR, json.dumps([{"mode": "error", "seed": 3}])
+        )
+        injector = FaultInjector.from_env()
+        assert injector is not None
+        assert injector.rules[0].seed == 3

@@ -1,6 +1,5 @@
 """Tests for the memory controller and RH interrupt buffering."""
 
-import pytest
 
 from repro.config import small_test_config
 from repro.controller.controller import MemoryController

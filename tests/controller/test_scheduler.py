@@ -1,6 +1,5 @@
 """Tests for the FR-FCFS scheduler."""
 
-import pytest
 
 from repro.config import SimConfig, small_test_config
 from repro.controller.scheduler import DRAMRequestEvent, FRFCFSScheduler

@@ -1,6 +1,5 @@
 """Tests for CaPRoMi's counter-assisted collective decisions."""
 
-import pytest
 
 from repro.config import small_test_config
 from repro.core.capromi import CaPRoMi

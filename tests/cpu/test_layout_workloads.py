@@ -5,7 +5,7 @@ import itertools
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.config import DRAMGeometry, small_test_config
+from repro.config import DRAMGeometry
 from repro.cpu.layout import DRAMAddressLayout
 from repro.cpu.workloads import (
     BlockedComputeWorkload,

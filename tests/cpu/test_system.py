@@ -2,11 +2,11 @@
 
 import pytest
 
-from repro.config import SimConfig, small_test_config
+from repro.config import SimConfig
 from repro.cpu.attacker import HammerKernel, pick_aggressor_rows
 from repro.cpu.layout import DRAMAddressLayout
 from repro.cpu.system import MultiCoreSystem
-from repro.cpu.workloads import HotSpotWorkload, spec_mixed_load
+from repro.cpu.workloads import spec_mixed_load
 from repro.traces.record import validate_trace
 
 

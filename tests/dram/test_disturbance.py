@@ -1,6 +1,5 @@
 """Tests for the Row-Hammer disturbance model."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.config import DRAMGeometry

@@ -15,7 +15,7 @@ of the generators makes the two traces identical.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Tuple
 
 from repro.sim.engine import run_simulation
 from repro.sim.fast_engine import run_simulation_fast

@@ -1,6 +1,5 @@
 """Tests for TWiCe counters, pruning, and capacity bound."""
 
-import pytest
 
 from repro.config import small_test_config
 from repro.mitigations.base import ActivateNeighbors

@@ -8,7 +8,6 @@ from repro.sim.engine import run_simulation
 from repro.traces.attacker import double_sided, flooding
 from repro.traces.mixer import build_trace
 from repro.traces.record import Trace, TraceMeta, TraceRecord
-from repro.traces.workload import WorkloadParams
 
 
 def attack_trace(config, intervals=32, rate=100, victim=300):

@@ -72,3 +72,164 @@ class TestCampaign:
         )
         result = aggregates["PARA"].results[0]
         assert result.normal_activations > 0
+
+
+class TestRetryPolicy:
+    def test_delay_schedule_is_exponential_and_capped(self):
+        from repro.sim.parallel import RetryPolicy
+
+        policy = RetryPolicy(
+            max_retries=5, backoff_base=0.5, backoff_factor=2.0,
+            backoff_cap=3.0,
+        )
+        assert [policy.delay(r) for r in (1, 2, 3, 4)] == [0.5, 1.0, 2.0, 3.0]
+
+    def test_rejects_unknown_failure_mode(self):
+        from repro.sim.parallel import RetryPolicy
+
+        with pytest.raises(ValueError, match="on_failure"):
+            RetryPolicy(on_failure="retry-forever")
+
+
+class TestFaultTolerance:
+    """FaultInjector-driven retry, backoff, and degraded-shard handling."""
+
+    def campaign(self, injector, retry, metrics=None, sleep=None, workers=0):
+        from repro.sim.parallel import run_campaign
+
+        return run_campaign(
+            small_test_config(num_banks=2),
+            total_intervals=8,
+            techniques=("PARA", "TWiCe"),
+            seeds=(0, 1),
+            workers=workers,
+            retry=retry,
+            fault_injector=injector,
+            metrics=metrics,
+            sleep=sleep if sleep is not None else (lambda seconds: None),
+        )
+
+    def test_transient_error_retried_to_success(self):
+        from repro.campaign.faults import FaultInjector
+        from repro.sim.parallel import RetryPolicy
+        from repro.telemetry.metrics import MetricsRegistry
+
+        injector = FaultInjector.from_rules(
+            [{"mode": "error", "technique": "PARA", "seed": 1,
+              "attempts": [0]}]
+        )
+        metrics = MetricsRegistry()
+        aggregates = self.campaign(
+            injector, RetryPolicy(max_retries=2), metrics=metrics
+        )
+        assert not aggregates.failures
+        assert len(aggregates["PARA"].results) == 2
+        counters = metrics.as_dict()["counters"]
+        assert counters["campaign.shard_errors"]["value"] == 1
+        assert counters["campaign.shard_retries"]["value"] == 1
+
+    def test_backoff_uses_policy_schedule(self):
+        from repro.campaign.faults import FaultInjector
+        from repro.sim.parallel import RetryPolicy
+
+        injector = FaultInjector.from_rules(
+            [{"mode": "error", "technique": "PARA", "seed": 0,
+              "attempts": [0, 1]}]
+        )
+        sleeps = []
+        self.campaign(
+            injector,
+            RetryPolicy(max_retries=2, backoff_base=0.5, backoff_factor=2.0),
+            sleep=sleeps.append,
+        )
+        assert sleeps == [0.5, 1.0]
+
+    def test_on_failure_raise_propagates_original_exception(self):
+        from repro.campaign.faults import FaultInjector, InjectedFault
+        from repro.sim.parallel import RetryPolicy
+
+        injector = FaultInjector.from_rules(
+            [{"mode": "error", "technique": "TWiCe", "seed": 0}]
+        )
+        with pytest.raises(InjectedFault, match="TWiCe/seed=0"):
+            self.campaign(
+                injector, RetryPolicy(max_retries=1, on_failure="raise")
+            )
+
+    def test_on_failure_skip_records_degraded_shard(self):
+        from repro.campaign.faults import FaultInjector
+        from repro.sim.parallel import RetryPolicy
+        from repro.telemetry.metrics import MetricsRegistry
+
+        injector = FaultInjector.from_rules(
+            [{"mode": "error", "technique": "PARA", "seed": 1}]
+        )
+        metrics = MetricsRegistry()
+        aggregates = self.campaign(
+            injector,
+            RetryPolicy(max_retries=2, on_failure="skip"),
+            metrics=metrics,
+        )
+        assert aggregates.degraded
+        (failure,) = aggregates.failures
+        assert (failure.technique, failure.seed) == ("PARA", 1)
+        assert failure.attempts == 3
+        assert failure.kind == "error"
+        assert aggregates["PARA"].degraded_seeds == [1]
+        assert "DEGRADED" in aggregates["PARA"].summary()
+        counters = metrics.as_dict()["counters"]
+        assert counters["campaign.shards_degraded"]["value"] == 1
+        assert counters["campaign.shards_completed"]["value"] == 3
+
+    def test_pool_crash_retried_and_matches_inline(self):
+        from repro.campaign.faults import FaultInjector
+        from repro.sim.parallel import RetryPolicy, run_campaign
+
+        injector = FaultInjector.from_rules(
+            [{"mode": "crash", "technique": "PARA", "seed": 0,
+              "attempts": [0]}]
+        )
+        kwargs = dict(
+            total_intervals=8, techniques=("PARA",), seeds=(0, 1)
+        )
+        config = small_test_config(num_banks=2)
+        pooled = run_campaign(
+            config, workers=2,
+            retry=RetryPolicy(max_retries=3, backoff_base=0.01),
+            fault_injector=injector, **kwargs,
+        )
+        inline = run_campaign(config, workers=0, **kwargs)
+        assert not pooled.failures
+        pooled_extras = sorted(
+            result.extra_activations for result in pooled["PARA"].results
+        )
+        inline_extras = sorted(
+            result.extra_activations for result in inline["PARA"].results
+        )
+        assert pooled_extras == inline_extras
+
+    def test_pool_hang_times_out_and_degrades(self):
+        from repro.campaign.faults import FaultInjector
+        from repro.sim.parallel import RetryPolicy, run_campaign
+        from repro.telemetry.metrics import MetricsRegistry
+
+        injector = FaultInjector.from_rules(
+            [{"mode": "hang", "technique": "PARA", "seed": 0, "seconds": 60}]
+        )
+        metrics = MetricsRegistry()
+        aggregates = run_campaign(
+            small_test_config(num_banks=2),
+            total_intervals=8,
+            techniques=("PARA",),
+            seeds=(0,),
+            workers=1,
+            retry=RetryPolicy(
+                max_retries=0, shard_timeout=0.3, on_failure="skip"
+            ),
+            fault_injector=injector,
+            metrics=metrics,
+        )
+        (failure,) = aggregates.failures
+        assert failure.kind == "timeout"
+        counters = metrics.as_dict()["counters"]
+        assert counters["campaign.shard_timeouts"]["value"] == 1

@@ -1,6 +1,5 @@
 """Tests for the parameter sweeps."""
 
-import pytest
 
 from repro.config import small_test_config
 from repro.sim.sweep import sweep_counter_table, sweep_history_table, sweep_pbase
@@ -110,3 +109,47 @@ class TestRefreshMappingAblation:
         for interval in (0, 5, 63):
             for row in policy.rows_for_interval(interval):
                 assert policy.refresh_slot_of(row) == interval
+
+
+class TestSweepGrids:
+    """Degenerate grid handling: empty, single-point, and duplicates."""
+
+    def config(self):
+        return small_test_config(flip_threshold=5_000)
+
+    def test_empty_grid_returns_no_points(self):
+        config = self.config()
+        assert sweep_history_table(
+            config, trace_factory(config), sizes=(), seeds=(0,)
+        ) == []
+        assert sweep_counter_table(
+            config, trace_factory(config), sizes=(), seeds=(0,)
+        ) == []
+        assert sweep_pbase(
+            config, trace_factory(config), scales=(), seeds=(0,),
+            check_flooding=False,
+        ) == []
+
+    def test_single_point_grid(self):
+        config = self.config()
+        points = sweep_history_table(
+            config, trace_factory(config), sizes=(16,), seeds=(0,)
+        )
+        assert len(points) == 1
+        assert points[0].parameter == "history_table_entries"
+        assert points[0].value == 16
+
+    def test_duplicate_values_deduplicated_in_order(self):
+        config = self.config()
+        points = sweep_history_table(
+            config, trace_factory(config), sizes=(4, 4, 16, 4), seeds=(0,)
+        )
+        assert [point.value for point in points] == [4, 16]
+
+    def test_duplicate_pbase_scales_deduplicated(self):
+        config = self.config()
+        points = sweep_pbase(
+            config, trace_factory(config), scales=(1.0, 1.0), seeds=(0,),
+            check_flooding=False,
+        )
+        assert [point.value for point in points] == [1.0]

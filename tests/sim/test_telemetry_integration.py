@@ -23,10 +23,8 @@ from repro.mitigations.registry import make_factory
 from repro.sim.engine import get_engine
 from repro.telemetry import (
     EVENT_KINDS,
-    MetricsRegistry,
     NullTracer,
     Profiler,
-    RecordingTracer,
 )
 from repro.traces.attacker import AttackSpec
 from repro.traces.mixer import build_trace, paper_mixed_workload

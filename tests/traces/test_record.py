@@ -1,6 +1,5 @@
 """Tests for trace records, validation, and merging."""
 
-import pytest
 
 from repro.traces.record import (
     Trace,

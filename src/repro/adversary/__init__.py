@@ -1,0 +1,61 @@
+"""Adversarial pattern synthesis: a deterministic red-team fuzzer.
+
+Searches the :class:`~repro.adversary.genome.PatternGenome` space for
+worst-case Row-Hammer access patterns against each mitigation, using
+the same trace mixer and simulation engines as every other experiment.
+See ``docs/adversary.md`` for the genome schema, search strategies,
+resume semantics, and the LiPRoMi weight-aware-flooding rediscovery.
+
+Public surface:
+
+* :func:`run_search` / :class:`SearchSettings` /
+  :class:`SearchOutcome` -- the search itself;
+* :class:`PatternGenome` / :class:`AggressorGene` /
+  :func:`seed_corpus` -- the search space;
+* :class:`AdversaryFrontier` / :class:`FrontierPoint` -- the Pareto
+  frontier of (fitness, activation budget);
+* :class:`SearchStore` / :class:`SearchSpec` -- generation-level
+  checkpoint/resume persistence.
+"""
+
+from repro.adversary.frontier import AdversaryFrontier, FrontierPoint
+from repro.adversary.genome import AggressorGene, PatternGenome, seed_corpus
+from repro.adversary.mutate import (
+    OPERATOR_NAMES,
+    crossover,
+    mutate,
+    random_genome,
+)
+from repro.adversary.search import (
+    STRATEGIES,
+    Candidate,
+    EvalJob,
+    SearchOutcome,
+    SearchSettings,
+    evaluate_genome,
+    run_search,
+    select,
+)
+from repro.adversary.store import SearchSpec, SearchStore
+
+__all__ = [
+    "AdversaryFrontier",
+    "AggressorGene",
+    "Candidate",
+    "EvalJob",
+    "FrontierPoint",
+    "OPERATOR_NAMES",
+    "PatternGenome",
+    "STRATEGIES",
+    "SearchOutcome",
+    "SearchSettings",
+    "SearchSpec",
+    "SearchStore",
+    "crossover",
+    "evaluate_genome",
+    "mutate",
+    "random_genome",
+    "run_search",
+    "seed_corpus",
+    "select",
+]

@@ -1,0 +1,138 @@
+"""Pareto frontier of discovered attack patterns per technique.
+
+Two axes matter to an adversary sizing an attack against a mitigation:
+how long the pattern survives before the mitigation first fires
+(*fitness*, maximise) and how many activations per refresh window the
+pattern costs to mount (*budget*, minimise).  The frontier keeps every
+candidate not dominated on both axes, in a canonical order, so its JSON
+serialisation is bit-identical across reruns and kill/resume cycles --
+that file is the contract the determinism tests pin.
+
+This intentionally does not reuse :mod:`repro.analysis.pareto` (which
+minimises both axes for the protection/overhead trade-off); the
+adversary frontier mixes a maximised and a minimised axis.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional
+
+#: bump when the frontier JSON layout changes incompatibly
+FRONTIER_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One non-dominated pattern: its genome plus measured objectives."""
+
+    genome: Dict[str, Any]
+    name: str
+    acts_per_window: int
+    fitness: float
+    escape_rate: float
+    generation: int
+
+    def dominates(self, other: "FrontierPoint") -> bool:
+        """Pareto dominance: no worse on both axes, better on one."""
+        if self.fitness < other.fitness:
+            return False
+        if self.acts_per_window > other.acts_per_window:
+            return False
+        return (self.fitness > other.fitness
+                or self.acts_per_window < other.acts_per_window)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "genome": self.genome,
+            "name": self.name,
+            "acts_per_window": self.acts_per_window,
+            "fitness": self.fitness,
+            "escape_rate": self.escape_rate,
+            "generation": self.generation,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FrontierPoint":
+        return cls(
+            genome=dict(data["genome"]),
+            name=str(data["name"]),
+            acts_per_window=int(data["acts_per_window"]),
+            fitness=float(data["fitness"]),
+            escape_rate=float(data["escape_rate"]),
+            generation=int(data["generation"]),
+        )
+
+
+def _genome_key(point: FrontierPoint) -> str:
+    """Identity key mirroring :meth:`PatternGenome.key` (name excluded)."""
+    payload = {k: v for k, v in point.genome.items()
+               if k not in ("name", "schema_version")}
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class AdversaryFrontier:
+    """Mutable frontier accumulator with canonical serialisation."""
+
+    def __init__(
+        self,
+        technique: str,
+        points: Optional[Iterable[FrontierPoint]] = None,
+    ) -> None:
+        self.technique = technique
+        self.points: List[FrontierPoint] = list(points or [])
+
+    def update(self, candidates: Iterable[FrontierPoint]) -> None:
+        """Fold *candidates* in and re-derive the non-dominated set.
+
+        Deterministic regardless of insertion order: among points that
+        tie on both axes, the lexicographically smallest genome key
+        survives.
+        """
+        pool = self.points + list(candidates)
+        # canonical processing order so ties resolve identically
+        pool.sort(key=lambda p: (p.acts_per_window, -p.fitness, _genome_key(p)))
+        kept: List[FrontierPoint] = []
+        seen_keys = set()
+        for point in pool:
+            key = _genome_key(point)
+            if key in seen_keys:
+                continue
+            if any(other.dominates(point) for other in kept):
+                continue
+            if any(other.fitness == point.fitness
+                   and other.acts_per_window == point.acts_per_window
+                   for other in kept):
+                continue
+            kept = [other for other in kept if not point.dominates(other)]
+            kept.append(point)
+            seen_keys.add(key)
+        kept.sort(key=lambda p: (p.acts_per_window, -p.fitness, _genome_key(p)))
+        self.points = kept
+
+    @property
+    def best(self) -> Optional[FrontierPoint]:
+        """Highest-fitness point (the worst case for the mitigation)."""
+        if not self.points:
+            return None
+        return max(self.points,
+                   key=lambda p: (p.fitness, -p.acts_per_window))
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": FRONTIER_SCHEMA_VERSION,
+            "technique": self.technique,
+            "points": [point.as_dict() for point in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AdversaryFrontier":
+        return cls(
+            technique=str(data["technique"]),
+            points=[FrontierPoint.from_dict(p) for p in data["points"]],
+        )
+
+    def to_json(self) -> str:
+        """Canonical JSON -- the artifact the determinism tests compare."""
+        return json.dumps(self.as_dict(), sort_keys=True, indent=2) + "\n"

@@ -1,0 +1,312 @@
+"""Declarative pattern genome: the search space of the red-team fuzzer.
+
+A :class:`PatternGenome` is a compact, mutable-by-operators description
+of a parameterised Row-Hammer access pattern: a set of aggressor genes
+(row, per-interval intensity, start jitter), an optional decoy block
+that sprays activations over many rows to thrash trackers, a global
+``phase`` (the window-relative interval the attack begins at -- the
+weight-alignment knob a refresh-mapping-aware adversary turns), and a
+burst/idle duty cycle.
+
+Genomes *compile down* to the existing :class:`~repro.traces.attacker.
+AttackSpec` machinery, so a candidate is evaluated by exactly the same
+trace mixer and simulation engines as the canned Section IV attacks --
+the fuzzer searches over inputs, never over a second implementation.
+
+Everything here is a pure value: genomes are frozen, hashable by their
+canonical :meth:`~PatternGenome.key`, and round-trip through JSON
+(:meth:`~PatternGenome.as_dict` / :meth:`~PatternGenome.from_dict`) so
+search generations can be checkpointed and resumed bit-identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.config import SimConfig
+from repro.traces.attacker import AttackSpec
+
+#: bump when the genome JSON layout changes incompatibly
+GENOME_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class AggressorGene:
+    """One aggressor row and how hard / when it hammers.
+
+    ``offset`` jitters this gene's start relative to the genome's
+    global ``phase`` (an adversary staggering its threads).
+    """
+
+    row: int
+    intensity: int
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.row < 0:
+            raise ValueError(f"aggressor row {self.row} is negative")
+        if self.intensity < 1:
+            raise ValueError(f"intensity must be positive: {self.intensity}")
+        if self.offset < 0:
+            raise ValueError(f"offset must be non-negative: {self.offset}")
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"row": self.row, "intensity": self.intensity,
+                "offset": self.offset}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AggressorGene":
+        return cls(row=int(data["row"]), intensity=int(data["intensity"]),
+                   offset=int(data.get("offset", 0)))
+
+
+@dataclass(frozen=True)
+class PatternGenome:
+    """A parameterised access pattern against one bank.
+
+    * ``aggressors`` -- the hammering genes (at least one);
+    * ``phase`` -- window-relative interval the attack begins at.  For
+      the TiVaPRoMi variants this is the weight knob: starting at a
+      row's own refresh slot ``f_r`` makes its Eq. 1 weight (and so its
+      trigger probability) start from zero;
+    * ``burst``/``idle`` -- duty cycle in intervals (``burst = 0``
+      hammers continuously);
+    * ``decoy_*`` -- a round-robin spray over ``decoy_count`` rows at
+      ``decoy_rate`` activations per interval, burning tracker state
+      the way the Section II tree-saturation attack does.
+    """
+
+    aggressors: Tuple[AggressorGene, ...]
+    bank: int = 0
+    phase: int = 0
+    burst: int = 0
+    idle: int = 0
+    decoy_count: int = 0
+    decoy_first_row: int = 0
+    decoy_spacing: int = 4
+    decoy_rate: int = 0
+    name: str = "genome"
+
+    def __post_init__(self) -> None:
+        if not self.aggressors:
+            raise ValueError("a genome needs at least one aggressor gene")
+        if self.bank < 0:
+            raise ValueError(f"bank must be non-negative: {self.bank}")
+        if self.phase < 0:
+            raise ValueError(f"phase must be non-negative: {self.phase}")
+        if self.burst < 0 or self.idle < 0:
+            raise ValueError("burst/idle must be non-negative")
+        if self.idle > 0 and self.burst == 0:
+            raise ValueError("idle without burst never activates")
+        if self.decoy_count < 0 or self.decoy_rate < 0:
+            raise ValueError("decoy fields must be non-negative")
+        if self.decoy_count > 0 and self.decoy_rate < 1:
+            raise ValueError("decoys need a positive decoy_rate")
+        if self.decoy_count > 0 and self.decoy_spacing < 1:
+            raise ValueError("decoy_spacing must be positive")
+        if self.decoy_first_row < 0:
+            raise ValueError("decoy_first_row must be non-negative")
+
+    # -- identity -----------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": GENOME_SCHEMA_VERSION,
+            "aggressors": [gene.as_dict() for gene in self.aggressors],
+            "bank": self.bank,
+            "phase": self.phase,
+            "burst": self.burst,
+            "idle": self.idle,
+            "decoy_count": self.decoy_count,
+            "decoy_first_row": self.decoy_first_row,
+            "decoy_spacing": self.decoy_spacing,
+            "decoy_rate": self.decoy_rate,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PatternGenome":
+        return cls(
+            aggressors=tuple(
+                AggressorGene.from_dict(gene) for gene in data["aggressors"]
+            ),
+            bank=int(data.get("bank", 0)),
+            phase=int(data.get("phase", 0)),
+            burst=int(data.get("burst", 0)),
+            idle=int(data.get("idle", 0)),
+            decoy_count=int(data.get("decoy_count", 0)),
+            decoy_first_row=int(data.get("decoy_first_row", 0)),
+            decoy_spacing=int(data.get("decoy_spacing", 4)),
+            decoy_rate=int(data.get("decoy_rate", 0)),
+            name=str(data.get("name", "genome")),
+        )
+
+    def key(self) -> str:
+        """Canonical identity: every field except the display name.
+
+        Two genomes with the same key produce byte-identical traces, so
+        the search layer dedups and tie-breaks on this string.
+        """
+        payload = self.as_dict()
+        del payload["name"]
+        del payload["schema_version"]
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def digest(self) -> str:
+        """Short stable hash of :meth:`key` (display names, filenames)."""
+        return hashlib.sha256(self.key().encode("utf-8")).hexdigest()[:8]
+
+    def renamed(self, label: str) -> "PatternGenome":
+        """Copy with a lineage label of the form ``label.digest``."""
+        renamed = replace(self, name="pending")
+        return replace(renamed, name=f"{label}.{renamed.digest()}")
+
+    # -- compilation --------------------------------------------------
+
+    def _spans(
+        self, start: int, total_intervals: int
+    ) -> List[Tuple[int, Optional[int]]]:
+        """Active ``[start, end)`` interval spans under the duty cycle."""
+        if start >= total_intervals:
+            return []
+        if self.burst == 0:
+            return [(start, None)]
+        spans: List[Tuple[int, Optional[int]]] = []
+        period = self.burst + self.idle
+        position = start
+        while position < total_intervals:
+            spans.append((position, min(position + self.burst, total_intervals)))
+            position += period
+        return spans
+
+    def compile(self, config: SimConfig, total_intervals: int) -> List[AttackSpec]:
+        """Lower the genome to :class:`AttackSpec` values.
+
+        Row-range validation happens here (every spec carries
+        ``rows_per_bank``), so an out-of-range mutation fails loudly at
+        compile time, never inside the engine.
+        """
+        geometry = config.geometry
+        if not 0 <= self.bank < geometry.num_banks:
+            raise ValueError(f"bank {self.bank} outside device")
+        specs: List[AttackSpec] = []
+        for index, gene in enumerate(self.aggressors):
+            for start, end in self._spans(
+                self.phase + gene.offset, total_intervals
+            ):
+                specs.append(
+                    AttackSpec(
+                        bank=self.bank,
+                        aggressors=(gene.row,),
+                        acts_per_interval=gene.intensity,
+                        start_interval=start,
+                        end_interval=end,
+                        name=f"{self.name}/g{index}@{gene.row}",
+                        rows_per_bank=geometry.rows_per_bank,
+                    )
+                )
+        if self.decoy_count > 0 and self.phase < total_intervals:
+            rows = tuple(
+                self.decoy_first_row + index * self.decoy_spacing
+                for index in range(self.decoy_count)
+            )
+            specs.append(
+                AttackSpec(
+                    bank=self.bank,
+                    aggressors=rows,
+                    acts_per_interval=self.decoy_rate,
+                    start_interval=self.phase,
+                    name=f"{self.name}/decoys",
+                    rows_per_bank=geometry.rows_per_bank,
+                )
+            )
+        return specs
+
+    def active_in(self, interval: int, gene: AggressorGene) -> bool:
+        """Is *gene* hammering during window-relative *interval*?"""
+        start = self.phase + gene.offset
+        if interval < start:
+            return False
+        if self.burst == 0:
+            return True
+        return (interval - start) % (self.burst + self.idle) < self.burst
+
+    def acts_per_window(self, config: SimConfig) -> int:
+        """Attacker activation budget over one refresh window.
+
+        The cost axis of the Pareto frontier: how many activations the
+        pattern *plans* to spend per window (the physical per-interval
+        cap may clip the realised count; the planned budget is what an
+        adversary provisioning an attack compares).
+        """
+        refint = config.geometry.refint
+        total = 0
+        for gene in self.aggressors:
+            total += gene.intensity * sum(
+                1 for interval in range(refint) if self.active_in(interval, gene)
+            )
+        if self.decoy_count > 0 and self.phase < refint:
+            total += self.decoy_rate * (refint - self.phase)
+        return total
+
+    def dominant_gene(self) -> AggressorGene:
+        """The highest-intensity gene (ties: lowest row)."""
+        return max(self.aggressors, key=lambda g: (g.intensity, -g.row))
+
+
+def seed_corpus(config: SimConfig, bank: int = 0) -> List[PatternGenome]:
+    """The canned Section IV attacks, as genomes.
+
+    These seed every search so (a) the fuzzer starts from the
+    literature's best known patterns and (b) the reported improvement
+    is always *relative to the canned attacks* -- rediscovering a
+    documented weakness means beating all of these.
+    """
+    geometry = config.geometry
+    rows = geometry.rows_per_bank
+    max_acts = config.timing.max_acts_per_interval
+    mid = rows // 2
+    corpus = [
+        PatternGenome(
+            aggressors=(AggressorGene(row=mid, intensity=max_acts),),
+            bank=bank,
+            name="seed:flooding",
+        ),
+        PatternGenome(
+            aggressors=(
+                AggressorGene(row=mid - 1, intensity=max_acts // 2),
+                AggressorGene(row=mid + 1, intensity=max_acts // 2),
+            ),
+            bank=bank,
+            name="seed:double-sided",
+        ),
+        PatternGenome(
+            aggressors=tuple(
+                AggressorGene(row=rows // 4 + 4 * index,
+                              intensity=max(1, max_acts // 8))
+                for index in range(8)
+            ),
+            bank=bank,
+            name="seed:8-aggressor",
+        ),
+        PatternGenome(
+            aggressors=(AggressorGene(row=mid, intensity=max_acts),),
+            bank=bank,
+            burst=4,
+            idle=4,
+            name="seed:burst-flood",
+        ),
+        PatternGenome(
+            aggressors=(AggressorGene(row=mid, intensity=max_acts // 2),),
+            bank=bank,
+            decoy_count=min(16, rows // 8),
+            decoy_first_row=rows // 8,
+            decoy_spacing=4,
+            decoy_rate=max(1, max_acts // 16),
+            name="seed:decoy-saturation",
+        ),
+    ]
+    return corpus

@@ -1,0 +1,291 @@
+"""Seeded, fully deterministic mutation and crossover operators.
+
+Every operator is a pure function ``(genome, rng, config) -> genome``
+drawing randomness only from the :class:`random.Random` it is handed
+(derived per generation via :func:`repro.rng.stream`), so a search
+replays bit-identically from any checkpoint without persisting RNG
+state.
+
+The operator set encodes the moves a knowledgeable Row-Hammer adversary
+makes: retarget/shift rows, scale intensity, focus fire on one row
+(flooding) or fan out across many, stagger threads, duty-cycle to dodge
+rate detectors, spray decoys to thrash tracker state -- and, crucially,
+``align_phase``: start the attack at the dominant row's own refresh
+slot ``f_r`` so its time-varying weight (Eq. 1) begins at zero.  That
+last operator is the refresh-mapping-aware move behind LiPRoMi's
+weight-aware flooding weakness; the evolutionary search rediscovers the
+weakness by finding that this move pays off.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Callable, List, Tuple
+
+from repro.adversary.genome import AggressorGene, PatternGenome
+from repro.config import SimConfig
+
+Operator = Callable[[PatternGenome, random.Random, SimConfig], PatternGenome]
+
+
+def _clamp(value: int, low: int, high: int) -> int:
+    return max(low, min(high, value))
+
+
+def _replace_gene(
+    genome: PatternGenome, index: int, gene: AggressorGene
+) -> PatternGenome:
+    genes = list(genome.aggressors)
+    genes[index] = gene
+    return replace(genome, aggressors=tuple(genes))
+
+
+def _pick_gene(genome: PatternGenome, rng: random.Random) -> int:
+    return rng.randrange(len(genome.aggressors))
+
+
+# -- operators --------------------------------------------------------
+
+
+def jitter_phase(
+    genome: PatternGenome, rng: random.Random, config: SimConfig
+) -> PatternGenome:
+    """Nudge the global start interval (hill-climbs weight alignment)."""
+    refint = config.geometry.refint
+    delta = rng.randrange(1, max(2, refint // 8)) * rng.choice((-1, 1))
+    return replace(genome, phase=(genome.phase + delta) % refint)
+
+
+def align_phase(
+    genome: PatternGenome, rng: random.Random, config: SimConfig
+) -> PatternGenome:
+    """Start at the dominant row's refresh slot ``f_r``.
+
+    For the TiVaPRoMi linear-weight variants this zeroes the dominant
+    row's weight at attack start, minimising its trigger probability
+    over the whole window -- the weight-aware flooding move.
+    """
+    del rng
+    slot = genome.dominant_gene().row // config.geometry.rows_per_interval
+    return replace(genome, phase=slot % config.geometry.refint)
+
+
+def shift_row(
+    genome: PatternGenome, rng: random.Random, config: SimConfig
+) -> PatternGenome:
+    """Move one aggressor a short distance (changes its ``f_r``)."""
+    rows = config.geometry.rows_per_bank
+    index = _pick_gene(genome, rng)
+    gene = genome.aggressors[index]
+    delta = rng.randrange(1, 9) * rng.choice((-1, 1))
+    return _replace_gene(
+        genome, index, replace(gene, row=_clamp(gene.row + delta, 0, rows - 1))
+    )
+
+
+def retarget_row(
+    genome: PatternGenome, rng: random.Random, config: SimConfig
+) -> PatternGenome:
+    """Teleport one aggressor anywhere in the bank."""
+    index = _pick_gene(genome, rng)
+    gene = genome.aggressors[index]
+    return _replace_gene(
+        genome, index,
+        replace(gene, row=rng.randrange(config.geometry.rows_per_bank)),
+    )
+
+
+def scale_intensity(
+    genome: PatternGenome, rng: random.Random, config: SimConfig
+) -> PatternGenome:
+    """Halve or double one gene's activation rate (budget knob)."""
+    cap = config.timing.max_acts_per_interval
+    index = _pick_gene(genome, rng)
+    gene = genome.aggressors[index]
+    scaled = gene.intensity * 2 if rng.random() < 0.5 else gene.intensity // 2
+    return _replace_gene(
+        genome, index, replace(gene, intensity=_clamp(scaled, 1, cap))
+    )
+
+
+def focus_fire(
+    genome: PatternGenome, rng: random.Random, config: SimConfig
+) -> PatternGenome:
+    """Collapse to single-row flooding at the dominant gene's row."""
+    del rng
+    cap = config.timing.max_acts_per_interval
+    total = sum(gene.intensity for gene in genome.aggressors)
+    merged = AggressorGene(
+        row=genome.dominant_gene().row, intensity=_clamp(total, 1, cap)
+    )
+    return replace(genome, aggressors=(merged,))
+
+
+def split_fire(
+    genome: PatternGenome, rng: random.Random, config: SimConfig
+) -> PatternGenome:
+    """Split the dominant gene into a double-sided pair."""
+    del rng
+    rows = config.geometry.rows_per_bank
+    dominant = genome.dominant_gene()
+    if dominant.intensity < 2:
+        return genome
+    half = dominant.intensity // 2
+    genes = [gene for gene in genome.aggressors if gene is not dominant]
+    genes.append(replace(dominant, row=_clamp(dominant.row - 1, 0, rows - 1),
+                         intensity=half))
+    genes.append(replace(dominant, row=_clamp(dominant.row + 1, 0, rows - 1),
+                         intensity=dominant.intensity - half))
+    return replace(genome, aggressors=tuple(genes))
+
+
+def add_aggressor(
+    genome: PatternGenome, rng: random.Random, config: SimConfig
+) -> PatternGenome:
+    """Open a new front on a random row."""
+    cap = config.timing.max_acts_per_interval
+    intensity = _clamp(rng.randrange(1, cap + 1) // (len(genome.aggressors) + 1),
+                       1, cap)
+    gene = AggressorGene(
+        row=rng.randrange(config.geometry.rows_per_bank), intensity=intensity
+    )
+    return replace(genome, aggressors=genome.aggressors + (gene,))
+
+
+def drop_aggressor(
+    genome: PatternGenome, rng: random.Random, config: SimConfig
+) -> PatternGenome:
+    """Retire one front (no-op on single-gene genomes)."""
+    del config
+    if len(genome.aggressors) < 2:
+        return genome
+    index = _pick_gene(genome, rng)
+    genes = list(genome.aggressors)
+    del genes[index]
+    return replace(genome, aggressors=tuple(genes))
+
+
+def jitter_offset(
+    genome: PatternGenome, rng: random.Random, config: SimConfig
+) -> PatternGenome:
+    """Stagger one gene's start relative to the genome phase."""
+    refint = config.geometry.refint
+    index = _pick_gene(genome, rng)
+    gene = genome.aggressors[index]
+    return _replace_gene(
+        genome, index,
+        replace(gene, offset=rng.randrange(0, max(2, refint // 8))),
+    )
+
+
+def toggle_duty(
+    genome: PatternGenome, rng: random.Random, config: SimConfig
+) -> PatternGenome:
+    """Switch between continuous hammering and burst/idle cycling."""
+    refint = config.geometry.refint
+    if genome.burst:
+        return replace(genome, burst=0, idle=0)
+    span = max(2, refint // 8)
+    return replace(genome, burst=rng.randrange(1, span),
+                   idle=rng.randrange(1, span))
+
+
+def mutate_decoys(
+    genome: PatternGenome, rng: random.Random, config: SimConfig
+) -> PatternGenome:
+    """Grow, shrink, or drop the tracker-thrashing decoy spray."""
+    rows = config.geometry.rows_per_bank
+    cap = config.timing.max_acts_per_interval
+    count = rng.choice((0, 8, 16, 32))
+    count = min(count, rows // 4)
+    if count == 0:
+        return replace(genome, decoy_count=0, decoy_rate=0)
+    return replace(
+        genome,
+        decoy_count=count,
+        decoy_first_row=rng.randrange(rows // 2),
+        decoy_spacing=rng.choice((1, 2, 4, 8)),
+        decoy_rate=rng.randrange(1, max(2, cap // 8)),
+    )
+
+
+#: (operator, weight) -- weights bias the walk toward the moves that
+#: matter for the mitigations under test (phase alignment chief among
+#: them) while keeping every direction reachable.
+OPERATOR_WEIGHTS: Tuple[Tuple[Operator, int], ...] = (
+    (jitter_phase, 3),
+    (align_phase, 3),
+    (shift_row, 2),
+    (retarget_row, 1),
+    (scale_intensity, 2),
+    (focus_fire, 2),
+    (split_fire, 1),
+    (add_aggressor, 1),
+    (drop_aggressor, 1),
+    (jitter_offset, 1),
+    (toggle_duty, 1),
+    (mutate_decoys, 1),
+)
+
+OPERATOR_NAMES: Tuple[str, ...] = tuple(
+    op.__name__ for op, _ in OPERATOR_WEIGHTS
+)
+
+
+def mutate(
+    genome: PatternGenome, rng: random.Random, config: SimConfig
+) -> PatternGenome:
+    """Apply one weighted-random operator and relabel the child."""
+    operators: List[Operator] = [op for op, _ in OPERATOR_WEIGHTS]
+    weights = [weight for _, weight in OPERATOR_WEIGHTS]
+    operator = rng.choices(operators, weights=weights, k=1)[0]
+    child = operator(genome, rng, config)
+    return child.renamed(f"mut:{operator.__name__}")
+
+
+def crossover(
+    first: PatternGenome, second: PatternGenome, rng: random.Random
+) -> PatternGenome:
+    """Recombine two parents: genes from one, timing/decoys from the other."""
+    if rng.random() < 0.5:
+        first, second = second, first
+    child = replace(
+        first,
+        phase=second.phase,
+        burst=second.burst,
+        idle=second.idle,
+        decoy_count=second.decoy_count,
+        decoy_first_row=second.decoy_first_row,
+        decoy_spacing=second.decoy_spacing,
+        decoy_rate=second.decoy_rate,
+    )
+    return child.renamed("cross")
+
+
+def random_genome(
+    rng: random.Random, config: SimConfig, bank: int = 0
+) -> PatternGenome:
+    """An unbiased draw from the genome space (random-search proposals)."""
+    rows = config.geometry.rows_per_bank
+    refint = config.geometry.refint
+    cap = config.timing.max_acts_per_interval
+    count = rng.choice((1, 1, 2, 4, 8))
+    genes = tuple(
+        AggressorGene(
+            row=rng.randrange(rows),
+            intensity=_clamp(rng.randrange(1, cap + 1) // count, 1, cap),
+        )
+        for _ in range(count)
+    )
+    genome = PatternGenome(
+        aggressors=genes,
+        bank=bank,
+        phase=rng.randrange(refint),
+        name="pending",
+    )
+    if rng.random() < 0.25:
+        genome = toggle_duty(genome, rng, config)
+    if rng.random() < 0.25:
+        genome = mutate_decoys(genome, rng, config)
+    return genome.renamed("rand")

@@ -32,9 +32,11 @@ from repro.campaign.store import (
     CampaignStore,
     CheckpointMismatchError,
     ShardRecord,
+    write_json_atomic,
 )
 
 __all__ = [
+    "write_json_atomic",
     "CRASH_EXIT_CODE",
     "FAULT_ENV_VAR",
     "FaultInjector",

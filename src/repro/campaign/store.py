@@ -63,7 +63,14 @@ class CheckpointMismatchError(CampaignStateError):
         )
 
 
-def _write_json_atomic(path: Path, payload: Any) -> None:
+def write_json_atomic(path: Path, payload: Any) -> None:
+    """Write *payload* as canonical JSON via temp file + ``os.replace``.
+
+    The durability primitive shared by every checkpoint layer (campaign
+    shards here, adversary-search generations in
+    :mod:`repro.adversary.store`): a process killed mid-write leaves at
+    worst an ignored ``*.tmp`` file, never a torn record.
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
     handle, tmp = tempfile.mkstemp(
         dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
@@ -79,6 +86,10 @@ def _write_json_atomic(path: Path, payload: Any) -> None:
         except OSError:
             pass
         raise
+
+
+#: backwards-compatible alias (pre-adversary name)
+_write_json_atomic = write_json_atomic
 
 
 @dataclass

@@ -10,6 +10,7 @@
     python -m repro run --technique NAME --trace FILE
     python -m repro campaign --checkpoint-dir DIR [--resume]
     python -m repro campaign-status DIR
+    python -m repro adversary --technique NAME [--strategy evolve]
 
 The heavy subcommands accept the same scale knobs as the benchmarks,
 plus ``--engine {reference,fast}`` to pick the simulation engine (the
@@ -29,6 +30,13 @@ continue from the completed shards (see docs/campaigns.md).  Worker
 faults are handled by ``--max-retries/--shard-timeout`` with
 exponential backoff, and ``--on-shard-failure skip`` degrades failed
 shards instead of aborting the campaign.
+
+``adversary`` runs the red-team pattern fuzzer against one mitigation:
+a deterministic random or (mu+lambda) evolutionary search over attack
+genomes, reporting the Pareto frontier of (activation budget,
+activations before first mitigation).  ``--checkpoint-dir``/``--resume``
+give it the same kill/resume durability as ``campaign`` (see
+docs/adversary.md).
 """
 
 from __future__ import annotations
@@ -314,6 +322,71 @@ def _cmd_campaign(args) -> int:
     return 1 if aggregates.failures else 0
 
 
+def _cmd_adversary(args) -> int:
+    import time
+    from dataclasses import replace
+
+    from repro.adversary import SearchSettings, run_search
+    from repro.analysis.report import render_adversary
+    from repro.config import small_test_config
+
+    args.trace_events = None  # search fans out; no per-event stream
+    tracer, metrics, profiler = _telemetry_from_args(args)
+    config = SimConfig() if args.preset == "paper" else small_test_config()
+    if args.pbase_exp is not None:
+        config = replace(config, pbase=2.0 ** -args.pbase_exp)
+    settings = SearchSettings(
+        technique=args.technique,
+        strategy=args.strategy,
+        budget=args.budget,
+        population=args.population,
+        offspring=args.offspring,
+        eval_seeds=args.eval_seeds,
+        windows=args.windows,
+        engine=args.engine,
+        seed=args.seed,
+    )
+
+    def progress(evaluations: int, budget: int) -> None:
+        print(f"adversary: {evaluations}/{budget} evaluations",
+              file=sys.stderr)
+
+    started = time.perf_counter()
+    outcome = run_search(
+        config,
+        settings,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        workers=args.workers,
+        metrics=metrics,
+        progress=progress,
+    )
+    if profiler is not None:
+        profiler.add("adversary.search", time.perf_counter() - started)
+    print(render_adversary(outcome))
+    if args.frontier_out:
+        with open(args.frontier_out, "w", encoding="utf-8") as stream:
+            stream.write(outcome.frontier.to_json())
+        print(f"wrote frontier to {args.frontier_out}", file=sys.stderr)
+    args.seeds = settings.eval_seeds  # manifest seed range
+    _finish_telemetry(
+        args, config, tracer, metrics, profiler,
+        total_intervals=config.geometry.refint * settings.windows,
+        extra={
+            "command": "adversary",
+            "technique": outcome.technique,
+            "strategy": outcome.strategy,
+            "budget": outcome.budget,
+            "search_seed": settings.seed,
+            "frontier": outcome.frontier.as_dict(),
+            "best": outcome.best.as_dict(),
+            "corpus_best_fitness": outcome.corpus_best.fitness,
+            "improvement": outcome.improvement,
+        },
+    )
+    return 0
+
+
 def _cmd_campaign_status(args) -> int:
     from repro.analysis.report import render_campaign_status
     from repro.campaign import CampaignStore
@@ -432,6 +505,71 @@ def build_parser() -> argparse.ArgumentParser:
              "or record a degraded shard and continue (skip)",
     )
     campaign.set_defaults(func=_cmd_campaign)
+
+    adversary = subparsers.add_parser(
+        "adversary",
+        help="red-team search for worst-case patterns vs one technique",
+    )
+    adversary.add_argument(
+        "--technique", required=True,
+        help="mitigation under attack (case-insensitive)",
+    )
+    adversary.add_argument(
+        "--strategy", choices=("random", "evolve"), default="evolve",
+        help="random genome draws, or (mu+lambda) evolution from the "
+             "canned seed corpus",
+    )
+    adversary.add_argument(
+        "--budget", type=int, default=64,
+        help="total candidate evaluations",
+    )
+    adversary.add_argument("--population", type=int, default=4,
+                           help="survivors kept between generations (mu)")
+    adversary.add_argument("--offspring", type=int, default=8,
+                           help="children bred per generation (lambda)")
+    adversary.add_argument("--eval-seeds", type=int, default=2,
+                           help="simulation seeds per candidate")
+    adversary.add_argument("--windows", type=int, default=2,
+                           help="refresh windows per evaluation")
+    adversary.add_argument("--seed", type=int, default=0,
+                           help="search seed (proposals and evaluation)")
+    adversary.add_argument(
+        "--preset", choices=("paper", "small"), default="paper",
+        help="paper-scale config, or the small test geometry (fast; "
+             "used by CI and the determinism tests)",
+    )
+    adversary.add_argument(
+        "--pbase-exp", type=int, default=None, metavar="N",
+        help="override Pbase to 2^-N (larger trigger probabilities "
+             "sharpen the weight-alignment signal at tiny budgets)",
+    )
+    adversary.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="checkpoint every evaluated generation for kill/resume",
+    )
+    adversary.add_argument(
+        "--resume", action="store_true",
+        help="continue an existing search checkpoint (validates its "
+             "spec, replays stored generations bit-identically)",
+    )
+    adversary.add_argument(
+        "--workers", type=int, default=0,
+        help="pool width for candidate evaluation (0 runs inline)",
+    )
+    adversary.add_argument(
+        "--frontier-out", metavar="FILE", default=None,
+        help="write the Pareto frontier as canonical JSON",
+    )
+    _add_engine_arg(adversary)
+    adversary.set_defaults(func=_cmd_adversary, engine="fast")
+    adversary.add_argument(
+        "--manifest", metavar="FILE", default=None,
+        help="write a run manifest embedding the frontier",
+    )
+    adversary.add_argument(
+        "--profile", action="store_true",
+        help="print a wall-clock phase breakdown after the run",
+    )
 
     campaign_status = subparsers.add_parser(
         "campaign-status",

@@ -75,3 +75,39 @@ def make_factory(name: str, **kwargs) -> Callable[[SimConfig, int, int], Mitigat
 
     factory.technique_name = name
     return factory
+
+
+def make_capturing_factory(
+    cls: Type[Mitigation], holder: Dict[int, Mitigation], **kwargs
+) -> Callable[[SimConfig, int, int], Mitigation]:
+    """A factory that also records every created instance in *holder*.
+
+    Experiments that inspect mitigation internals after a run (the tree
+    saturation and software detection experiments) need a handle on the
+    per-bank instances the engine creates; this keeps them from
+    hand-rolling the same capturing closure.  *holder* is keyed by bank.
+    """
+
+    def factory(config: SimConfig, bank: int, seed: int) -> Mitigation:
+        instance = cls(config, bank=bank, seed=seed, **kwargs)
+        holder[bank] = instance
+        return instance
+
+    factory.technique_name = getattr(cls, "name", cls.__name__)
+    return factory
+
+
+def resolve_technique(name: str) -> str:
+    """Canonical technique name for a case-insensitive user spelling.
+
+    ``resolve_technique("lipromi") == "LiPRoMi"``; unknown names raise
+    with the list of valid choices (the CLI's ``--technique`` parser).
+    """
+    lookup = {
+        known.lower(): known for known in technique_names(include_extended=True)
+    }
+    resolved = lookup.get(name.lower())
+    if resolved is None:
+        known = ", ".join(technique_names(include_extended=True))
+        raise ValueError(f"unknown technique {name!r}; choose from {known}")
+    return resolved

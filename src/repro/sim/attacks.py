@@ -24,15 +24,22 @@ Three experiment families:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.stats import median
 from repro.config import HALF_FLIP_THRESHOLD, SimConfig
-from repro.mitigations.registry import TECHNIQUES, make_factory
+from repro.mitigations.registry import (
+    TECHNIQUES,
+    make_capturing_factory,
+    make_factory,
+)
 from repro.rng import derive_seed
 from repro.sim.engine import run_simulation
 from repro.traces.attacker import AttackSpec, flooding, n_aggressor
 from repro.traces.mixer import build_trace
+
+if TYPE_CHECKING:  # imported lazily: adversary imports sim
+    from repro.adversary.frontier import AdversaryFrontier
 
 
 @dataclass
@@ -245,13 +252,9 @@ def tree_saturation_experiment(
             seed=derive_seed(seed, "tree-saturation", label),
         )
         holder = {}
-
-        def factory(cfg, bank, factory_seed, _holder=holder):
-            tree = CounterTree(cfg, bank=bank, seed=factory_seed,
-                               node_budget=node_budget)
-            _holder[bank] = tree
-            return tree
-
+        factory = make_capturing_factory(
+            CounterTree, holder, node_budget=node_budget
+        )
         result = run_simulation(config, trace, factory, seed=seed)
         tree = holder[0]
         outcomes[label] = (
@@ -394,12 +397,7 @@ def software_detection_experiment(
         materialize=True,
     )
     holder = {}
-
-    def software_factory(cfg, bank, factory_seed):
-        detector = SoftwareDetector(cfg, bank=bank, seed=factory_seed)
-        holder[bank] = detector
-        return detector
-
+    software_factory = make_capturing_factory(SoftwareDetector, holder)
     software = run_simulation(config, trace, software_factory, seed=seed)
     detector = holder[0]
     window_ns = geometry.refint * int(config.timing.refresh_interval_ns)
@@ -495,6 +493,7 @@ def half_double_experiment(
 
 def vulnerability_verdicts(
     techniques: Optional[Sequence[str]] = None,
+    frontiers: Optional[Dict[str, "AdversaryFrontier"]] = None,
 ) -> Dict[str, Tuple[bool, str]]:
     """Table III's "Vulnerable to Attack" column.
 
@@ -503,6 +502,12 @@ def vulnerability_verdicts(
     fall to sequential multi-aggressor patterns, LiPRoMi to
     weight-aware flooding.  The returned reason cites the attack; the
     empirical experiments in this module quantify the margins.
+
+    Pass *frontiers* (``{technique: AdversaryFrontier}`` from
+    :func:`repro.adversary.run_search`) to extend each reason with the
+    worst pattern the red-team fuzzer discovered empirically -- its
+    measured activations before the first mitigation and per-window
+    activation budget -- alongside the literature verdict.
     """
     from repro.mitigations.registry import EXTENDED_TECHNIQUES
 
@@ -511,7 +516,16 @@ def vulnerability_verdicts(
     for name in names:
         cls = TECHNIQUES.get(name) or EXTENDED_TECHNIQUES[name]
         if cls.known_vulnerabilities:
-            verdicts[name] = (True, "; ".join(cls.known_vulnerabilities))
+            vulnerable, reason = True, "; ".join(cls.known_vulnerabilities)
         else:
-            verdicts[name] = (False, "no known bypass")
+            vulnerable, reason = False, "no known bypass"
+        frontier = (frontiers or {}).get(name)
+        best = frontier.best if frontier is not None else None
+        if best is not None:
+            reason += (
+                f"; worst discovered: {best.name} lands "
+                f"{best.fitness:,.0f} acts before 1st mitigation at "
+                f"{best.acts_per_window:,} acts/window"
+            )
+        verdicts[name] = (vulnerable, reason)
     return verdicts

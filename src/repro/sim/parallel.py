@@ -221,6 +221,56 @@ def _run_chunk(chunk: List[CampaignJob]) -> List[JobOutcome]:
     return [_run_job(job) for job in chunk]
 
 
+def _map_chunk(fn: Callable[[Any], Any], chunk: List[Any]) -> List[Any]:
+    return [fn(item) for item in chunk]
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> List[Any]:
+    """Order-preserving map over a process pool.
+
+    The generic fan-out behind the adversary search loop: results come
+    back in input order regardless of completion order, so a caller
+    that only depends on ``fn`` being pure is bit-identical across
+    ``workers`` settings.  ``workers=0`` maps inline (debuggers,
+    coverage, tracers); otherwise *fn* and every item must be picklable
+    and items are dispatched in chunks like :func:`run_campaign`.
+    ``progress(done, total)`` fires as chunks complete.
+    """
+    items = list(items)
+    total = len(items)
+    if workers == 0 or total == 0:
+        results: List[Any] = []
+        for index, item in enumerate(items):
+            results.append(fn(item))
+            if progress is not None:
+                progress(index + 1, total)
+        return results
+    if chunk_size is None:
+        pool_width = workers or os.cpu_count() or 1
+        chunk_size = max(1, math.ceil(total / (4 * pool_width)))
+    results = [None] * total
+    done = 0
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {
+            pool.submit(_map_chunk, fn, items[start : start + chunk_size]): start
+            for start in range(0, total, chunk_size)
+        }
+        for future in as_completed(futures):
+            start = futures[future]
+            chunk_results = future.result()
+            results[start : start + len(chunk_results)] = chunk_results
+            done += len(chunk_results)
+            if progress is not None:
+                progress(done, total)
+    return results
+
+
 def _count(metrics: Optional[MetricsRegistry], name: str, amount: int = 1) -> None:
     if metrics is not None and amount:
         metrics.counter(name).add(amount)

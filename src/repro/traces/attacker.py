@@ -30,6 +30,13 @@ class AttackSpec:
     aggressor rows during every interval in ``[start_interval,
     end_interval)``; ``end_interval = None`` runs to the end of the
     trace.
+
+    ``rows_per_bank`` bounds the aggressor rows at construction time;
+    every factory in this module passes the geometry's value, so an
+    out-of-range aggressor fails here instead of deep inside the
+    engine.  ``None`` (direct construction without a geometry at hand)
+    defers the range check to :func:`repro.traces.mixer.build_trace`;
+    negative rows are always rejected.
     """
 
     bank: int
@@ -38,6 +45,7 @@ class AttackSpec:
     start_interval: int = 0
     end_interval: Optional[int] = None
     name: str = "attack"
+    rows_per_bank: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.aggressors:
@@ -46,6 +54,20 @@ class AttackSpec:
             raise ValueError("acts_per_interval must be positive")
         if len(set(self.aggressors)) != len(self.aggressors):
             raise ValueError("duplicate aggressor rows")
+        if self.start_interval < 0:
+            raise ValueError("start_interval must be non-negative")
+        if (
+            self.end_interval is not None
+            and self.end_interval <= self.start_interval
+        ):
+            raise ValueError("end_interval must be after start_interval")
+        for row in self.aggressors:
+            if row < 0:
+                raise ValueError(f"aggressor row {row} is negative")
+            if self.rows_per_bank is not None and row >= self.rows_per_bank:
+                raise ValueError(
+                    f"aggressor row {row} outside [0, {self.rows_per_bank})"
+                )
 
     def active_in(self, interval: int) -> bool:
         if interval < self.start_interval:
@@ -90,6 +112,7 @@ def single_sided(
         start_interval=start_interval,
         end_interval=end_interval,
         name=f"single-sided@{victim}",
+        rows_per_bank=geometry.rows_per_bank,
     )
 
 
@@ -111,6 +134,7 @@ def double_sided(
         start_interval=start_interval,
         end_interval=end_interval,
         name=f"double-sided@{victim}",
+        rows_per_bank=geometry.rows_per_bank,
     )
 
 
@@ -139,6 +163,7 @@ def n_aggressor(
         start_interval=start_interval,
         end_interval=end_interval,
         name=f"{count}-aggressor",
+        rows_per_bank=geometry.rows_per_bank,
     )
 
 
@@ -159,6 +184,7 @@ def flooding(
         start_interval=start_interval,
         end_interval=end_interval,
         name=f"flooding@{row}",
+        rows_per_bank=geometry.rows_per_bank,
     )
 
 
@@ -192,7 +218,13 @@ def ramped_multi_aggressor(
         if rows[-1] >= geometry.rows_per_bank:
             raise ValueError("aggressor rows exceed the bank")
         start = index * segment
-        end = total_intervals if index == max_aggressors - 1 else (index + 1) * segment
+        if start >= total_intervals:
+            # short trace: the ramp stops here (these tail segments
+            # would never activate anyway)
+            break
+        end = total_intervals if index == max_aggressors - 1 else min(
+            (index + 1) * segment, total_intervals
+        )
         specs.append(
             AttackSpec(
                 bank=bank,
@@ -201,6 +233,7 @@ def ramped_multi_aggressor(
                 start_interval=start,
                 end_interval=end,
                 name=f"ramp-{count}-aggressors",
+                rows_per_bank=geometry.rows_per_bank,
             )
         )
     return specs

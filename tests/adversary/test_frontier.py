@@ -1,0 +1,88 @@
+"""Tests for the (fitness, activation-budget) Pareto frontier."""
+
+from repro.adversary import AdversaryFrontier, FrontierPoint
+
+
+def point(fitness, acts, row=1, name=None):
+    return FrontierPoint(
+        genome={"aggressors": [{"row": row, "intensity": 1, "offset": 0}],
+                "bank": 0, "phase": 0, "burst": 0, "idle": 0,
+                "decoy_count": 0, "decoy_first_row": 0, "decoy_spacing": 4,
+                "decoy_rate": 0, "name": name or f"p{row}"},
+        name=name or f"p{row}",
+        acts_per_window=acts,
+        fitness=fitness,
+        escape_rate=0.0,
+        generation=0,
+    )
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert point(10.0, 5).dominates(point(9.0, 6))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not point(10.0, 5).dominates(point(10.0, 5))
+
+    def test_tradeoff_points_do_not_dominate(self):
+        cheap_weak, costly_strong = point(5.0, 1), point(10.0, 9)
+        assert not cheap_weak.dominates(costly_strong)
+        assert not costly_strong.dominates(cheap_weak)
+
+
+class TestUpdate:
+    def test_dominated_points_are_dropped(self):
+        frontier = AdversaryFrontier("PARA")
+        frontier.update([point(10.0, 5, row=1), point(9.0, 6, row=2)])
+        assert [p.fitness for p in frontier.points] == [10.0]
+
+    def test_tradeoff_points_coexist_sorted_by_budget(self):
+        frontier = AdversaryFrontier("PARA")
+        frontier.update([point(10.0, 9, row=1), point(5.0, 1, row=2)])
+        assert [p.acts_per_window for p in frontier.points] == [1, 9]
+
+    def test_incremental_equals_batch(self):
+        points = [point(10.0, 9, row=1), point(5.0, 1, row=2),
+                  point(7.0, 4, row=3), point(6.0, 8, row=4)]
+        batch = AdversaryFrontier("PARA")
+        batch.update(points)
+        incremental = AdversaryFrontier("PARA")
+        for p in points:
+            incremental.update([p])
+        assert batch.to_json() == incremental.to_json()
+
+    def test_order_invariant(self):
+        points = [point(10.0, 9, row=1), point(5.0, 1, row=2),
+                  point(7.0, 4, row=3)]
+        forward = AdversaryFrontier("PARA")
+        forward.update(points)
+        backward = AdversaryFrontier("PARA")
+        backward.update(list(reversed(points)))
+        assert forward.to_json() == backward.to_json()
+
+    def test_objective_ties_keep_one_point(self):
+        frontier = AdversaryFrontier("PARA")
+        frontier.update([point(10.0, 5, row=1), point(10.0, 5, row=2)])
+        assert len(frontier.points) == 1
+
+    def test_duplicate_genomes_collapse(self):
+        frontier = AdversaryFrontier("PARA")
+        frontier.update([point(10.0, 5, row=1), point(10.0, 5, row=1)])
+        assert len(frontier.points) == 1
+
+    def test_best_is_highest_fitness(self):
+        frontier = AdversaryFrontier("PARA")
+        frontier.update([point(10.0, 9, row=1), point(5.0, 1, row=2)])
+        assert frontier.best.fitness == 10.0
+
+    def test_empty_frontier_has_no_best(self):
+        assert AdversaryFrontier("PARA").best is None
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        frontier = AdversaryFrontier("LiPRoMi")
+        frontier.update([point(10.0, 9, row=1), point(5.0, 1, row=2)])
+        clone = AdversaryFrontier.from_dict(frontier.as_dict())
+        assert clone.to_json() == frontier.to_json()
+        assert clone.technique == "LiPRoMi"

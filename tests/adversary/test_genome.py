@@ -1,0 +1,133 @@
+"""Tests for the pattern genome: validation, compilation, identity."""
+
+import pytest
+
+from repro.adversary import AggressorGene, PatternGenome, seed_corpus
+from repro.config import small_test_config
+
+
+def flood(intensity=100, **kwargs):
+    return PatternGenome(
+        aggressors=(AggressorGene(row=256, intensity=intensity),), **kwargs
+    )
+
+
+class TestValidation:
+    def test_rejects_empty_aggressors(self):
+        with pytest.raises(ValueError):
+            PatternGenome(aggressors=())
+
+    def test_rejects_zero_intensity(self):
+        with pytest.raises(ValueError):
+            AggressorGene(row=1, intensity=0)
+
+    def test_rejects_negative_row(self):
+        with pytest.raises(ValueError):
+            AggressorGene(row=-1, intensity=1)
+
+    def test_rejects_idle_without_burst(self):
+        with pytest.raises(ValueError):
+            flood(idle=4)
+
+    def test_rejects_decoys_without_rate(self):
+        with pytest.raises(ValueError):
+            flood(decoy_count=8)
+
+
+class TestCompile:
+    def test_continuous_gene_is_one_open_spec(self):
+        config = small_test_config()
+        specs = flood(phase=3).compile(config, total_intervals=64)
+        assert len(specs) == 1
+        assert specs[0].start_interval == 3
+        assert specs[0].end_interval is None
+        assert specs[0].aggressors == (256,)
+        assert specs[0].rows_per_bank == config.geometry.rows_per_bank
+
+    def test_duty_cycle_tiles_spans(self):
+        config = small_test_config()
+        specs = flood(burst=4, idle=4).compile(config, total_intervals=16)
+        intervals = [(s.start_interval, s.end_interval) for s in specs]
+        assert intervals == [(0, 4), (8, 12)]
+
+    def test_gene_offset_shifts_start(self):
+        config = small_test_config()
+        genome = PatternGenome(
+            aggressors=(AggressorGene(row=10, intensity=5, offset=7),),
+            phase=2,
+        )
+        specs = genome.compile(config, total_intervals=64)
+        assert specs[0].start_interval == 9
+
+    def test_decoys_become_round_robin_spec(self):
+        config = small_test_config()
+        genome = flood(decoy_count=4, decoy_first_row=8, decoy_spacing=2,
+                       decoy_rate=3)
+        specs = genome.compile(config, total_intervals=64)
+        decoys = specs[-1]
+        assert decoys.aggressors == (8, 10, 12, 14)
+        assert decoys.acts_per_interval == 3
+
+    def test_out_of_range_row_fails_at_compile(self):
+        config = small_test_config()  # 512 rows
+        genome = PatternGenome(
+            aggressors=(AggressorGene(row=600, intensity=5),)
+        )
+        with pytest.raises(ValueError, match="outside"):
+            genome.compile(config, total_intervals=64)
+
+    def test_phase_past_horizon_compiles_empty(self):
+        config = small_test_config()
+        assert flood(phase=100).compile(config, total_intervals=64) == []
+
+
+class TestIdentity:
+    def test_roundtrip(self):
+        genome = flood(phase=5, burst=2, idle=3, decoy_count=8,
+                       decoy_rate=2, name="x")
+        assert PatternGenome.from_dict(genome.as_dict()) == genome
+
+    def test_key_ignores_name(self):
+        assert flood(name="a").key() == flood(name="b").key()
+
+    def test_key_distinguishes_phase(self):
+        assert flood(phase=0).key() != flood(phase=1).key()
+
+    def test_renamed_embeds_digest(self):
+        renamed = flood().renamed("mut:test")
+        assert renamed.name == f"mut:test.{renamed.digest()}"
+        # digest is a function of the key, not the name
+        assert renamed.digest() == flood().digest()
+
+
+class TestActsPerWindow:
+    def test_continuous_flood(self):
+        config = small_test_config()  # refint 64
+        assert flood(intensity=10).acts_per_window(config) == 640
+
+    def test_phase_delays_budget(self):
+        config = small_test_config()
+        assert flood(intensity=10, phase=32).acts_per_window(config) == 320
+
+    def test_duty_cycle_halves_budget(self):
+        config = small_test_config()
+        assert flood(intensity=10, burst=4, idle=4).acts_per_window(config) == 320
+
+    def test_decoys_add_budget(self):
+        config = small_test_config()
+        genome = flood(intensity=10, decoy_count=4, decoy_rate=2)
+        assert genome.acts_per_window(config) == 640 + 2 * 64
+
+
+class TestSeedCorpus:
+    def test_corpus_compiles_and_is_unique(self):
+        config = small_test_config()
+        corpus = seed_corpus(config)
+        assert len(corpus) == 5
+        assert len({g.key() for g in corpus}) == 5
+        for genome in corpus:
+            assert genome.compile(config, total_intervals=64)
+
+    def test_corpus_names_are_seeds(self):
+        for genome in seed_corpus(small_test_config()):
+            assert genome.name.startswith("seed:")

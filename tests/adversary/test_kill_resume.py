@@ -1,0 +1,105 @@
+"""Kill-and-resume determinism for the adversary search.
+
+Mirrors ``tests/campaign/test_kill_resume.py``: a subprocess runs a
+real search that hangs after checkpointing its second generation, gets
+SIGKILLed mid-run, and the search is resumed in-process.  The resumed
+frontier JSON must be bit-identical to an uninterrupted reference run.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.adversary import SearchSettings, SearchStore, run_search
+from repro.config import small_test_config
+
+SETTINGS = dict(technique="LiPRoMi", strategy="evolve", budget=21,
+                eval_seeds=2, seed=0)
+
+# gen 0 (5 corpus seeds) + two offspring generations of 8 = 21
+EXPECTED_GENERATIONS = 3
+
+# The driver script run in the doomed subprocess: the same search the
+# test later resumes, except it hangs after generation 1 is durably
+# checkpointed, keeping the process alive until the test kills it.
+DRIVER = textwrap.dedent(
+    """
+    import time
+
+    from repro.adversary import SearchSettings, run_search
+    from repro.config import small_test_config
+
+    def hang_after_gen_1(generation, candidates):
+        if generation >= 1:
+            time.sleep(120)
+
+    run_search(
+        small_test_config(),
+        SearchSettings(technique="LiPRoMi", strategy="evolve", budget=21,
+                       eval_seeds=2, seed=0),
+        checkpoint_dir={ckpt!r},
+        on_generation=hang_after_gen_1,
+    )
+    """
+)
+
+
+def start_doomed_search(ckpt):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    return subprocess.Popen(
+        [sys.executable, "-c", DRIVER.format(ckpt=str(ckpt))],
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+
+
+def wait_for_checkpointed_generations(store, proc, count=2, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if all(store.generation_path(i).is_file() for i in range(count)):
+            return
+        if proc.poll() is not None:
+            _, stderr = proc.communicate()
+            pytest.fail(
+                "search subprocess exited before being killed:\n"
+                + stderr.decode("utf-8", "replace")
+            )
+        time.sleep(0.05)
+    proc.kill()
+    pytest.fail("generations were not checkpointed within %.0fs" % timeout)
+
+
+class TestKillResume:
+    def test_sigkilled_search_resumes_bit_identical(self, tmp_path):
+        ckpt = tmp_path / "ck"
+        store = SearchStore(ckpt)
+        proc = start_doomed_search(ckpt)
+        try:
+            wait_for_checkpointed_generations(store, proc)
+        finally:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+
+        stored = len(store.load_generations())
+        assert 2 <= stored < EXPECTED_GENERATIONS, (
+            "kill must land mid-search; got %d/%d generations"
+            % (stored, EXPECTED_GENERATIONS)
+        )
+
+        resumed = run_search(
+            small_test_config(), SearchSettings(**SETTINGS),
+            checkpoint_dir=ckpt, resume=True,
+        )
+        reference = run_search(small_test_config(), SearchSettings(**SETTINGS))
+        assert resumed.frontier.to_json() == reference.frontier.to_json()
+        assert resumed.as_dict() == reference.as_dict()
+        assert len(store.load_generations()) == EXPECTED_GENERATIONS

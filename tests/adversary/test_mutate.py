@@ -1,0 +1,78 @@
+"""Tests for the mutation/crossover operators: determinism and closure."""
+
+import random
+
+from repro.adversary import PatternGenome, crossover, mutate, random_genome, seed_corpus
+from repro.adversary.mutate import OPERATOR_WEIGHTS, align_phase
+from repro.config import small_test_config
+from repro.rng import stream
+
+
+def rng(label="ops"):
+    return stream(0, "test-mutate", label)
+
+
+class TestDeterminism:
+    def test_mutate_is_seed_deterministic(self):
+        config = small_test_config()
+        parent = seed_corpus(config)[0]
+        children_a = [mutate(parent, rng(), config) for _ in range(1)]
+        children_b = [mutate(parent, rng(), config) for _ in range(1)]
+        assert children_a == children_b
+
+    def test_random_genome_is_seed_deterministic(self):
+        config = small_test_config()
+        assert random_genome(rng(), config) == random_genome(rng(), config)
+
+
+class TestClosure:
+    """Every operator output is a valid genome that compiles in-range."""
+
+    def test_operators_preserve_validity(self):
+        config = small_test_config()
+        generator = rng("closure")
+        for parent in seed_corpus(config):
+            for operator, _weight in OPERATOR_WEIGHTS:
+                child = operator(parent, generator, config)
+                assert isinstance(child, PatternGenome)
+                specs = child.compile(config, total_intervals=128)
+                for spec in specs:
+                    for row in spec.aggressors:
+                        assert 0 <= row < config.geometry.rows_per_bank
+
+    def test_long_mutation_chain_stays_valid(self):
+        config = small_test_config()
+        generator = rng("chain")
+        genome = seed_corpus(config)[0]
+        for _ in range(200):
+            genome = mutate(genome, generator, config)
+            genome.compile(config, total_intervals=128)
+            assert genome.phase < config.geometry.refint
+
+
+class TestAlignPhase:
+    def test_aligns_to_dominant_row_refresh_slot(self):
+        config = small_test_config()  # rows_per_interval 8
+        genome = seed_corpus(config)[0]  # flood at row 256
+        aligned = align_phase(genome, rng(), config)
+        assert aligned.phase == 256 // 8  # f_r of the flooded row
+
+    def test_mutate_labels_lineage(self):
+        config = small_test_config()
+        child = mutate(seed_corpus(config)[0], rng(), config)
+        assert child.name.startswith("mut:")
+        assert child.name.endswith(child.digest())
+
+
+class TestCrossover:
+    def test_child_mixes_parents(self):
+        config = small_test_config()
+        corpus = seed_corpus(config)
+        generator = random.Random(7)
+        child = crossover(corpus[0], corpus[4], generator)
+        # genes come from one parent, timing/decoys from the other:
+        # crossing the plain flood with the decoy seed yields a new key
+        # whichever way the coin fell
+        assert child.compile(config, total_intervals=64)
+        assert child.name.startswith("cross.")
+        assert child.key() not in {corpus[0].key(), corpus[4].key()}

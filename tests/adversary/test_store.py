@@ -1,0 +1,83 @@
+"""Tests for the adversary checkpoint store (spec + generations)."""
+
+import json
+
+import pytest
+
+from repro.adversary import SearchSettings, SearchSpec, SearchStore
+from repro.campaign import CampaignStateError, CheckpointMismatchError
+from repro.config import small_test_config
+
+
+def spec(**overrides):
+    settings = SearchSettings(technique="PARA", budget=8, **overrides)
+    return SearchSpec.build(small_test_config(), settings)
+
+
+class TestSpec:
+    def test_roundtrip(self):
+        original = spec()
+        assert SearchSpec.from_dict(original.as_dict()) == original
+
+    def test_mismatches_flags_changed_knobs(self):
+        changed = spec(seed=7)
+        diff = spec().mismatches(changed)
+        assert set(diff) == {"seed"}
+
+    def test_config_change_flags_hash(self):
+        other = SearchSpec.build(
+            small_test_config(num_banks=2),
+            SearchSettings(technique="PARA", budget=8),
+        )
+        assert "config_hash" in spec().mismatches(other)
+
+
+class TestStore:
+    def test_initialize_and_read(self, tmp_path):
+        store = SearchStore(tmp_path / "ck")
+        assert not store.exists
+        store.initialize(spec())
+        assert store.exists
+        assert store.read_spec() == spec()
+
+    def test_read_missing_raises(self, tmp_path):
+        with pytest.raises(CampaignStateError):
+            SearchStore(tmp_path / "nope").read_spec()
+
+    def test_ensure_matches_rejects_other_search(self, tmp_path):
+        store = SearchStore(tmp_path / "ck")
+        store.initialize(spec())
+        with pytest.raises(CheckpointMismatchError):
+            store.ensure_matches(spec(strategy="random"))
+
+    def test_generations_load_in_order(self, tmp_path):
+        store = SearchStore(tmp_path / "ck")
+        store.initialize(spec())
+        store.write_generation(0, [{"id": "a"}])
+        store.write_generation(1, [{"id": "b"}, {"id": "c"}])
+        assert store.load_generations() == [
+            [{"id": "a"}], [{"id": "b"}, {"id": "c"}],
+        ]
+
+    def test_gap_truncates_replay(self, tmp_path):
+        store = SearchStore(tmp_path / "ck")
+        store.initialize(spec())
+        store.write_generation(0, [{"id": "a"}])
+        store.write_generation(2, [{"id": "late"}])
+        assert store.load_generations() == [[{"id": "a"}]]
+
+    def test_corrupt_generation_truncates_replay(self, tmp_path):
+        store = SearchStore(tmp_path / "ck")
+        store.initialize(spec())
+        store.write_generation(0, [{"id": "a"}])
+        store.write_generation(1, [{"id": "b"}])
+        store.generation_path(1).write_text("{torn", encoding="utf-8")
+        assert store.load_generations() == [[{"id": "a"}]]
+
+    def test_writes_are_atomic_json(self, tmp_path):
+        store = SearchStore(tmp_path / "ck")
+        store.initialize(spec())
+        path = store.write_generation(0, [{"id": "a"}])
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["generation"] == 0
+        assert not list(path.parent.glob("*.tmp"))

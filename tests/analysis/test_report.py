@@ -73,6 +73,34 @@ class TestPaperTables:
         lo_row = next(line for line in text.splitlines() if line.startswith("LoPRoMi"))
         assert "No" in lo_row
 
+    def test_table3_reports_discovered_worst_case(self):
+        from repro.adversary import AdversaryFrontier, FrontierPoint
+
+        frontier = AdversaryFrontier("LiPRoMi")
+        frontier.update([FrontierPoint(
+            genome={}, name="mut:align_phase.deadbeef",
+            acts_per_window=5280, fitness=1411.0, escape_rate=0.0,
+            generation=4,
+        )])
+        text = render_table3(SimConfig(), {}, frontiers={"LiPRoMi": frontier})
+        assert "worst discovered pattern" in text
+        assert "mut:align_phase.deadbeef" in text
+
+    def test_render_adversary_reports_search(self):
+        from repro.adversary import SearchSettings, run_search
+        from repro.analysis.report import render_adversary
+        from repro.config import small_test_config
+
+        outcome = run_search(
+            small_test_config(),
+            SearchSettings(technique="LiPRoMi", strategy="random",
+                           budget=5, eval_seeds=1, windows=1),
+        )
+        text = render_adversary(outcome)
+        assert "LiPRoMi" in text
+        assert "acts to 1st mitigation" in text
+        assert "improvement" in text
+
 
 class TestFigAndExperimentRenderers:
     def test_fig4_table_and_scatter(self):

@@ -8,8 +8,10 @@ from repro.mitigations.registry import (
     BASELINES,
     TECHNIQUES,
     TIVAPROMI_VARIANTS,
+    make_capturing_factory,
     make_factory,
     make_mitigation,
+    resolve_technique,
     technique_names,
 )
 
@@ -53,3 +55,34 @@ class TestRegistry:
         instance = factory(small_test_config(), 3, 11)
         assert instance.bank == 3
         assert instance.probability == 0.25
+
+
+class TestCapturingFactory:
+    def test_records_instances_per_bank(self):
+        from repro.mitigations.counter_tree import CounterTree
+
+        holder = {}
+        factory = make_capturing_factory(CounterTree, holder, node_budget=16)
+        config = small_test_config()
+        first = factory(config, 0, 7)
+        second = factory(config, 1, 7)
+        assert holder == {0: first, 1: second}
+        assert factory.technique_name == "CounterTree"
+
+    def test_kwargs_forwarded(self):
+        from repro.mitigations.para import PARA
+
+        holder = {}
+        factory = make_capturing_factory(PARA, holder, probability=0.5)
+        assert factory(small_test_config(), 0, 0).probability == 0.5
+
+
+class TestResolveTechnique:
+    def test_case_insensitive(self):
+        assert resolve_technique("lipromi") == "LiPRoMi"
+        assert resolve_technique("PARA") == "PARA"
+        assert resolve_technique("countertree") == "CounterTree"
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ValueError, match="choose from"):
+            resolve_technique("NoSuch")

@@ -137,6 +137,25 @@ class TestVerdicts:
         assert set(verdicts) == {"TWiCe", "CRA"}
         assert all(not flag for flag, _ in verdicts.values())
 
+    def test_frontier_appends_empirical_worst_case(self):
+        from repro.adversary import AdversaryFrontier, FrontierPoint
+
+        frontier = AdversaryFrontier("LiPRoMi")
+        frontier.update([FrontierPoint(
+            genome={}, name="mut:align_phase.deadbeef",
+            acts_per_window=5280, fitness=1411.0, escape_rate=0.0,
+            generation=4,
+        )])
+        verdicts = vulnerability_verdicts(
+            ["LiPRoMi", "TWiCe"], frontiers={"LiPRoMi": frontier}
+        )
+        _, reason = verdicts["LiPRoMi"]
+        assert "worst discovered" in reason
+        assert "mut:align_phase.deadbeef" in reason
+        assert "1,411" in reason
+        # techniques without a frontier keep their analytic reason
+        assert "worst discovered" not in verdicts["TWiCe"][1]
+
 
 class TestRemappedAdjacency:
     """Section II: remapped rows defeat address-based mitigations."""

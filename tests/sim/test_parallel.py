@@ -3,7 +3,11 @@
 import pytest
 
 from repro.config import small_test_config
-from repro.sim.parallel import CampaignJob, _run_job, run_campaign
+from repro.sim.parallel import CampaignJob, _run_job, parallel_map, run_campaign
+
+
+def _square(value):
+    return value * value
 
 
 class TestJob:
@@ -72,6 +76,34 @@ class TestCampaign:
         )
         result = aggregates["PARA"].results[0]
         assert result.normal_activations > 0
+
+
+class TestParallelMap:
+    def test_inline_preserves_order(self):
+        assert parallel_map(_square, [3, 1, 2], workers=0) == [9, 1, 4]
+
+    def test_pool_matches_inline(self):
+        items = list(range(23))
+        inline = parallel_map(_square, items, workers=0)
+        pooled = parallel_map(_square, items, workers=2, chunk_size=4)
+        assert pooled == inline
+
+    def test_empty_input(self):
+        assert parallel_map(_square, [], workers=0) == []
+        assert parallel_map(_square, [], workers=2) == []
+
+    def test_progress_reports_monotonic_completion(self):
+        seen = []
+        parallel_map(_square, list(range(10)), workers=2, chunk_size=3,
+                     progress=lambda done, total: seen.append((done, total)))
+        assert seen[-1] == (10, 10)
+        assert [done for done, _ in seen] == sorted(done for done, _ in seen)
+
+    def test_inline_progress_fires_per_item(self):
+        seen = []
+        parallel_map(_square, [1, 2, 3], workers=0,
+                     progress=lambda done, total: seen.append(done))
+        assert seen == [1, 2, 3]
 
 
 class TestRetryPolicy:

@@ -87,3 +87,57 @@ class TestHeavyCommands:
         assert main(["flood", "--start-weights", "4096", "--seeds", "2"]) == 0
         out = capsys.readouterr().out
         assert "start weight" in out
+
+
+class TestAdversary:
+    """The red-team fuzzer subcommand, at smoke scale."""
+
+    SMALL = ["adversary", "--technique", "lipromi", "--preset", "small",
+             "--budget", "9", "--eval-seeds", "1"]
+
+    def test_random_strategy_smoke(self, tmp_path, capsys):
+        frontier_path = tmp_path / "frontier.json"
+        code = main(self.SMALL + ["--strategy", "random",
+                                  "--frontier-out", str(frontier_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "LiPRoMi" in out
+        assert "acts to 1st mitigation" in out
+        import json
+
+        frontier = json.loads(frontier_path.read_text(encoding="utf-8"))
+        assert frontier["technique"] == "LiPRoMi"
+        assert frontier["points"]
+
+    def test_evolve_beats_corpus(self, capsys):
+        code = main(self.SMALL + ["--strategy", "evolve", "--budget", "21",
+                                  "--eval-seeds", "2", "--pbase-exp", "12"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "improvement" in out
+
+    def test_checkpoint_and_resume_roundtrip(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ck")
+        argv = self.SMALL + ["--checkpoint-dir", ckpt]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_manifest_embeds_frontier(self, tmp_path, capsys):
+        import json
+
+        manifest_path = tmp_path / "manifest.json"
+        assert main(self.SMALL + ["--manifest", str(manifest_path)]) == 0
+        capsys.readouterr()
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        extra = manifest["extra"]
+        assert extra["command"] == "adversary"
+        assert extra["frontier"]["technique"] == "LiPRoMi"
+        assert extra["frontier"]["points"]
+
+    def test_unknown_technique_fails(self):
+        with pytest.raises(ValueError, match="choose from"):
+            main(["adversary", "--technique", "NoSuch", "--budget", "1",
+                  "--preset", "small"])

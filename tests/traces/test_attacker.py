@@ -68,6 +68,55 @@ class TestAttackSpec:
         assert spec.victims == (9, 11, 13)
 
 
+class TestRowRangeValidation:
+    """Regression: invalid rows/intervals fail at construction, not in
+    the engine (pre-validation they surfaced only via build_trace)."""
+
+    def test_rejects_negative_row(self):
+        with pytest.raises(ValueError, match="negative"):
+            AttackSpec(bank=0, aggressors=(-1,), acts_per_interval=1)
+
+    def test_rejects_row_outside_bank(self):
+        with pytest.raises(ValueError, match="outside"):
+            AttackSpec(bank=0, aggressors=(512,), acts_per_interval=1,
+                       rows_per_bank=512)
+
+    def test_accepts_last_row_of_bank(self):
+        spec = AttackSpec(bank=0, aggressors=(511,), acts_per_interval=1,
+                          rows_per_bank=512)
+        assert spec.aggressors == (511,)
+
+    def test_unknown_bank_size_defers_range_check(self):
+        # rows_per_bank=None keeps the historical behaviour: the range
+        # check happens when build_trace sees the target geometry
+        spec = AttackSpec(bank=0, aggressors=(10 ** 6,), acts_per_interval=1)
+        assert spec.rows_per_bank is None
+
+    def test_rejects_negative_start_interval(self):
+        with pytest.raises(ValueError, match="start_interval"):
+            AttackSpec(bank=0, aggressors=(1,), acts_per_interval=1,
+                       start_interval=-1)
+
+    def test_rejects_empty_interval_window(self):
+        with pytest.raises(ValueError, match="end_interval"):
+            AttackSpec(bank=0, aggressors=(1,), acts_per_interval=1,
+                       start_interval=5, end_interval=5)
+
+    def test_factories_stamp_bank_size(self):
+        for spec in (
+            single_sided(geometry(), 0, victim=100, acts_per_interval=8),
+            double_sided(geometry(), 0, victim=100, acts_per_interval=8),
+            flooding(geometry(), 0, row=7, acts_per_interval=8),
+            n_aggressor(geometry(), 0, count=4, acts_per_interval=8,
+                        first_row=10, spacing=4),
+        ):
+            assert spec.rows_per_bank == 512
+
+    def test_flooding_rejects_row_outside_geometry(self):
+        with pytest.raises(ValueError, match="outside"):
+            flooding(geometry(), 0, row=512, acts_per_interval=8)
+
+
 class TestPatternHelpers:
     def test_single_sided_targets_neighbor(self):
         spec = single_sided(geometry(), 0, victim=100, acts_per_interval=8)

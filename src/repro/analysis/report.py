@@ -372,3 +372,43 @@ def render_campaign_status(status) -> str:
     if status.failures:
         sections.append(render_campaign_failures(status.failures))
     return "\n\n".join(sections)
+
+
+def render_ingest(result) -> str:
+    """Render an :class:`~repro.traces.ingest.IngestResult`.
+
+    Header recaps the ingest provenance (format, mapper, digests,
+    cache outcome), followed by the trace-statistics characterisation
+    from :func:`repro.analysis.trace_stats.characterize`.
+    """
+    from repro.analysis.trace_stats import characterize
+
+    provenance = result.provenance
+    cache = provenance.get("cache", {})
+    if not cache.get("enabled"):
+        cache_cell = "disabled"
+    elif cache.get("hit"):
+        cache_cell = "hit"
+    else:
+        cache_cell = "miss (entry written)"
+    header_rows = [
+        ("source", str(provenance.get("source", "-"))),
+        ("format", str(provenance.get("format", "-"))),
+        ("mapper", str(provenance.get("mapper") or "-")),
+        ("source digest", str(provenance.get("source_digest", "-"))[:16]),
+        ("spec digest", str(provenance.get("spec_digest", "-"))),
+        ("records", f"{provenance.get('records', 0):,}"),
+        ("skipped", f"{provenance.get('skipped', 0):,}"),
+        ("cache", cache_cell),
+    ]
+    sections = [render_table(("field", "value"), header_rows)]
+    samples = provenance.get("skipped_samples") or []
+    if samples:
+        sections.append(
+            "skipped-record samples:\n" + "\n".join(
+                f"  {sample}" for sample in samples
+            )
+        )
+    stats = characterize(result.trace)
+    sections.append(render_table(("statistic", "value"), stats.summary_rows()))
+    return "\n\n".join(sections)

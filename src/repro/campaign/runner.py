@@ -67,6 +67,8 @@ def run_durable_campaign(
     retry: Optional[RetryPolicy] = None,
     fault_injector=None,
     sleep: Callable[[float], None] = time.sleep,
+    trace_path=None,
+    trace_digest: Optional[str] = None,
     **workload_kwargs,
 ) -> CampaignResult:
     """Run (or resume) a campaign with per-shard checkpointing.
@@ -89,19 +91,28 @@ def run_durable_campaign(
     Shards degraded under ``retry.on_failure == "skip"`` are *not*
     checkpointed as complete: a later ``resume`` retries exactly those
     shards, so a degraded campaign heals incrementally.
+
+    ``trace_path`` replays one pre-serialised npz trace for every shard
+    (see :func:`repro.sim.parallel.run_campaign`); pass the trace's
+    content digest as ``trace_digest`` so ``resume`` can refuse a
+    checkpoint taken against different trace bytes -- the digest is
+    folded into the stored spec, never into the worker jobs.
     """
     names: List[Optional[str]] = (
         list(techniques) if techniques is not None else technique_names()
     )
     if include_unmitigated:
         names = [None] + names
+    spec_kwargs = dict(workload_kwargs)
+    if trace_digest is not None:
+        spec_kwargs["trace_digest"] = trace_digest
     spec = CampaignSpec.build(
         config,
         engine=engine,
         total_intervals=total_intervals,
         techniques=names,
         seeds=seeds,
-        workload_kwargs=workload_kwargs,
+        workload_kwargs=spec_kwargs,
     )
     store = CampaignStore(checkpoint_dir)
     if store.exists:
@@ -164,6 +175,7 @@ def run_durable_campaign(
             fault_injector=fault_injector,
             shard_callback=persist,
             sleep=sleep,
+            trace_path=trace_path,
             **workload_kwargs,
         )
         failures = result.failures

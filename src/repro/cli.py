@@ -7,10 +7,20 @@
     python -m repro flood  [--start-weights 0 384 4096 --seeds K]
     python -m repro policies [--intervals N]
     python -m repro trace --out FILE [--intervals N --seed S]
+    python -m repro ingest FILE [--format auto --mapper layout]
     python -m repro run --technique NAME --trace FILE
+    python -m repro run --technique NAME --trace-file CAPTURE[.gz]
+    python -m repro compare [--trace-file CAPTURE] [--techniques ...]
     python -m repro campaign --checkpoint-dir DIR [--resume]
     python -m repro campaign-status DIR
     python -m repro adversary --technique NAME [--strategy evolve]
+
+``ingest`` parses an externally captured trace (DRAMSim/Ramulator
+command logs, litex-rowhammer-tester JSON dumps, or the native format;
+gzip transparent) and prints its provenance and statistics.  The same
+``--trace-file`` family of flags on ``run``/``compare``/``campaign``
+replays such a capture through the mitigations instead of the
+synthetic paper workload (see docs/trace-formats.md).
 
 The heavy subcommands accept the same scale knobs as the benchmarks,
 plus ``--engine {reference,fast}`` to pick the simulation engine (the
@@ -113,6 +123,74 @@ def _finish_telemetry(
               file=sys.stderr)
     if profiler is not None:
         print("\n" + profiler.report())
+
+
+def _add_ingest_args(
+    parser: argparse.ArgumentParser, with_trace_file: bool = True
+) -> None:
+    """Flags controlling external-trace ingestion (docs/trace-formats.md)."""
+    if with_trace_file:
+        parser.add_argument(
+            "--trace-file", metavar="FILE", default=None,
+            help="replay an externally captured trace (DRAMSim/Ramulator, "
+                 "litex-rowhammer-tester JSON, or native; gzip OK) instead "
+                 "of the synthetic workload",
+        )
+    parser.add_argument(
+        "--trace-format", choices=("auto", "dramsim", "litex", "native"),
+        default="auto",
+        help="source format ('auto' sniffs the file contents)",
+    )
+    parser.add_argument(
+        "--mapper", default="layout", metavar="SPEC",
+        help="address-mapper preset name or literal bit-field spec, e.g. "
+             "'row:30-15 bank:14-13 column:12-0' (dramsim format only)",
+    )
+    parser.add_argument(
+        "--clock-ns", type=float, default=1.0, metavar="NS",
+        help="nanoseconds per dramsim trace cycle",
+    )
+    parser.add_argument(
+        "--mark-attacks", choices=("auto", "yes", "no"), default="auto",
+        help="override the is_attack flag on ingested records (auto: "
+             "dramsim=no, litex=yes, native keeps its per-record flags)",
+    )
+    parser.add_argument(
+        "--on-parse-error", choices=("raise", "skip"), default="raise",
+        help="malformed records abort the ingest (raise) or are counted "
+             "and dropped (skip)",
+    )
+    parser.add_argument(
+        "--ingest-cache", metavar="DIR", default=None,
+        help="ingest cache directory (default: $REPRO_INGEST_CACHE or "
+             "~/.cache/repro/ingest)",
+    )
+    parser.add_argument(
+        "--no-ingest-cache", action="store_true",
+        help="bypass the npz ingest cache (always re-parse)",
+    )
+
+
+_MARK_ATTACKS = {"auto": None, "yes": True, "no": False}
+
+
+def _ingest_from_args(args, config, metrics=None):
+    """Run the ingest pipeline for ``--trace-file``-style flags."""
+    from repro.traces.ingest import IngestCache, ingest_trace
+
+    cache = IngestCache(root=args.ingest_cache, metrics=metrics)
+    return ingest_trace(
+        args.trace_file,
+        config,
+        format=args.trace_format,
+        mapper=args.mapper,
+        clock_ns=args.clock_ns,
+        mark_attacks=_MARK_ATTACKS[args.mark_attacks],
+        on_parse_error=args.on_parse_error,
+        cache=cache,
+        use_cache=not args.no_ingest_cache,
+        metrics=metrics,
+    )
 
 
 def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
@@ -252,15 +330,77 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_ingest(args) -> int:
+    from repro.analysis.report import render_ingest
+    from repro.traces.trace_io import save_trace_npz
+
+    tracer, metrics, profiler = _telemetry_from_args(args)
+    config = SimConfig()
+    result = _ingest_from_args(args, config, metrics)
+    print(render_ingest(result))
+    if args.out:
+        count = save_trace_npz(result.trace, args.out)
+        print(f"wrote {count:,} records to {args.out}", file=sys.stderr)
+    args.seeds = 0  # no simulation seeds in an ingest-only manifest
+    _finish_telemetry(
+        args, config, tracer, metrics, profiler,
+        extra={"command": "ingest", "ingest": result.provenance},
+    )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.analysis.report import render_comparison, render_ingest
+    from repro.sim.experiment import compare_techniques, default_trace_factory
+
+    tracer, metrics, profiler = _telemetry_from_args(args)
+    config = SimConfig()
+    extra = {"command": "compare"}
+    if args.trace_file:
+        result = _ingest_from_args(args, config, metrics)
+        print(render_ingest(result))
+        print()
+        trace = result.trace.materialize()
+        factory = lambda seed: trace  # noqa: E731 - same capture, all seeds
+        extra["ingest"] = result.provenance
+    else:
+        factory = default_trace_factory(config, total_intervals=args.intervals)
+    comparison = compare_techniques(
+        config, factory,
+        techniques=args.techniques,
+        seeds=tuple(range(args.seeds)),
+        include_unmitigated=args.include_unmitigated,
+        engine=args.engine,
+        tracer=tracer, metrics=metrics, profiler=profiler,
+    )
+    print(render_comparison(comparison))
+    _finish_telemetry(
+        args, config, tracer, metrics, profiler,
+        comparison=comparison, total_intervals=args.intervals,
+        extra=extra,
+    )
+    return 0
+
+
 def _cmd_run(args) -> int:
     from repro.mitigations.registry import make_factory
     from repro.sim.engine import get_engine
     from repro.sim.experiment import TechniqueAggregate
     from repro.traces.trace_io import load_trace
 
+    if bool(args.trace) == bool(args.trace_file):
+        print("run: pass exactly one of --trace / --trace-file",
+              file=sys.stderr)
+        return 2
     tracer, metrics, profiler = _telemetry_from_args(args)
     config = SimConfig()
-    trace = load_trace(args.trace)
+    ingest_provenance = None
+    if args.trace_file:
+        ingested = _ingest_from_args(args, config, metrics)
+        trace = ingested.trace
+        ingest_provenance = ingested.provenance
+    else:
+        trace = load_trace(args.trace)
     factory = make_factory(args.technique) if args.technique != "none" else None
     result = get_engine(args.engine)(
         config, trace, factory, seed=args.seed,
@@ -270,15 +410,24 @@ def _cmd_run(args) -> int:
     aggregate = TechniqueAggregate(technique=args.technique)
     aggregate.results.append(result)
     args.seeds = 1  # manifest seed range for a single run
+    extra = {
+        "command": "run",
+        "trace": args.trace or args.trace_file,
+        "seed": args.seed,
+    }
+    if ingest_provenance is not None:
+        extra["ingest"] = ingest_provenance
     _finish_telemetry(
         args, config, tracer, metrics, profiler,
         comparison={args.technique: aggregate},
-        extra={"command": "run", "trace": args.trace, "seed": args.seed},
+        extra=extra,
     )
     return 1 if result.attack_succeeded else 0
 
 
 def _cmd_campaign(args) -> int:
+    import os
+
     from repro.analysis.report import render_campaign
     from repro.campaign import FaultInjector, run_durable_campaign
     from repro.sim.parallel import RetryPolicy
@@ -297,27 +446,64 @@ def _cmd_campaign(args) -> int:
             shard_timeout=args.shard_timeout,
             on_failure=args.on_shard_failure,
         )
-    aggregates = run_durable_campaign(
-        config,
-        total_intervals=args.intervals,
-        checkpoint_dir=args.checkpoint_dir,
-        resume=args.resume,
-        techniques=args.techniques,
-        seeds=tuple(range(args.seeds)),
-        include_unmitigated=args.include_unmitigated,
-        workers=args.workers,
-        engine=args.engine,
-        retry=retry,
-        fault_injector=FaultInjector.from_env(),
-        tracer=tracer,
-        metrics=metrics,
-        profiler=profiler,
-    )
+    extra = {"command": "campaign"}
+    trace_path = trace_digest = None
+    tmp_npz = None
+    if args.trace_file:
+        import tempfile
+
+        from repro.traces.trace_io import save_trace_npz
+
+        ingested = _ingest_from_args(args, config, metrics)
+        extra["ingest"] = ingested.provenance
+        trace_digest = "{}:{}".format(
+            ingested.provenance["source_digest"],
+            ingested.provenance["spec_digest"],
+        )
+        total_intervals = ingested.trace.meta.total_intervals
+        cache_info = ingested.provenance.get("cache", {})
+        if cache_info.get("enabled"):
+            # workers replay the npz the ingest cache already holds
+            trace_path = cache_info["path"]
+        else:
+            fd, tmp_npz = tempfile.mkstemp(
+                prefix="repro-ingest-", suffix=".npz"
+            )
+            os.close(fd)
+            save_trace_npz(ingested.trace, tmp_npz)
+            trace_path = tmp_npz
+    else:
+        total_intervals = args.intervals
+    try:
+        aggregates = run_durable_campaign(
+            config,
+            total_intervals=total_intervals,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            techniques=args.techniques,
+            seeds=tuple(range(args.seeds)),
+            include_unmitigated=args.include_unmitigated,
+            workers=args.workers,
+            engine=args.engine,
+            retry=retry,
+            fault_injector=FaultInjector.from_env(),
+            tracer=tracer,
+            metrics=metrics,
+            profiler=profiler,
+            trace_path=trace_path,
+            trace_digest=trace_digest,
+        )
+    finally:
+        if tmp_npz is not None:
+            try:
+                os.unlink(tmp_npz)
+            except OSError:
+                pass
     print(render_campaign(aggregates, aggregates.failures))
     _finish_telemetry(
         args, config, tracer, metrics, profiler,
-        comparison=aggregates, total_intervals=args.intervals,
-        extra={"command": "campaign"}, failures=aggregates.failures,
+        comparison=aggregates, total_intervals=total_intervals,
+        extra=extra, failures=aggregates.failures,
     )
     return 1 if aggregates.failures else 0
 
@@ -450,14 +636,49 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=0)
     trace.set_defaults(func=_cmd_trace)
 
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="parse an external trace file and report its statistics",
+    )
+    ingest.add_argument(
+        "trace_file", metavar="FILE",
+        help="DRAMSim/Ramulator, litex-rowhammer-tester JSON, or native "
+             "trace (gzip transparent; see docs/trace-formats.md)",
+    )
+    _add_ingest_args(ingest, with_trace_file=False)
+    ingest.add_argument(
+        "--out", metavar="FILE.npz", default=None,
+        help="also export the ingested trace as columnar npz",
+    )
+    _add_telemetry_args(ingest)
+    ingest.set_defaults(func=_cmd_ingest, engine="reference")
+
     run = subparsers.add_parser("run", help="run one technique on a trace")
     run.add_argument("--technique", required=True,
                      help="technique name, or 'none' for unmitigated")
-    run.add_argument("--trace", required=True)
+    run.add_argument("--trace", default=None,
+                     help="native trace written by 'repro trace'")
     run.add_argument("--seed", type=int, default=0)
+    _add_ingest_args(run)
     _add_engine_arg(run)
     _add_telemetry_args(run)
     run.set_defaults(func=_cmd_run)
+
+    compare = subparsers.add_parser(
+        "compare",
+        help="compare techniques on one workload (synthetic or ingested)",
+    )
+    _add_scale_args(compare)
+    _add_ingest_args(compare)
+    compare.add_argument(
+        "--techniques", nargs="+", default=None, metavar="NAME",
+        help="techniques to compare (default: all nine)",
+    )
+    compare.add_argument(
+        "--include-unmitigated", action="store_true",
+        help="also run the unprotected baseline",
+    )
+    compare.set_defaults(func=_cmd_compare)
 
     campaign = subparsers.add_parser(
         "campaign",
@@ -504,6 +725,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="after retries are exhausted: abort the campaign (raise) "
              "or record a degraded shard and continue (skip)",
     )
+    _add_ingest_args(campaign)
     campaign.set_defaults(func=_cmd_campaign)
 
     adversary = subparsers.add_parser(

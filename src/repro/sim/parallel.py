@@ -481,6 +481,7 @@ def run_campaign(
     fault_injector=None,
     shard_callback: Optional[ShardCallback] = None,
     sleep: Callable[[float], None] = time.sleep,
+    trace_path: Optional[str] = None,
     **workload_kwargs,
 ) -> CampaignResult:
     """Run the full comparison campaign over a process pool.
@@ -503,6 +504,12 @@ def run_campaign(
     ``tracer`` streams cannot cross a process boundary, so an *enabled*
     tracer requires ``workers=0``; ``profiler`` likewise only times the
     coarse campaign phases in pool mode.
+
+    ``trace_path`` replays one pre-serialised ``.npz`` trace (e.g. an
+    ingested external capture, see :mod:`repro.traces.ingest`) for
+    **every** (technique, seed) job instead of generating the paper
+    workload -- seeds then only vary the mitigations' RNG, which is the
+    right comparison for a fixed captured access stream.
 
     ``pairs`` overrides the ``techniques x seeds`` grid with an explicit
     (technique, seed) work list -- the durable campaign runner passes
@@ -540,7 +547,12 @@ def run_campaign(
     tmpdir: Optional[str] = None
     try:
         trace_paths: Dict[int, str] = {}
-        if memoize_traces:
+        if trace_path is not None:
+            trace_paths = {
+                seed: str(trace_path)
+                for seed in dict.fromkeys(seed for _, seed in pair_list)
+            }
+        elif memoize_traces:
             tmpdir = tempfile.mkdtemp(prefix="repro-campaign-")
             with section_of(profiler, "campaign:traces"):
                 for seed in dict.fromkeys(seed for _, seed in pair_list):

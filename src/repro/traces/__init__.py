@@ -16,13 +16,14 @@ from repro.traces.record import (
     merge_sorted,
     validate_trace,
 )
-from repro.traces.trace_io import load_trace, save_trace
+from repro.traces.trace_io import TraceFormatError, load_trace, save_trace
 from repro.traces.workload import BenignWorkload, WorkloadParams
 
 __all__ = [
     "AttackSpec",
     "BenignWorkload",
     "Trace",
+    "TraceFormatError",
     "TraceMeta",
     "TraceRecord",
     "WorkloadParams",

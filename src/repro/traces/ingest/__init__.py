@@ -1,0 +1,54 @@
+"""Ingestion of externally captured DRAM command traces.
+
+Turns DRAMSim/Ramulator command logs, litex-rowhammer-tester payload
+dumps and (gzipped) native trace files into replayable
+:class:`~repro.traces.record.Trace` values, with declarative address
+mapping and a content-digest-keyed npz cache.  See
+``docs/trace-formats.md`` for the format specifications.
+"""
+
+from repro.traces.ingest.cache import (
+    IngestCache,
+    cache_key,
+    default_cache_dir,
+    file_digest,
+)
+from repro.traces.ingest.mapper import (
+    AddressMapper,
+    DecodedAddress,
+    MapperSpecError,
+    layout_spec,
+    resolve_mapper,
+)
+from repro.traces.ingest.pipeline import IngestResult, IngestSpec, ingest_trace
+from repro.traces.ingest.readers import (
+    FORMAT_NAMES,
+    ParseErrorPolicy,
+    detect_format,
+    open_trace_text,
+    read_dramsim,
+    read_litex,
+    read_native,
+)
+
+__all__ = [
+    "AddressMapper",
+    "DecodedAddress",
+    "FORMAT_NAMES",
+    "IngestCache",
+    "IngestResult",
+    "IngestSpec",
+    "MapperSpecError",
+    "ParseErrorPolicy",
+    "cache_key",
+    "default_cache_dir",
+    "detect_format",
+    "file_digest",
+    "ingest_trace",
+    "layout_spec",
+    "open_trace_text",
+    "read_dramsim",
+    "read_litex",
+    "read_native",
+    "resolve_mapper",
+]

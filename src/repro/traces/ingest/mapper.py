@@ -1,0 +1,265 @@
+"""Declarative physical-address decoding for external traces.
+
+External command traces carry flat physical (or bus) addresses; the
+simulation needs (bank, row) coordinates.  An :class:`AddressMapper` is
+built from a *bit-field spec* -- a mini-language describing which
+address bits form each DRAM coordinate -- so any controller's address
+swizzle can be expressed without code:
+
+    ``"row:30-15 bank:14-13 column:12-0"``
+
+Each whitespace-separated token is ``field:segments`` where *field* is
+one of ``channel``/``rank``/``bank``/``row``/``column`` (aliases
+``ch``/``ra``/``ba``/``col``) and *segments* is a comma-separated list
+of inclusive bit ranges ``hi-lo`` (or single bits ``n``), listed
+most-significant first.  A field's value is the concatenation of its
+segment bits; fields never share a bit; unspecified fields decode to 0.
+
+The :func:`layout_spec` preset reproduces the package's own
+:class:`repro.cpu.layout.DRAMAddressLayout` (column bits at the bottom,
+bank bits next, row bits on top) for any geometry, which is what the
+``repro ingest --mapper layout`` default uses.  See
+``docs/trace-formats.md`` for the full mini-language grammar.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.config import DRAMGeometry
+
+#: canonical field names, decode order
+FIELD_NAMES = ("channel", "rank", "bank", "row", "column")
+
+#: accepted aliases -> canonical field name
+FIELD_ALIASES = {
+    "channel": "channel", "ch": "channel",
+    "rank": "rank", "ra": "rank",
+    "bank": "bank", "ba": "bank",
+    "row": "row",
+    "column": "column", "col": "column",
+}
+
+
+class MapperSpecError(ValueError):
+    """The bit-field spec string does not parse or is inconsistent."""
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """One physical address decoded into DRAM coordinates."""
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    column: int
+
+
+def _parse_segments(field: str, text: str) -> List[Tuple[int, int]]:
+    segments: List[Tuple[int, int]] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            raise MapperSpecError(
+                f"field {field!r}: empty bit segment in {text!r}"
+            )
+        if "-" in part:
+            hi_text, lo_text = part.split("-", 1)
+        else:
+            hi_text = lo_text = part
+        try:
+            hi, lo = int(hi_text), int(lo_text)
+        except ValueError as exc:
+            raise MapperSpecError(
+                f"field {field!r}: bit segment {part!r} is not an integer "
+                "or 'hi-lo' range"
+            ) from exc
+        if lo < 0 or hi < lo:
+            raise MapperSpecError(
+                f"field {field!r}: segment {part!r} must satisfy "
+                "hi >= lo >= 0"
+            )
+        segments.append((hi, lo))
+    return segments
+
+
+class AddressMapper:
+    """Decode flat addresses into (channel, rank, bank, row, column).
+
+    Construct from a spec string (see module docstring) or via
+    :meth:`from_layout` for the package's native layout.  The mapper is
+    immutable; :attr:`canonical_spec` is a normalised form of the spec
+    (stable field order, normalised segments) and :attr:`digest` hashes
+    it -- the ingest cache keys on this digest, so editing the spec in
+    any meaningful way invalidates cached ingests while reformatting
+    whitespace does not.
+    """
+
+    def __init__(self, spec: str):
+        fields: Dict[str, List[Tuple[int, int]]] = {}
+        tokens = spec.split()
+        if not tokens:
+            raise MapperSpecError("empty mapper spec")
+        for token in tokens:
+            if ":" not in token:
+                raise MapperSpecError(
+                    f"token {token!r} is not of the form 'field:bits'"
+                )
+            name_text, bits_text = token.split(":", 1)
+            name = FIELD_ALIASES.get(name_text.strip().lower())
+            if name is None:
+                raise MapperSpecError(
+                    f"unknown field {name_text!r} (expected one of "
+                    f"{', '.join(sorted(set(FIELD_ALIASES)))})"
+                )
+            fields.setdefault(name, []).extend(
+                _parse_segments(name, bits_text)
+            )
+        if "row" not in fields:
+            raise MapperSpecError("mapper spec must define the 'row' field")
+        used: Dict[int, str] = {}
+        for name, segments in fields.items():
+            for hi, lo in segments:
+                for bit in range(lo, hi + 1):
+                    owner = used.get(bit)
+                    if owner is not None:
+                        raise MapperSpecError(
+                            f"bit {bit} assigned to both {owner!r} and "
+                            f"{name!r}"
+                        )
+                    used[bit] = name
+        self._fields = fields
+        self.canonical_spec = " ".join(
+            f"{name}:" + ",".join(
+                (f"{hi}-{lo}" if hi != lo else str(hi))
+                for hi, lo in fields[name]
+            )
+            for name in FIELD_NAMES
+            if name in fields
+        )
+
+    @classmethod
+    def from_layout(
+        cls, geometry: DRAMGeometry, row_bytes: int = 8192
+    ) -> "AddressMapper":
+        """The package's own layout (see :mod:`repro.cpu.layout`)."""
+        return cls(layout_spec(geometry, row_bytes=row_bytes))
+
+    @property
+    def digest(self) -> str:
+        """Stable short hash of :attr:`canonical_spec` (cache keying)."""
+        return hashlib.sha256(
+            self.canonical_spec.encode("utf-8")
+        ).hexdigest()[:16]
+
+    def width(self, field: str) -> int:
+        """Total number of bits assigned to *field* (0 if unspecified)."""
+        return sum(
+            hi - lo + 1 for hi, lo in self._fields.get(field, ())
+        )
+
+    def count(self, field: str) -> int:
+        """Number of distinct values *field* can decode to."""
+        return 1 << self.width(field)
+
+    @property
+    def flat_banks(self) -> int:
+        """Distinct (channel, rank, bank) combinations the spec encodes."""
+        return self.count("channel") * self.count("rank") * self.count("bank")
+
+    def _extract(self, address: int, field: str) -> int:
+        value = 0
+        for hi, lo in self._fields.get(field, ()):
+            width = hi - lo + 1
+            value = (value << width) | ((address >> lo) & ((1 << width) - 1))
+        return value
+
+    def decode(self, address: int) -> DecodedAddress:
+        """Decode *address*; bits above every declared segment are ignored."""
+        if address < 0:
+            raise ValueError(f"address must be non-negative: {address}")
+        return DecodedAddress(
+            channel=self._extract(address, "channel"),
+            rank=self._extract(address, "rank"),
+            bank=self._extract(address, "bank"),
+            row=self._extract(address, "row"),
+            column=self._extract(address, "column"),
+        )
+
+    def flat_bank(self, decoded: DecodedAddress) -> int:
+        """Flatten (channel, rank, bank) into one bank index.
+
+        Channel-major, then rank, then bank -- matching how the
+        simulation treats its bank list as one flat namespace.
+        """
+        return (
+            (decoded.channel * self.count("rank") + decoded.rank)
+            * self.count("bank")
+            + decoded.bank
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AddressMapper({self.canonical_spec!r})"
+
+
+def layout_spec(geometry: DRAMGeometry, row_bytes: int = 8192) -> str:
+    """Spec string matching :class:`repro.cpu.layout.DRAMAddressLayout`.
+
+    Column bits at the bottom (one *row_bytes* row buffer), bank bits
+    next, row bits on top.  Requires power-of-two geometry (every real
+    device qualifies; the shrunk test geometries do too).
+    """
+    column_bits = _log2_exact(row_bytes, "row_bytes")
+    bank_bits = _log2_exact(geometry.num_banks, "num_banks")
+    row_bits = _log2_exact(geometry.rows_per_bank, "rows_per_bank")
+    parts = []
+    base = column_bits + bank_bits
+    parts.append(f"row:{base + row_bits - 1}-{base}")
+    if bank_bits:
+        parts.append(f"bank:{column_bits + bank_bits - 1}-{column_bits}")
+    parts.append(f"column:{column_bits - 1}-0")
+    return " ".join(parts)
+
+
+def _log2_exact(value: int, name: str) -> int:
+    if value < 1 or value & (value - 1):
+        raise MapperSpecError(
+            f"layout preset needs power-of-two {name}, got {value}"
+        )
+    return value.bit_length() - 1
+
+
+#: named mapper presets accepted wherever a spec string is (``--mapper``)
+PRESETS = {
+    # the paper's Table I DDR4 device through the package's own layout
+    "layout": layout_spec(DRAMGeometry()),
+    "ddr4-paper": layout_spec(DRAMGeometry()),
+}
+
+
+def resolve_mapper(
+    spec_or_preset: str, geometry: DRAMGeometry
+) -> AddressMapper:
+    """Resolve a ``--mapper`` argument: preset name or literal spec.
+
+    ``"layout"`` is special-cased to the *given* geometry (so shrunk
+    test configs get a matching preset); other preset names resolve
+    from :data:`PRESETS`; anything containing a colon is parsed as a
+    literal spec string.
+    """
+    text = spec_or_preset.strip()
+    if text == "layout":
+        return AddressMapper.from_layout(geometry)
+    if ":" not in text:
+        preset = PRESETS.get(text)
+        if preset is None:
+            raise MapperSpecError(
+                f"unknown mapper preset {text!r} (known: "
+                f"{', '.join(sorted(PRESETS))}; or pass a literal "
+                "'field:hi-lo ...' spec)"
+            )
+        return AddressMapper(preset)
+    return AddressMapper(text)

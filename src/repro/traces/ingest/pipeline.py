@@ -1,0 +1,271 @@
+"""The ingest pipeline: external trace file -> replayable Trace.
+
+:func:`ingest_trace` is the single entry point used by ``repro
+ingest`` and by ``--trace-file`` on ``run``/``compare``/``campaign``:
+
+1. sniff (or accept) the source format,
+2. stream-parse the file through the matching reader, decoding
+   addresses with the configured :class:`AddressMapper`,
+3. sort the records and synthesise the :class:`TraceMeta` the
+   simulation needs (external formats do not carry one),
+4. round-trip the result through the digest-keyed npz cache so the
+   next ingest of the same (file, spec) pair skips steps 2-3.
+
+Even with the cache disabled the cold path round-trips through
+``save_trace_npz``/``load_trace_npz`` when a cache is available, so a
+cache hit can never produce different records than a miss.  The
+returned :class:`IngestResult` carries full provenance for the
+RunManifest (``extra["ingest"]``) and for ``render_ingest``.
+"""
+
+from __future__ import annotations
+
+import json
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.config import SimConfig
+from repro.telemetry.metrics import MetricsRegistry
+from repro.traces.ingest.cache import IngestCache, cache_key, file_digest
+from repro.traces.ingest.mapper import AddressMapper, resolve_mapper
+from repro.traces.ingest.readers import (
+    FORMAT_NAMES,
+    ParseErrorPolicy,
+    detect_format,
+    read_dramsim,
+    read_litex,
+    read_native,
+)
+from repro.traces.record import Trace, TraceMeta, TraceRecord
+from repro.traces.trace_io import TraceFormatError, load_trace_npz
+
+
+@dataclass(frozen=True)
+class IngestSpec:
+    """Everything besides the source bytes that shapes the ingest output.
+
+    Hashed into the cache key: two ingests share a cache entry iff
+    their source digests *and* spec digests match.
+    """
+
+    format: str
+    mapper_spec: Optional[str]  # canonical; None for formats without one
+    clock_ns: float
+    mark_attacks: Optional[bool]
+    on_parse_error: str
+    num_banks: int
+    rows_per_bank: int
+    interval_ns: int
+
+    @property
+    def digest(self) -> str:
+        payload = json.dumps(
+            {
+                "format": self.format,
+                "mapper": self.mapper_spec,
+                "clock_ns": self.clock_ns,
+                "mark_attacks": self.mark_attacks,
+                "on_parse_error": self.on_parse_error,
+                "num_banks": self.num_banks,
+                "rows_per_bank": self.rows_per_bank,
+                "interval_ns": self.interval_ns,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class IngestResult:
+    """An ingested trace plus its provenance."""
+
+    trace: Trace
+    provenance: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def cache_hit(self) -> bool:
+        return bool(self.provenance.get("cache", {}).get("hit"))
+
+
+def _interval_ns(config: SimConfig) -> int:
+    return int(config.timing.refresh_interval_ns)
+
+
+def build_spec(
+    config: SimConfig,
+    fmt: str,
+    mapper: Optional[AddressMapper],
+    clock_ns: float,
+    mark_attacks: Optional[bool],
+    on_parse_error: str,
+) -> IngestSpec:
+    return IngestSpec(
+        format=fmt,
+        mapper_spec=mapper.canonical_spec if mapper is not None else None,
+        clock_ns=clock_ns if fmt == "dramsim" else 0.0,
+        mark_attacks=mark_attacks,
+        on_parse_error=on_parse_error,
+        num_banks=config.geometry.num_banks,
+        rows_per_bank=config.geometry.rows_per_bank,
+        interval_ns=_interval_ns(config),
+    )
+
+
+def ingest_trace(
+    path: Union[str, Path],
+    config: SimConfig,
+    format: str = "auto",
+    mapper: str = "layout",
+    clock_ns: float = 1.0,
+    mark_attacks: Optional[bool] = None,
+    on_parse_error: str = "raise",
+    cache: Optional[IngestCache] = None,
+    use_cache: bool = True,
+    metrics: Optional[MetricsRegistry] = None,
+) -> IngestResult:
+    """Ingest the external trace at *path* for simulation under *config*.
+
+    *format* is one of ``auto``/``dramsim``/``litex``/``native``;
+    *mapper* is a preset name or literal bit-field spec (dramsim only);
+    *mark_attacks* overrides the format's ``is_attack`` default
+    (dramsim: False, litex: True; native keeps its per-record flags).
+    ``on_parse_error="skip"`` drops malformed records instead of
+    raising.  Pass ``use_cache=False`` to force a re-parse.
+
+    Raises :class:`TraceFormatError` on malformed input (respecting
+    the skip policy for record-level problems) and ``FileNotFoundError``
+    if *path* does not exist.
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise FileNotFoundError(f"trace file not found: {path}")
+    fmt = format.lower()
+    if fmt == "auto":
+        fmt = detect_format(path)
+    if fmt not in FORMAT_NAMES:
+        raise ValueError(
+            f"unknown trace format {format!r} "
+            f"(expected auto|{'|'.join(FORMAT_NAMES)})"
+        )
+    resolved_mapper = (
+        resolve_mapper(mapper, config.geometry) if fmt == "dramsim" else None
+    )
+    spec = build_spec(
+        config, fmt, resolved_mapper, clock_ns, mark_attacks, on_parse_error
+    )
+    if cache is None:
+        cache = IngestCache(metrics=metrics)
+    elif metrics is not None and cache.metrics is None:
+        cache.metrics = metrics
+
+    source_digest = file_digest(path)
+    key = cache_key(source_digest, spec.digest)
+    if use_cache:
+        cached = cache.load(key)
+        if cached is not None:
+            trace, sidecar = cached
+            provenance = dict(sidecar)
+            provenance["source"] = str(path)
+            provenance["cache"] = {
+                "enabled": True, "hit": True, "key": key,
+                "path": str(cache.entry_path(key)),
+            }
+            return IngestResult(trace=trace, provenance=provenance)
+
+    policy = ParseErrorPolicy(mode=on_parse_error)
+    trace, file_meta = _parse(path, fmt, config, resolved_mapper,
+                              clock_ns, mark_attacks, policy)
+    sidecar = {
+        "schema": 1,
+        "source_digest": source_digest,
+        "format": fmt,
+        "mapper": spec.mapper_spec,
+        "spec_digest": spec.digest,
+        "records": trace.count(),
+        "skipped": policy.skipped,
+        "skipped_samples": list(policy.samples),
+        "meta": {
+            "total_intervals": trace.meta.total_intervals,
+            "interval_ns": trace.meta.interval_ns,
+            "num_banks": trace.meta.num_banks,
+        },
+    }
+    if file_meta is not None:
+        sidecar["declared_meta"] = file_meta
+    if use_cache:
+        # replay through the same npz round-trip a later cache hit will
+        # use, so hit and miss cannot produce different records
+        entry = cache.store(key, trace, sidecar)
+        trace = load_trace_npz(entry)
+    provenance = dict(sidecar)
+    provenance["source"] = str(path)
+    provenance["cache"] = {
+        "enabled": use_cache, "hit": False, "key": key,
+        "path": str(cache.entry_path(key)) if use_cache else None,
+    }
+    return IngestResult(trace=trace, provenance=provenance)
+
+
+def _parse(
+    path: Path,
+    fmt: str,
+    config: SimConfig,
+    mapper: Optional[AddressMapper],
+    clock_ns: float,
+    mark_attacks: Optional[bool],
+    policy: ParseErrorPolicy,
+):
+    """Run the format reader; return ``(trace, declared_meta_or_None)``."""
+    declared: Optional[Dict[str, int]] = None
+    if fmt == "native":
+        meta, stream = read_native(path, policy)
+        records = list(stream)
+        declared = {
+            "total_intervals": meta.total_intervals,
+            "interval_ns": meta.interval_ns,
+            "num_banks": meta.num_banks,
+        }
+        if mark_attacks is not None:
+            records = [r._replace(is_attack=mark_attacks) for r in records]
+        trace_meta = meta
+    else:
+        if fmt == "dramsim":
+            assert mapper is not None
+            attack = False if mark_attacks is None else mark_attacks
+            stream = read_dramsim(
+                path, mapper, config, policy,
+                clock_ns=clock_ns, mark_attacks=attack,
+            )
+        else:  # litex
+            attack = True if mark_attacks is None else mark_attacks
+            stream = read_litex(path, config, policy, mark_attacks=attack)
+        records = list(stream)
+        trace_meta = _synthesize_meta(records, config)
+    if not records:
+        raise TraceFormatError(
+            path,
+            "no activation records after parsing"
+            + (f" ({policy.skipped} skipped)" if policy.skipped else ""),
+        )
+    records.sort(key=lambda r: (r.time_ns, r.bank, r.row))
+    return Trace(meta=trace_meta, records=records), declared
+
+
+def _synthesize_meta(
+    records: List[TraceRecord], config: SimConfig
+) -> TraceMeta:
+    """TraceMeta for formats that do not declare one.
+
+    The interval length and bank count come from *config* (the trace
+    will be replayed under it); the interval count covers the last
+    record so ``validate_trace`` accepts the result.
+    """
+    interval_ns = _interval_ns(config)
+    last = max((r.time_ns for r in records), default=0)
+    return TraceMeta(
+        total_intervals=max(1, -(-(last + 1) // interval_ns)),
+        interval_ns=interval_ns,
+        num_banks=config.geometry.num_banks,
+    )

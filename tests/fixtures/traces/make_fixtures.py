@@ -1,0 +1,87 @@
+"""Regenerate the bundled ingest fixture traces.
+
+Run from the repo root::
+
+    python tests/fixtures/traces/make_fixtures.py
+
+The fixtures are tiny on purpose: they exercise every ingest format
+(gzipped DRAMSim command log, litex-rowhammer-tester payload dump,
+native text) against the *paper-scale* default config, yet replay in
+milliseconds, so the docs-as-tests harness and CI can run real
+documented commands against them.  Output is deterministic --
+re-running this script must be a no-op in git.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+
+#: default-geometry address layout: addr = row<<15 | bank<<13 | column
+ROW_SHIFT, BANK_SHIFT = 15, 13
+
+
+def dramsim_fixture() -> None:
+    """A double-sided hammer pair on bank 1 amid benign bank traffic."""
+    lines = ["# mini DRAMSim-style fixture: cycle,cmd,addr (1 cycle = 45 ns)"]
+    cycle = 0
+    for i in range(240):
+        if i % 4 == 3:  # benign activations sweeping rows on bank 0
+            row, bank = 5000 + i, 0
+        else:  # the hammer pair around victim row 4097
+            row, bank = (4096, 1) if i % 2 else (4098, 1)
+        addr = (row << ROW_SHIFT) | (bank << BANK_SHIFT)
+        lines.append(f"{cycle},ACT,0x{addr:x}")
+        lines.append(f"{cycle + 20},RD,0x{addr:x}")  # ignored by ingest
+        cycle += 45
+    payload = ("\n".join(lines) + "\n").encode("ascii")
+    # mtime=0 keeps the gzip container byte-stable across regenerations
+    with open(HERE / "mini_dramsim.trace.gz", "wb") as raw:
+        with gzip.GzipFile(fileobj=raw, mode="wb", mtime=0) as zipped:
+            zipped.write(payload)
+
+
+def litex_fixture() -> None:
+    """A payload-dump hammer loop in the tester's instruction format."""
+    payload = {
+        "timing": {"tick_ps": 2500},
+        "instrs": [
+            {"op": "ACT", "timeslice": 18, "rank": 0, "bank": 2,
+             "addr": 7000},
+            {"op": "PRE", "timeslice": 6},
+            {"op": "ACT", "timeslice": 18, "rank": 0, "bank": 2,
+             "addr": 7002},
+            {"op": "PRE", "timeslice": 6},
+            {"op": "JMP", "offset": 4, "count": 50},
+            {"op": "REF", "timeslice": 140},
+        ],
+    }
+    (HERE / "mini_payload.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="ascii"
+    )
+
+
+def native_fixture() -> None:
+    """A native-format trace with explicit metadata and attack flags."""
+    header = {"total_intervals": 2, "interval_ns": 7800, "num_banks": 4}
+    lines = [f"#repro-trace:{json.dumps(header)}"]
+    time_ns = 0
+    for i in range(60):
+        row, bank, attack = (
+            (9000 + (i % 2) * 2, 3, 1) if i % 3 else (1234 + i, 0, 0)
+        )
+        lines.append(f"{time_ns},{bank},{row},{attack}")
+        time_ns += 180
+    (HERE / "mini_native.trace").write_text(
+        "\n".join(lines) + "\n", encoding="ascii"
+    )
+
+
+if __name__ == "__main__":
+    dramsim_fixture()
+    litex_fixture()
+    native_fixture()
+    print("fixtures written to", HERE)

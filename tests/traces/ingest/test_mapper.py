@@ -1,0 +1,128 @@
+"""Tests for the address-mapper bit-field mini-language."""
+
+import pytest
+
+from repro.config import DRAMGeometry
+from repro.cpu.layout import DRAMAddressLayout
+from repro.traces.ingest import AddressMapper, layout_spec, resolve_mapper
+from repro.traces.ingest.mapper import MapperSpecError
+
+
+class TestSpecParsing:
+    def test_basic_spec(self):
+        mapper = AddressMapper("row:30-15 bank:14-13 column:12-0")
+        decoded = mapper.decode((77 << 15) | (3 << 13) | 42)
+        assert decoded.row == 77
+        assert decoded.bank == 3
+        assert decoded.column == 42
+        assert decoded.channel == 0 and decoded.rank == 0
+
+    def test_aliases(self):
+        mapper = AddressMapper("ch:20 ra:19 ba:18-17 row:16-8 col:7-0")
+        decoded = mapper.decode((1 << 20) | (1 << 19) | (2 << 17) | (5 << 8))
+        assert decoded.channel == 1
+        assert decoded.rank == 1
+        assert decoded.bank == 2
+        assert decoded.row == 5
+
+    def test_multi_segment_field_concatenates_msb_first(self):
+        # row = bits [10-9] then [3-2]: value 0b1101 -> segments 0b11, 0b01
+        mapper = AddressMapper("row:10-9,3-2")
+        address = (0b11 << 9) | (0b01 << 2)
+        assert mapper.decode(address).row == 0b1101
+
+    def test_single_bit_segment(self):
+        mapper = AddressMapper("row:4-1 bank:0")
+        assert mapper.decode(0b11011).bank == 1
+        assert mapper.decode(0b11011).row == 0b1101
+
+    def test_high_bits_above_spec_ignored(self):
+        mapper = AddressMapper("row:3-0")
+        assert mapper.decode(0xFF0 | 0x5).row == 5
+
+    def test_canonical_spec_normalises_whitespace_and_order(self):
+        a = AddressMapper("row:30-15   bank:14-13  column:12-0")
+        b = AddressMapper("column:12-0 bank:14-13 row:30-15")
+        assert a.canonical_spec == b.canonical_spec
+        assert a.digest == b.digest
+
+    def test_different_specs_different_digest(self):
+        a = AddressMapper("row:30-15 bank:14-13")
+        b = AddressMapper("row:30-15 bank:12-11")
+        assert a.digest != b.digest
+
+
+class TestSpecErrors:
+    @pytest.mark.parametrize("spec", [
+        "",
+        "row",
+        "rows:3-0",
+        "row:x-0",
+        "row:0-3",
+        "row:-1-0",
+        "bank:3-0",           # no row field
+        "row:3-0 bank:2-1",   # overlapping bits
+        "row:3-0 row:2",      # row overlaps itself
+    ])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(MapperSpecError):
+            AddressMapper(spec)
+
+    def test_error_names_overlapping_bit(self):
+        with pytest.raises(MapperSpecError, match="bit 2"):
+            AddressMapper("row:3-0 bank:2")
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            AddressMapper("row:3-0").decode(-1)
+
+
+class TestLayoutPreset:
+    def test_matches_cpu_layout_decode(self):
+        geometry = DRAMGeometry()
+        layout = DRAMAddressLayout(geometry)
+        mapper = AddressMapper.from_layout(geometry)
+        for address in (0, 8191, 8192, 123_456_789, (1 << 31) - 1):
+            expected_bank, expected_row, expected_col = layout.decode(address)
+            decoded = mapper.decode(address)
+            assert mapper.flat_bank(decoded) == expected_bank
+            assert decoded.row == expected_row
+            assert decoded.column == expected_col
+
+    def test_spec_string(self):
+        assert layout_spec(DRAMGeometry()) == "row:30-15 bank:14-13 column:12-0"
+
+    def test_shrunk_geometry(self):
+        geometry = DRAMGeometry(num_banks=1, rows_per_bank=512)
+        mapper = AddressMapper.from_layout(geometry)
+        # 1 bank -> no bank bits; rows start right above the column bits
+        assert mapper.decode(5 << 13).row == 5
+        assert mapper.flat_bank(mapper.decode(5 << 13)) == 0
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(MapperSpecError, match="power-of-two"):
+            layout_spec(DRAMGeometry(rows_per_bank=96, rows_per_interval=8))
+
+
+class TestResolve:
+    def test_layout_preset_uses_given_geometry(self):
+        geometry = DRAMGeometry(num_banks=1, rows_per_bank=512)
+        mapper = resolve_mapper("layout", geometry)
+        assert mapper.decode(3 << 13).row == 3
+
+    def test_literal_spec(self):
+        mapper = resolve_mapper("row:7-4 bank:3-2", DRAMGeometry())
+        assert mapper.decode(0b1011_0100).row == 0b1011
+
+    def test_unknown_preset_lists_known(self):
+        with pytest.raises(MapperSpecError, match="unknown mapper preset"):
+            resolve_mapper("nope", DRAMGeometry())
+
+
+class TestFlatBank:
+    def test_channel_rank_bank_flattening(self):
+        mapper = AddressMapper("ch:10 ra:9 ba:8-7 row:6-0")
+        # channel-major, then rank, then bank
+        decoded = mapper.decode((1 << 10) | (1 << 9) | (3 << 7))
+        assert mapper.flat_bank(decoded) == ((1 * 2 + 1) * 4 + 3)
+        assert mapper.flat_banks == 2 * 2 * 4

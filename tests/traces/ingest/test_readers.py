@@ -1,0 +1,287 @@
+"""Tests for the per-format streaming readers."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.config import ddr4_paper_config, small_test_config
+from repro.traces.ingest import (
+    AddressMapper,
+    ParseErrorPolicy,
+    detect_format,
+    open_trace_text,
+    read_dramsim,
+    read_litex,
+    read_native,
+)
+from repro.traces.record import Trace, TraceMeta, TraceRecord
+from repro.traces.trace_io import TraceFormatError, save_trace
+
+CONFIG = ddr4_paper_config()
+MAPPER = AddressMapper.from_layout(CONFIG.geometry)
+
+
+def encode(row: int, bank: int, column: int = 0) -> int:
+    return (row << 15) | (bank << 13) | column
+
+
+class TestGzipTransparency:
+    def test_plain_and_gzip_read_identically(self, tmp_path):
+        text = "hello trace\nline two\n"
+        plain = tmp_path / "t.txt"
+        plain.write_text(text)
+        zipped = tmp_path / "t.txt.gz"  # extension is NOT what's sniffed
+        with gzip.open(zipped, "wt") as handle:
+            handle.write(text)
+        misleading = tmp_path / "t.trace"  # gzip bytes, no .gz extension
+        misleading.write_bytes(zipped.read_bytes())
+        for path in (plain, zipped, misleading):
+            with open_trace_text(path) as handle:
+                assert handle.read() == text
+
+
+class TestDetectFormat:
+    def test_detects_each_format(self, tmp_path):
+        dramsim = tmp_path / "a.trc"
+        dramsim.write_text("0,ACT,0x0\n")
+        litex = tmp_path / "b.json"
+        litex.write_text('{"rows": [1]}')
+        native = tmp_path / "c.trace"
+        save_trace(
+            Trace(TraceMeta(1, 7800, 1), [TraceRecord(0, 0, 1)]), native
+        )
+        assert detect_format(dramsim) == "dramsim"
+        assert detect_format(litex) == "litex"
+        assert detect_format(native) == "native"
+
+    def test_detects_through_gzip(self, tmp_path):
+        path = tmp_path / "z"
+        with gzip.open(path, "wt") as handle:
+            handle.write('{"rows": [1]}')
+        assert detect_format(path) == "litex"
+
+
+class TestDramsimReader:
+    def read(self, path, policy=None, **kwargs):
+        policy = policy or ParseErrorPolicy()
+        return list(read_dramsim(path, MAPPER, CONFIG, policy, **kwargs))
+
+    def test_comma_and_whitespace_separators(self, tmp_path):
+        path = tmp_path / "t.trc"
+        path.write_text(
+            f"100,ACT,{encode(5, 1):#x}\n"
+            f"200 ACT {encode(6, 2):#x}\n"
+        )
+        records = self.read(path)
+        assert records == [
+            TraceRecord(100, 1, 5, False),
+            TraceRecord(200, 2, 6, False),
+        ]
+
+    def test_non_act_commands_and_comments_ignored(self, tmp_path):
+        path = tmp_path / "t.trc"
+        path.write_text(
+            "# a comment line\n"
+            f"100,ACT,{encode(5, 1):#x}\n"
+            f"150,RD,{encode(5, 1):#x}\n"
+            f"160,PRE,{encode(5, 1):#x}\n"
+            f"170,REF,0x0\n"
+            "\n"
+        )
+        assert len(self.read(path)) == 1
+
+    def test_clock_scaling(self, tmp_path):
+        path = tmp_path / "t.trc"
+        path.write_text(f"100,ACT,{encode(5, 1):#x}\n")
+        assert self.read(path, clock_ns=0.83)[0].time_ns == 83
+
+    def test_decimal_addresses(self, tmp_path):
+        path = tmp_path / "t.trc"
+        path.write_text(f"100,ACT,{encode(9, 3)}\n")
+        assert self.read(path)[0] == TraceRecord(100, 3, 9, False)
+
+    def test_mark_attacks(self, tmp_path):
+        path = tmp_path / "t.trc"
+        path.write_text(f"100,ACT,{encode(5, 1):#x}\n")
+        assert self.read(path, mark_attacks=True)[0].is_attack
+
+    def test_malformed_line_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "t.trc"
+        path.write_text(f"100,ACT,{encode(5, 1):#x}\nbogus\n")
+        with pytest.raises(TraceFormatError) as excinfo:
+            self.read(path)
+        assert excinfo.value.line_no == 2
+        assert str(path) in str(excinfo.value)
+
+    def test_skip_policy_counts_and_samples(self, tmp_path):
+        path = tmp_path / "t.trc"
+        path.write_text(
+            "bogus\n"
+            f"100,ACT,{encode(5, 1):#x}\n"
+            "x,ACT,0x0\n"
+            "200,ACT,notanaddr\n"
+        )
+        policy = ParseErrorPolicy(mode="skip")
+        records = self.read(path, policy=policy)
+        assert len(records) == 1
+        assert policy.skipped == 3
+        assert len(policy.samples) == 3
+
+    def test_out_of_geometry_address_is_a_parse_error(self, tmp_path):
+        small = small_test_config()  # 1 bank x 512 rows
+        # a mapper wider than the geometry can decode rows past the end
+        mapper = AddressMapper("row:23-13 column:12-0")
+        path = tmp_path / "t.trc"
+        path.write_text(f"100,ACT,{600 << 13:#x}\n")  # row 600 > 512
+        policy = ParseErrorPolicy(mode="skip")
+        records = list(read_dramsim(path, mapper, small, policy))
+        assert records == []
+        assert policy.skipped == 1
+        assert "geometry" in policy.samples[0]
+
+
+class TestLitexRowSequence:
+    def test_rows_replayed_with_iterations(self, tmp_path):
+        path = tmp_path / "rows.json"
+        path.write_text(json.dumps(
+            {"row_sequence": [7, 9], "bank": 2, "iterations": 3}
+        ))
+        records = list(read_litex(path, CONFIG, ParseErrorPolicy()))
+        assert [record.row for record in records] == [7, 9] * 3
+        assert all(record.bank == 2 for record in records)
+        assert all(record.is_attack for record in records)
+        # act-to-act spacing from the config timing
+        step = records[1].time_ns - records[0].time_ns
+        assert step == int(CONFIG.timing.act_to_act_ns)
+
+    def test_rows_alias(self, tmp_path):
+        path = tmp_path / "rows.json"
+        path.write_text(json.dumps({"rows": [1, 2, 3]}))
+        assert len(list(read_litex(path, CONFIG, ParseErrorPolicy()))) == 3
+
+    def test_bad_bank_raises(self, tmp_path):
+        path = tmp_path / "rows.json"
+        path.write_text(json.dumps({"rows": [1], "bank": 99}))
+        with pytest.raises(TraceFormatError, match="bank 99"):
+            list(read_litex(path, CONFIG, ParseErrorPolicy()))
+
+
+class TestLitexPayload:
+    def payload(self, instrs, tick_ps=2500):
+        return {"timing": {"tick_ps": tick_ps}, "instrs": instrs}
+
+    def read(self, tmp_path, payload, policy=None):
+        path = tmp_path / "p.json"
+        path.write_text(json.dumps(payload))
+        return list(read_litex(path, CONFIG, policy or ParseErrorPolicy()))
+
+    def test_jmp_do_while_count_semantics(self, tmp_path):
+        # the loop body has run once when JMP is reached, so count=N
+        # executes the body N times total
+        records = self.read(tmp_path, self.payload([
+            {"op": "ACT", "timeslice": 18, "bank": 1, "addr": 50},
+            {"op": "JMP", "offset": 1, "count": 4},
+        ]))
+        assert len(records) == 4
+
+    def test_nested_body_time_advances(self, tmp_path):
+        records = self.read(tmp_path, self.payload([
+            {"op": "ACT", "timeslice": 10, "bank": 0, "addr": 1},
+            {"op": "NOOP", "timeslice": 6},
+            {"op": "ACT", "timeslice": 10, "bank": 0, "addr": 3},
+            {"op": "JMP", "offset": 3, "count": 2},
+        ], tick_ps=1000))
+        # tick_ps=1000 -> 1 ns per timeslice unit
+        assert [record.time_ns for record in records] == [0, 16, 26, 42]
+
+    def test_rank_folds_into_flat_bank(self, tmp_path):
+        records = self.read(tmp_path, self.payload([
+            {"op": "ACT", "timeslice": 1, "rank": 0, "bank": 1, "addr": 5},
+        ]))
+        assert records[0].bank == 1
+
+    def test_unknown_opcode_respects_policy(self, tmp_path):
+        payload = self.payload([
+            {"op": "FROB", "timeslice": 1},
+            {"op": "ACT", "timeslice": 1, "bank": 0, "addr": 5},
+        ])
+        with pytest.raises(TraceFormatError, match="unknown opcode"):
+            self.read(tmp_path, payload)
+        policy = ParseErrorPolicy(mode="skip")
+        assert len(self.read(tmp_path, payload, policy)) == 1
+        assert policy.skipped == 1
+
+    def test_jmp_offset_validation(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="offset"):
+            self.read(tmp_path, self.payload([
+                {"op": "ACT", "timeslice": 1, "bank": 0, "addr": 5},
+                {"op": "JMP", "offset": 5, "count": 2},
+            ]))
+
+    def test_malformed_json_raises(self, tmp_path):
+        path = tmp_path / "p.json"
+        path.write_text('{"instrs": [')
+        with pytest.raises(TraceFormatError, match="malformed JSON"):
+            list(read_litex(path, CONFIG, ParseErrorPolicy()))
+
+    def test_neither_shape_raises(self, tmp_path):
+        path = tmp_path / "p.json"
+        path.write_text('{"something": 1}')
+        with pytest.raises(TraceFormatError, match="instrs"):
+            list(read_litex(path, CONFIG, ParseErrorPolicy()))
+
+
+class TestNativeReader:
+    def test_reads_meta_and_records(self, tmp_path):
+        path = tmp_path / "n.trace"
+        trace = Trace(
+            TraceMeta(2, 7800, 4),
+            [TraceRecord(0, 0, 1, False), TraceRecord(50, 1, 2, True)],
+        )
+        save_trace(trace, path)
+        meta, records = read_native(path, ParseErrorPolicy())
+        assert meta == trace.meta
+        assert list(records) == trace.records
+
+    def test_gzipped_native(self, tmp_path):
+        plain = tmp_path / "n.trace"
+        save_trace(
+            Trace(TraceMeta(1, 7800, 1), [TraceRecord(0, 0, 1)]), plain
+        )
+        zipped = tmp_path / "n.trace.gz"
+        with gzip.open(zipped, "wb") as handle:
+            handle.write(plain.read_bytes())
+        meta, records = read_native(zipped, ParseErrorPolicy())
+        assert list(records) == [TraceRecord(0, 0, 1, False)]
+
+    def test_skip_policy_on_bad_record(self, tmp_path):
+        path = tmp_path / "n.trace"
+        save_trace(
+            Trace(TraceMeta(1, 7800, 1), [TraceRecord(0, 0, 1)]), path
+        )
+        with path.open("a") as handle:
+            handle.write("bad,line\n")
+        policy = ParseErrorPolicy(mode="skip")
+        _, records = read_native(path, policy)
+        assert len(list(records)) == 1
+        assert policy.skipped == 1
+
+    def test_bad_header_raises_immediately(self, tmp_path):
+        path = tmp_path / "n.trace"
+        path.write_text("#repro-trace:{broken\n")
+        with pytest.raises(TraceFormatError, match="header"):
+            read_native(path, ParseErrorPolicy())
+
+
+class TestParseErrorPolicy:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="raise|skip"):
+            ParseErrorPolicy(mode="ignore")
+
+    def test_sample_limit(self, tmp_path):
+        policy = ParseErrorPolicy(mode="skip", sample_limit=2)
+        for index in range(5):
+            policy.handle(TraceFormatError("x", f"err {index}", line_no=index))
+        assert policy.skipped == 5
+        assert len(policy.samples) == 2

@@ -5,7 +5,7 @@ import pytest
 from repro.config import small_test_config
 from repro.traces.mixer import build_trace
 from repro.traces.record import Trace, TraceMeta, TraceRecord
-from repro.traces.trace_io import load_trace, save_trace
+from repro.traces.trace_io import TraceFormatError, load_trace, save_trace
 from repro.traces.workload import WorkloadParams
 
 
@@ -74,6 +74,93 @@ class TestErrors:
         with path.open("a") as handle:
             handle.write("\n\n")
         assert load_trace(path).count() == 3
+
+
+class TestTraceFormatError:
+    """The typed error carries path + line number for precise reports."""
+
+    def test_is_a_value_error(self):
+        # pre-existing `except ValueError` call sites keep working
+        assert issubclass(TraceFormatError, ValueError)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        with pytest.raises(TraceFormatError, match="empty file"):
+            load_trace(path)
+
+    def test_wrong_header_prefix_points_at_line_1(self, tmp_path):
+        path = tmp_path / "bogus.txt"
+        path.write_text("not a trace\n")
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_trace(path)
+        error = excinfo.value
+        assert error.path == str(path)
+        assert error.line_no == 1
+        assert "not a repro trace" in error.reason
+        assert f"{path}:1" in str(error)
+
+    def test_malformed_header_json(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("#repro-trace:{broken\n")
+        with pytest.raises(TraceFormatError, match="malformed header JSON"):
+            load_trace(path)
+
+    def test_header_must_be_object(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("#repro-trace:[1, 2]\n")
+        with pytest.raises(TraceFormatError, match="JSON object"):
+            load_trace(path)
+
+    @pytest.mark.parametrize(
+        "missing", ["total_intervals", "interval_ns", "num_banks"]
+    )
+    def test_header_missing_field_named(self, tmp_path, missing):
+        import json
+
+        header = {"total_intervals": 4, "interval_ns": 7800, "num_banks": 2}
+        del header[missing]
+        path = tmp_path / "trace.txt"
+        path.write_text(f"#repro-trace:{json.dumps(header)}\n")
+        with pytest.raises(TraceFormatError, match=missing):
+            load_trace(path)
+
+    @pytest.mark.parametrize("bad", ["0", "-3", '"four"', "null"])
+    def test_header_field_must_be_positive_integer(self, tmp_path, bad):
+        path = tmp_path / "trace.txt"
+        path.write_text(
+            '#repro-trace:{"total_intervals": ' + bad +
+            ', "interval_ns": 7800, "num_banks": 2}\n'
+        )
+        with pytest.raises(TraceFormatError, match="total_intervals"):
+            load_trace(path)
+
+    def test_bad_record_carries_exact_line_number(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        save_trace(sample_trace(), path)  # header + 3 records
+        with path.open("a") as handle:
+            handle.write("bad,line\n")
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_trace(path)
+        assert excinfo.value.line_no == 5
+        assert "bad record" in excinfo.value.reason
+
+    def test_non_integer_record_field(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        save_trace(sample_trace(), path)
+        with path.open("a") as handle:
+            handle.write("100,0,ten,0\n")
+        with pytest.raises(TraceFormatError, match="integer fields"):
+            load_trace(path)
+
+    def test_lazy_load_raises_on_iteration(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        save_trace(sample_trace(), path)
+        with path.open("a") as handle:
+            handle.write("bad,line\n")
+        trace = load_trace(path, lazy=True)  # header is fine; no error yet
+        with pytest.raises(TraceFormatError):
+            list(trace)
 
 
 class TestNpzRoundtrip:

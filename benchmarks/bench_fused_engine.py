@@ -1,0 +1,163 @@
+"""Fused-grid campaign throughput vs per-cell fast-engine runs.
+
+Replays one flooding benchmark trace through the whole nine-technique
+campaign grid (plus the unmitigated baseline) twice: once as solo
+fast-engine runs per ``(technique, seed, pbase)`` cell -- the PR1
+campaign shape -- and once as a single fused grid call that decodes the
+trace once and fans it out across every cell.  The acceptance bar is a
+>= 5x campaign speedup; per-cell results must be field-for-field
+identical, re-asserted here at benchmark scale (the differential tests
+pin it at test scale).
+
+Scale with ``REPRO_BENCH_INTERVALS`` / ``REPRO_BENCH_SEEDS`` as usual.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import (
+    BENCH_INTERVALS,
+    BENCH_SEEDS,
+    run_once,
+    write_bench_output,
+)
+from repro.analysis.report import render_table
+from repro.mitigations.registry import make_factory, technique_names
+from repro.sim.fast_engine import run_simulation_fast
+from repro.sim.fused_engine import grid_cells, run_simulation_fused, run_simulation_grid
+from repro.telemetry import MetricsRegistry, NullTracer
+from repro.traces.attacker import AttackSpec
+from repro.traces.mixer import build_trace
+
+#: the paper's pbase ablation axis, scaled around the configured value
+PBASE_SCALES = (0.5, 1.0, 2.0)
+#: one decode+replay of the trace must beat per-cell replays by this much
+SPEEDUP_FLOOR = 5.0
+
+
+def _flooding_trace(config):
+    row = config.geometry.rows_per_bank // 2
+    acts = config.timing.max_acts_per_interval
+    return build_trace(
+        config,
+        BENCH_INTERVALS,
+        attacks=(
+            AttackSpec(bank=0, aggressors=(row,), acts_per_interval=acts),
+        ),
+        seed=3,
+        materialize=True,
+    )
+
+
+def test_fused_campaign_speedup(benchmark, paper_config):
+    techniques = technique_names() + [None]
+    cells = grid_cells(
+        techniques, BENCH_SEEDS, pbase_scales=PBASE_SCALES,
+        config=paper_config,
+    )
+    trace = _flooding_trace(paper_config)
+
+    def compute():
+        started = time.perf_counter()
+        solo = []
+        for cell in cells:
+            cell_config = cell.config or paper_config
+            factory = make_factory(cell.technique) if cell.technique else None
+            solo.append(
+                run_simulation_fast(cell_config, trace, factory, seed=cell.seed)
+            )
+        mid = time.perf_counter()
+        metrics = MetricsRegistry()
+        fused = run_simulation_grid(
+            paper_config, trace, cells, metrics=metrics
+        )
+        ended = time.perf_counter()
+        return mid - started, ended - mid, solo, fused, metrics
+
+    fast_s, fused_s, solo, fused, metrics = run_once(benchmark, compute)
+
+    mismatched = [
+        cell
+        for cell, fast_result, fused_result in zip(cells, solo, fused)
+        if fast_result.as_dict() != fused_result.as_dict()
+    ]
+    assert not mismatched, (
+        f"fused grid diverged at benchmark scale for {len(mismatched)} "
+        f"cells, first: {mismatched[0]}"
+    )
+
+    speedup = fast_s / fused_s
+    computed = metrics.counters["fused.cells_computed"].value
+    deduped = metrics.counters["fused.cells_deduped"].value
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["cells"] = len(cells)
+    benchmark.extra_info["cells_deduped"] = deduped
+    report = (
+        f"=== fused grid vs per-cell fast engine, flooding trace "
+        f"({trace.count():,} records, {BENCH_INTERVALS} intervals) ===\n"
+        + render_table(
+            ("cells", "computed", "deduped", "fast", "fused", "speedup"),
+            [(
+                str(len(cells)), str(computed), str(deduped),
+                f"{fast_s:.3f}s", f"{fused_s:.3f}s", f"{speedup:.1f}x",
+            )],
+        )
+    )
+    print("\n" + report)
+    write_bench_output("fused_engine_speedup", report)
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"fused campaign speedup {speedup:.2f}x < {SPEEDUP_FLOOR}x floor"
+    )
+
+
+#: a NullTracer run may be at most this much slower than a plain run
+#: (ratio bound, plus an absolute epsilon to absorb timer noise on the
+#: reduced CI scale)
+NULL_TRACER_OVERHEAD_RATIO = 1.02
+NULL_TRACER_OVERHEAD_EPSILON_S = 0.05
+
+
+def test_fused_null_tracer_overhead(benchmark, paper_config):
+    """Disabled telemetry must not regress the fused engine.
+
+    Mirrors the fast-engine guard: ``NullTracer`` collapses to
+    ``telemetry=None`` at engine entry, so a single-cell fused run with
+    one costs nothing beyond the collapse.  Best-of-3 timings keep the
+    comparison robust against scheduler noise.
+    """
+    trace = _flooding_trace(paper_config)
+
+    def best_of(runs, **kwargs):
+        best = None
+        for _ in range(runs):
+            started = time.perf_counter()
+            result = run_simulation_fused(
+                paper_config, trace, make_factory("LoLiPRoMi"), seed=3,
+                **kwargs,
+            )
+            elapsed = time.perf_counter() - started
+            if best is None or elapsed < best[0]:
+                best = (elapsed, result)
+        return best
+
+    def compute():
+        plain = best_of(3)
+        nulled = best_of(3, tracer=NullTracer())
+        return plain, nulled
+
+    (plain_s, plain_result), (null_s, null_result) = run_once(
+        benchmark, compute
+    )
+    assert plain_result.as_dict() == null_result.as_dict()
+    benchmark.extra_info["overhead_pct"] = round(
+        100.0 * (null_s / plain_s - 1.0), 2
+    )
+    print(f"\nNullTracer overhead (fused): plain={plain_s:.3f}s "
+          f"null={null_s:.3f}s ({100.0 * (null_s / plain_s - 1.0):+.2f}%)")
+    assert null_s <= plain_s * NULL_TRACER_OVERHEAD_RATIO + \
+        NULL_TRACER_OVERHEAD_EPSILON_S, (
+        f"NullTracer regressed the fused engine: {plain_s:.3f}s -> "
+        f"{null_s:.3f}s"
+    )

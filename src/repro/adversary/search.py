@@ -111,7 +111,12 @@ def evaluate_genome(job: EvalJob) -> Dict[str, Any]:
     to worker processes.  The trace seed is derived from the eval seed
     *and* the genome key, so distinct genomes never share mixing noise
     while reruns of the same genome are reproducible.
+
+    ``engine="fused"`` switches to the many-seeds-per-genome grid
+    evaluation (see :func:`_evaluate_genome_fused`).
     """
+    if job.engine == "fused":
+        return _evaluate_genome_fused(job)
     run = get_engine(job.engine)
     factory = make_factory(job.technique)
     acts_to_trigger: List[Optional[int]] = []
@@ -134,6 +139,41 @@ def evaluate_genome(job: EvalJob) -> Dict[str, Any]:
         acts_to_trigger.append(result.first_trigger_activation)
         total_acts.append(result.attack_activations)
     return {"acts_to_trigger": acts_to_trigger, "total_acts": total_acts}
+
+
+def _evaluate_genome_fused(job: EvalJob) -> Dict[str, Any]:
+    """Fused evaluation: every eval seed rides one trace replay.
+
+    The fused grid shares one decode across its cells, which requires
+    one fixed trace -- so the genome compiles to a single trace (trace
+    seed derived from the genome key alone) and the eval seeds vary
+    only the mitigation RNG.  That is the fixed-trace comparison
+    ``run_campaign(trace_path=...)`` already documents, and the point
+    of many-seeds-per-genome: fitness variance measures the defense's
+    randomness, not the attack's mixing noise.  Fitness values
+    therefore differ from the per-seed-trace engines ("reference",
+    "fast") when ``eval_seeds > 1``; a search checkpoint pins its
+    engine, so the two modes never mix within one search.
+    """
+    from repro.sim.fused_engine import GridCell, run_simulation_grid
+
+    trace = build_trace(
+        job.config,
+        job.total_intervals,
+        benign_params=None,
+        attacks=job.genome.compile(job.config, job.total_intervals),
+        seed=derive_seed(0, "adversary-trace", job.genome.key()),
+    )
+    cells = [GridCell(technique=job.technique, seed=seed) for seed in job.seeds]
+    results = run_simulation_grid(
+        job.config, trace, cells, stop_after_first_trigger=True
+    )
+    return {
+        "acts_to_trigger": [
+            result.first_trigger_activation for result in results
+        ],
+        "total_acts": [result.attack_activations for result in results],
+    }
 
 
 @dataclass

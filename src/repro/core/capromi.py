@@ -38,6 +38,10 @@ from repro.rng import stream
 class CaPRoMi(Mitigation):
     name: ClassVar[str] = "CaPRoMi"
     known_vulnerabilities: ClassVar[Tuple[str, ...]] = ()
+    #: trigger decisions compare counter-scaled ``Pbase`` against the
+    #: seeded stream; both fused-grid axes are live
+    consumes_rng: ClassVar[bool] = True
+    consumes_pbase: ClassVar[bool] = True
 
     def __init__(self, config: SimConfig, bank: int = 0, seed: int = 0):
         super().__init__(config, bank)

@@ -46,6 +46,11 @@ class TiVaPRoMiBase(Mitigation):
 
     #: 'linear', 'log', or 'loli' -- fixed by the subclass
     weighting: ClassVar[str] = "linear"
+    #: Eq. 1 compares ``w * Pbase`` against the seeded stream, so both
+    #: grid axes genuinely change behaviour (stated explicitly rather
+    #: than inherited so the fused-engine dedup contract is visible)
+    consumes_rng: ClassVar[bool] = True
+    consumes_pbase: ClassVar[bool] = True
 
     def __init__(
         self,

@@ -69,6 +69,17 @@ class Mitigation(ABC):
     #: basis of Table III's "Vulnerable to Attack" column); empty means
     #: no known bypass
     known_vulnerabilities: ClassVar[Tuple[str, ...]] = ()
+    #: whether the technique draws from its seeded RNG stream.  The
+    #: fused engine dedups grid cells whose results cannot differ: a
+    #: technique with ``consumes_rng = False`` is identical across the
+    #: seed axis, and one with ``consumes_pbase = False`` is identical
+    #: across the pbase axis.  Both default to ``True`` (never dedup)
+    #: so a new technique is always simulated conservatively.
+    consumes_rng: ClassVar[bool] = True
+    #: whether behaviour depends on ``config.pbase`` (the TiVaPRoMi
+    #: family and CaPRoMi); deterministic counter techniques and the
+    #: fixed-probability samplers (PARA, ProHit, MRLoc) do not
+    consumes_pbase: ClassVar[bool] = True
 
     def __init__(self, config: SimConfig, bank: int = 0):
         self.config = config

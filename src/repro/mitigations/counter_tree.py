@@ -61,6 +61,10 @@ class CounterTree(Mitigation):
         "node budget is exhausted, so the aggressor is never isolated "
         "(TWiCe [13] / TiVaPRoMi paper Section II)",
     )
+    #: deterministic split counters: the ``seed`` argument is accepted
+    #: for factory uniformity but never drawn from
+    consumes_rng: ClassVar[bool] = False
+    consumes_pbase: ClassVar[bool] = False
 
     def __init__(
         self,

@@ -28,6 +28,9 @@ from repro.mitigations.base import ActivateNeighbors, Mitigation, MitigationActi
 class CRA(Mitigation):
     name: ClassVar[str] = "CRA"
     known_vulnerabilities: ClassVar[Tuple[str, ...]] = ()
+    #: deterministic counters: no RNG stream, no pbase dependence
+    consumes_rng: ClassVar[bool] = False
+    consumes_pbase: ClassVar[bool] = False
 
     def __init__(self, config: SimConfig, bank: int = 0, seed: int = 0):
         super().__init__(config, bank)

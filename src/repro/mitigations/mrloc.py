@@ -36,6 +36,8 @@ class MRLoc(Mitigation):
         "multi-aggressor queue thrashing (misses reduce p to the base "
         "probability; TiVaPRoMi paper Section II)",
     )
+    #: fixed ``base_probability``, independent of ``config.pbase``
+    consumes_pbase: ClassVar[bool] = False
 
     def __init__(
         self,

@@ -22,6 +22,8 @@ class PARA(StatelessMixin, Mitigation):
     known_vulnerabilities: ClassVar[Tuple[str, ...]] = (
         "sequential multi-aggressor activation (shown by ProHit [17])",
     )
+    #: fixed ``probability`` parameter, independent of ``config.pbase``
+    consumes_pbase: ClassVar[bool] = False
 
     def __init__(
         self,

@@ -38,6 +38,8 @@ _ROW_BITS = 17
 class ProHit(Mitigation):
     name: ClassVar[str] = "ProHit"
     known_vulnerabilities: ClassVar[Tuple[str, ...]] = ()
+    #: fixed ``insert_probability``, independent of ``config.pbase``
+    consumes_pbase: ClassVar[bool] = False
 
     def __init__(
         self,

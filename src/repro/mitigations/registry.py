@@ -67,6 +67,20 @@ def make_mitigation(
     return cls(config, bank=bank, seed=seed, **kwargs)
 
 
+def technique_class(name: str) -> Type[Mitigation]:
+    """The registered class for a canonical technique name.
+
+    Lets callers read class-level traits (``consumes_rng``,
+    ``consumes_pbase``, ``known_vulnerabilities``) without
+    instantiating; the fused engine's cell dedup depends on it.
+    """
+    cls = TECHNIQUES.get(name) or EXTENDED_TECHNIQUES.get(name)
+    if cls is None:
+        known = ", ".join(technique_names(include_extended=True))
+        raise ValueError(f"unknown technique {name!r}; choose from {known}")
+    return cls
+
+
 def make_factory(name: str, **kwargs) -> Callable[[SimConfig, int, int], Mitigation]:
     """A (config, bank, seed) -> Mitigation factory for the engine."""
 

@@ -43,6 +43,8 @@ class SoftwareDetector(Mitigation):
         "evasion by code patterns and junk bytes against learned "
         "detectors ([5], Section II)",
     )
+    #: fixed ``sample_probability``, independent of ``config.pbase``
+    consumes_pbase: ClassVar[bool] = False
 
     def __init__(
         self,

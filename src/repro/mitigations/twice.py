@@ -43,6 +43,9 @@ class _Entry:
 class TWiCe(Mitigation):
     name: ClassVar[str] = "TWiCe"
     known_vulnerabilities: ClassVar[Tuple[str, ...]] = ()
+    #: deterministic lifetime counters: no RNG, no pbase dependence
+    consumes_rng: ClassVar[bool] = False
+    consumes_pbase: ClassVar[bool] = False
 
     def __init__(self, config: SimConfig, bank: int = 0, seed: int = 0):
         super().__init__(config, bank)

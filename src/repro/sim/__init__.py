@@ -17,6 +17,12 @@ from repro.sim.attacks import (
 )
 from repro.sim.engine import ENGINE_NAMES, get_engine, run_simulation
 from repro.sim.fast_engine import run_simulation_fast
+from repro.sim.fused_engine import (
+    GridCell,
+    grid_cells,
+    run_simulation_fused,
+    run_simulation_grid,
+)
 from repro.sim.experiment import (
     TechniqueAggregate,
     compare_techniques,
@@ -49,9 +55,13 @@ __all__ = [
     "multi_aggressor_experiment",
     "remapped_adjacency_experiment",
     "software_detection_experiment",
+    "GridCell",
     "get_engine",
+    "grid_cells",
     "run_simulation",
     "run_simulation_fast",
+    "run_simulation_fused",
+    "run_simulation_grid",
     "run_technique",
     "sweep_counter_table",
     "sweep_history_table",

@@ -190,6 +190,14 @@ def compare_techniques(
 
     comparison: Dict[str, TechniqueAggregate] = {}
     telemetry_kwargs = dict(tracer=tracer, metrics=metrics, profiler=profiler)
+    if engine == "fused" and tracer is None:
+        # Grid path: every technique rides one decode+replay of the
+        # per-seed trace.  Per-engine tracers are single-cell only, so
+        # a tracer falls through to the per-cell loop below.
+        return _compare_fused(
+            config, cached_factory, names, seeds, include_unmitigated,
+            metrics=metrics, profiler=profiler,
+        )
     if include_unmitigated:
         comparison["none"] = run_technique(
             config, None, cached_factory, seeds, engine=engine,
@@ -200,4 +208,44 @@ def compare_techniques(
             config, name, cached_factory, seeds, engine=engine,
             **telemetry_kwargs,
         )
+    return comparison
+
+
+def _compare_fused(
+    config: SimConfig,
+    trace_factory: TraceFactory,
+    names: Sequence[str],
+    seeds: Sequence[int],
+    include_unmitigated: bool,
+    metrics=None,
+    profiler=None,
+) -> Dict[str, TechniqueAggregate]:
+    """Fused-engine comparison: one grid call per trace seed.
+
+    The paired-trace structure (every technique sees the same per-seed
+    trace) maps exactly onto one fused cell grid per seed: the trace
+    varies with the seed, so the seed axis cannot share a decode, but
+    the whole technique axis can.  Results are bit-identical to the
+    per-cell path -- the differential suite pins it.
+    """
+    from repro.sim.fused_engine import grid_cells, run_simulation_grid
+
+    techniques: List[Optional[str]] = (
+        [None] if include_unmitigated else []
+    ) + list(names)
+    comparison: Dict[str, TechniqueAggregate] = {}
+    for technique in techniques:
+        comparison[technique or "none"] = TechniqueAggregate(
+            technique=technique or "none"
+        )
+    for seed in seeds:
+        with section_of(profiler, "trace:grid"):
+            trace = trace_factory(derive_seed(seed, "trace"))
+        cells = grid_cells(techniques, (seed,), config=config)
+        with section_of(profiler, "technique:grid"):
+            results = run_simulation_grid(
+                config, trace, cells, metrics=metrics, profiler=profiler
+            )
+        for cell, result in zip(cells, results):
+            comparison[cell.technique or "none"].results.append(result)
     return comparison

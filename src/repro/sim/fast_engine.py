@@ -767,6 +767,8 @@ def run_simulation_fast(
                     neighbors = neighbors_of[row] = geometry.neighbors(row)
                 c.pop(row, None)
                 bump = float(done)
+                flips = bank_flips[bank]
+                flips_before = len(flips)
                 for victim in neighbors:
                     before = c.get(victim, 0.0)
                     count = before + bump
@@ -778,7 +780,7 @@ def run_simulation_fast(
                         # counts move in whole +1 steps, so the act at
                         # which the threshold is crossed is computable
                         crossing = flip_threshold - int(before)
-                        bank_flips[bank].append(
+                        flips.append(
                             FlipEvent(
                                 bank=bank,
                                 row=victim,
@@ -786,6 +788,13 @@ def run_simulation_fast(
                                 time_ns=run[crossing - 1][0],
                             )
                         )
+                if len(flips) - flips_before > 1:
+                    # several victims crossed inside one run: the
+                    # reference emits flips in act order, not in victim
+                    # order (timestamps break the tie)
+                    flips[flips_before:] = sorted(
+                        flips[flips_before:], key=lambda f: f.time_ns
+                    )
                 activation_index += done
                 time_now = run[done - 1][0]
                 if tele is not None:

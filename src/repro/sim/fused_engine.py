@@ -1,0 +1,1308 @@
+"""Structure-of-arrays fused engine: one trace pass, a whole cell grid.
+
+The paper's headline numbers are *campaigns*: the same activation trace
+replayed under nine techniques, several seeds, and a pbase grid.  The
+fast engine (:mod:`repro.sim.fast_engine`) evaluates one
+``(technique, seed)`` pair per call, so a campaign decodes and replays
+the identical trace once per cell.  This engine decodes the trace
+**once** into structure-of-arrays form and replays it for the entire
+``(technique, seed, pbase)`` cell grid simultaneously.
+
+Layout and strategy
+-------------------
+
+* **SoA trace tape** -- the record stream is decoded once into parallel
+  ``times / banks / rows / attacks`` arrays plus a precomputed run-length
+  *segment schedule* (maximal runs of identical records, split at
+  refresh-interval boundaries).  Segmentation is cell-independent: the
+  refresh clock is driven purely by record timestamps, so every cell
+  shares one tape.
+* **Cell lanes** -- each *computed* cell owns a lane holding its mutable
+  state (disturbance counters, pending actions, flip events, decider
+  tables).  A lane is a faithful port of the fast-engine replay loop,
+  driven by the shared segment schedule; per-cell RNG streams derive
+  from the existing ``derive_seed(seed, "mitigation", bank)`` scheme, so
+  every lane is bit-identical to a solo reference-engine run.
+* **Cell dedup** -- mitigation classes declare ``consumes_rng`` /
+  ``consumes_pbase`` traits.  TWiCe and CRA consume neither, so their
+  seed x pbase plane collapses to one computed cell; PARA, ProHit and
+  MRLoc ignore ``pbase``, collapsing that axis.  Results are replicated
+  to the requested cells with the ``seed`` field fixed up.
+* **Vectorised deciders** -- the probabilistic techniques pre-draw their
+  Mersenne-Twister ``random()`` values in blocks (the *k*-th draw is the
+  same value eagerly or batched) and scan them as numpy arrays; the
+  table-based techniques (TWiCe, CRA, CaPRoMi) collapse a run of ``n``
+  identical activations into one arithmetic update; ProHit and MRLoc
+  detect their steady table state and scan the remaining draws in bulk.
+
+Exact equivalence to the reference engine on every cell is the
+non-negotiable invariant, enforced by ``tests/sim/test_fused_differential.py``
+via :func:`tests.harness.assert_grid_equivalent`.  numpy is optional:
+without it every scan falls back to the scalar loop (identical results,
+reduced throughput).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+try:  # numpy accelerates the draw scans; the scalar fallback is exact
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
+
+from repro.config import SimConfig
+from repro.controller.controller import MitigationFactory
+from repro.core.capromi import CaPRoMi
+from repro.core.tivapromi import LiPRoMi, LoLiPRoMi, LoPRoMi
+from repro.dram.disturbance import FlipEvent
+from repro.dram.refresh import RefreshPolicy, SequentialRefresh
+from repro.mitigations.base import ActivateNeighbors, Mitigation, RefreshRow
+from repro.mitigations.cra import CRA
+from repro.mitigations.mrloc import MRLoc
+from repro.mitigations.para import PARA
+from repro.mitigations.prohit import ProHit
+from repro.mitigations.registry import (
+    make_factory,
+    resolve_technique,
+    technique_class,
+)
+from repro.mitigations.twice import TWiCe, _Entry
+from repro.rng import derive_seed
+from repro.sim.fast_engine import (
+    _SKIP_THRESHOLD,
+    _GenericDecider,
+    _PARADecider,
+    _TiVaPRoMiDecider,
+)
+from repro.sim.metrics import SimResult
+from repro.telemetry.hooks import EngineTelemetry
+from repro.telemetry.profiler import section_of
+from repro.traces.record import Trace
+
+#: block size for the pre-drawn ``random()`` buffers of the fused
+#: deciders (matches the fast engine's TiVaPRoMi block)
+_BLOCK = 4096
+
+#: sentinel pbase used to canonicalise configs of techniques that do not
+#: consume ``pbase`` when building dedup keys (any valid value works --
+#: it only has to be the *same* value for every such cell)
+_PBASE_DONT_CARE = 0.5
+
+
+# ---------------------------------------------------------------------------
+# public cell grid specification
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One requested cell of the fused campaign grid.
+
+    ``technique`` is a registry name (``None`` = unmitigated baseline);
+    ``config`` optionally overrides the base config (typically only
+    ``pbase`` differs); ``kwargs`` are extra mitigation-factory keyword
+    arguments as a sorted tuple of pairs.
+    """
+
+    technique: Optional[str]
+    seed: int = 0
+    config: Optional[SimConfig] = None
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+
+def grid_cells(
+    techniques: Sequence[Optional[str]],
+    seeds: Sequence[int],
+    pbase_scales: Sequence[float] = (1.0,),
+    config: Optional[SimConfig] = None,
+) -> List[GridCell]:
+    """Build the full ``technique x seed x pbase`` cell grid.
+
+    ``pbase_scales`` multiply ``config.pbase``; duplicate scales (after
+    float coercion, so ``"0.1"`` and ``"1e-1"`` collapse) are dropped.
+    ``config=None`` leaves per-cell configs unset (the grid call's base
+    config applies), which requires ``pbase_scales == (1.0,)``.
+    """
+    scales: List[float] = []
+    for scale in pbase_scales:
+        value = float(scale)
+        if value not in scales:
+            scales.append(value)
+    cells = []
+    for technique in techniques:
+        for seed in seeds:
+            for scale in scales:
+                if scale == 1.0:
+                    cell_config = config
+                elif config is None:
+                    raise ValueError(
+                        "pbase_scales != 1.0 require an explicit config"
+                    )
+                else:
+                    cell_config = config.scaled(pbase=config.pbase * scale)
+                cells.append(
+                    GridCell(technique=technique, seed=seed, config=cell_config)
+                )
+    return cells
+
+
+@dataclass
+class _Plan:
+    """Internal resolved cell: factory + config + dedup key."""
+
+    factory: Optional[MitigationFactory]
+    seed: int
+    config: SimConfig
+    key: Optional[Tuple]  # None = never deduplicated
+
+
+def _plan_cell(cell: GridCell, base_config: SimConfig) -> _Plan:
+    config = cell.config if cell.config is not None else base_config
+    if cell.technique is None:
+        # the unmitigated baseline consumes neither RNG nor pbase
+        key = (None, cell.kwargs, None, replace(config, pbase=_PBASE_DONT_CARE))
+        return _Plan(None, cell.seed, config, key)
+    name = resolve_technique(cell.technique)
+    cls = technique_class(name)
+    factory = make_factory(name, **dict(cell.kwargs))
+    consumes_rng = getattr(cls, "consumes_rng", True)
+    consumes_pbase = getattr(cls, "consumes_pbase", True)
+    eff_seed = cell.seed if consumes_rng else None
+    eff_config = (
+        config if consumes_pbase else replace(config, pbase=_PBASE_DONT_CARE)
+    )
+    key = (name, cell.kwargs, eff_seed, eff_config)
+    return _Plan(factory, cell.seed, config, key)
+
+
+# ---------------------------------------------------------------------------
+# SoA trace tape
+# ---------------------------------------------------------------------------
+
+
+class _Tape:
+    """The decoded trace: SoA record columns plus the segment schedule.
+
+    ``segments`` is a list of ``(start, end, bank, row, is_attack,
+    interval)`` tuples -- maximal runs of identical records that never
+    cross a refresh-interval boundary, exactly the runs the fast engine
+    discovers by peeking ahead.
+    """
+
+    __slots__ = ("times", "segments", "interval_ns", "total_intervals")
+
+    def __init__(self, trace: Trace):
+        meta = trace.meta
+        self.interval_ns = meta.interval_ns
+        self.total_intervals = meta.total_intervals
+        times: List[int] = []
+        banks: List[int] = []
+        rows: List[int] = []
+        attacks: List[bool] = []
+        for record in trace:
+            times.append(record[0])
+            banks.append(record[1])
+            rows.append(record[2])
+            attacks.append(record[3])
+        self.times = times
+        self.segments = self._segment(times, banks, rows, attacks)
+
+    def _segment(self, times, banks, rows, attacks):
+        n = len(times)
+        if n == 0:
+            return []
+        interval_ns = self.interval_ns
+        if _np is not None:
+            ta = _np.asarray(times, dtype=_np.int64)
+            ba = _np.asarray(banks, dtype=_np.int64)
+            ra = _np.asarray(rows, dtype=_np.int64)
+            aa = _np.asarray(attacks, dtype=bool)
+            iv = ta // interval_ns
+            if n > 1:
+                breaks = (
+                    _np.flatnonzero(
+                        (ba[1:] != ba[:-1])
+                        | (ra[1:] != ra[:-1])
+                        | (aa[1:] != aa[:-1])
+                        | (iv[1:] != iv[:-1])
+                    )
+                    + 1
+                ).tolist()
+            else:
+                breaks = []
+            starts = [0] + breaks
+            ends = breaks + [n]
+            return [
+                (s, e, banks[s], rows[s], attacks[s], times[s] // interval_ns)
+                for s, e in zip(starts, ends)
+            ]
+        segments = []
+        start = 0
+        key = (banks[0], rows[0], attacks[0], times[0] // interval_ns)
+        for i in range(1, n):
+            nxt = (banks[i], rows[i], attacks[i], times[i] // interval_ns)
+            if nxt != key:
+                segments.append((start, i) + key)
+                start = i
+                key = nxt
+        segments.append((start, n) + key)
+        return segments
+
+
+# ---------------------------------------------------------------------------
+# fused deciders (all bit-exact ports -- see tests/sim/test_fused_differential)
+# ---------------------------------------------------------------------------
+
+
+class _NumpyScanMixin:
+    """Lazy numpy mirror of a pre-drawn ``random()`` block."""
+
+    def _mirror(self):
+        buf = self._buf
+        if self._arr_src is not buf:
+            self._arr = _np.asarray(buf)
+            self._arr_src = buf
+        return self._arr
+
+
+class _FusedTiVaDecider(_TiVaPRoMiDecider, _NumpyScanMixin):
+    """TiVaPRoMi fast decider with the draw scan vectorised."""
+
+    __slots__ = ("_arr", "_arr_src")
+
+    def __init__(self, mitigation):
+        super().__init__(mitigation)
+        self._arr = None
+        self._arr_src = None
+
+    def decide_run(self, row: int, interval: int, count: int):
+        if _np is None:
+            return super().decide_run(row, interval, count)
+        p = self._probability(row, interval)
+        clean = 0
+        pos = self._pos
+        buf = self._buf
+        while clean < count:
+            if pos >= len(buf):
+                rand = self._rand
+                buf = self._buf = [rand() for _ in range(_BLOCK)]
+                pos = 0
+                if self.telemetry is not None:
+                    self.telemetry.on_rng_block(self.mitigation.bank, _BLOCK)
+            end = pos + (count - clean)
+            if end > len(buf):
+                end = len(buf)
+            if p > 0.0:
+                hits = _np.flatnonzero(self._mirror()[pos:end] < p)
+                if hits.size:
+                    hit = pos + int(hits[0])
+                    clean += hit - pos
+                    self._pos = hit + 1
+                    return clean, self._record_trigger(row, interval)
+            clean += end - pos
+            pos = end
+        self._pos = pos
+        return count, ()
+
+
+class _BufferedVictimDecider(_NumpyScanMixin):
+    """Shared plumbing for the ProHit / MRLoc fused deciders.
+
+    Owns *every* draw of the wrapped mitigation's RNG stream through a
+    pre-filled block buffer (the mitigations only ever call ``random()``,
+    so eager block draws preserve the exact sequence), plus the cached
+    assumed-neighbour lookups.
+    """
+
+    __slots__ = (
+        "mitigation", "telemetry", "name", "_rand", "_buf", "_arr",
+        "_arr_src", "_pos", "_victims",
+    )
+
+    def __init__(self, mitigation: Mitigation):
+        self.mitigation = mitigation
+        self.telemetry = None
+        self.name = mitigation.name
+        self._rand = mitigation._rng.random
+        self._buf: List[float] = []
+        self._arr = None
+        self._arr_src = None
+        self._pos = 0
+        self._victims: Dict[int, Tuple[int, ...]] = {}
+
+    def attach_telemetry(self, telemetry) -> None:
+        self.telemetry = telemetry
+        self.mitigation.telemetry = telemetry
+
+    @property
+    def table_bytes(self) -> int:
+        return self.mitigation.table_bytes
+
+    @property
+    def table_occupancy(self):
+        return getattr(self.mitigation, "table_occupancy", None)
+
+    def _refill(self) -> None:
+        rand = self._rand
+        self._buf = [rand() for _ in range(_BLOCK)]
+        self._pos = 0
+        self._arr_src = None
+        if self.telemetry is not None:
+            self.telemetry.on_rng_block(self.mitigation.bank, _BLOCK)
+
+    def _draw(self) -> float:
+        if self._pos >= len(self._buf):
+            self._refill()
+        value = self._buf[self._pos]
+        self._pos += 1
+        return value
+
+    def _neighbors(self, row: int) -> Tuple[int, ...]:
+        victims = self._victims.get(row)
+        if victims is None:
+            victims = self._victims[row] = (
+                self.mitigation.config.geometry.assumed_neighbors(row)
+            )
+        return victims
+
+    def clear_window(self) -> None:
+        # only reachable for trivial_refresh deciders, whose reference
+        # counterpart keeps its state across window boundaries
+        pass
+
+
+class _FusedProHitDecider(_BufferedVictimDecider):
+    """ProHit with run batching.
+
+    ``on_activation`` never issues actions (all ProHit refreshes come
+    from ``on_refresh``), so a run always decides clean.  Acts are
+    replayed scalar until the hot/cold tables reach a fixed point; the
+    remaining acts then consume ``len(missing)`` draws each against the
+    constant insert probability and are scanned in bulk for the first
+    successful insertion.
+    """
+
+    __slots__ = ()
+
+    trivial_refresh = False  # ProHit refreshes its top hot entry per ref
+
+    def _observe(self, victim: int, trigger_row: int) -> None:
+        # exact port of ProHit._observe_victim with buffered draws
+        m = self.mitigation
+        m._trigger[victim] = trigger_row
+        hot = m._hot
+        if victim in hot:
+            index = hot.index(victim)
+            if index > 0:
+                hot[index - 1], hot[index] = hot[index], hot[index - 1]
+            return
+        cold = m._cold
+        if victim in cold:
+            index = cold.index(victim)
+            if index == 0:
+                m._promote(victim)
+            else:
+                cold[index - 1], cold[index] = cold[index], cold[index - 1]
+            return
+        if self._draw() < m.insert_probability:
+            if len(cold) >= m.cold_entries:
+                dropped = cold.pop()
+                m._trigger.pop(dropped, None)
+            cold.append(victim)
+
+    def on_activation(self, row: int, interval: int):
+        for victim in self._neighbors(row):
+            self._observe(victim, row)
+        return ()
+
+    def on_refresh(self, interval: int):
+        return self.mitigation.on_refresh(interval)  # draw-free
+
+    def decide_run(self, row: int, interval: int, count: int):
+        m = self.mitigation
+        victims = self._neighbors(row)
+        hot = m._hot
+        cold = m._cold
+        p = m.insert_probability
+        i = 0
+        while i < count:
+            before = (tuple(hot), tuple(cold))
+            for victim in victims:
+                self._observe(victim, row)
+            i += 1
+            if i >= count:
+                break
+            if (tuple(hot), tuple(cold)) != before:
+                continue
+            # Fixed point: the previous act changed nothing, so every
+            # further act is identical until an insertion draw succeeds.
+            missing = 0
+            for victim in victims:
+                if victim not in hot and victim not in cold:
+                    missing += 1
+            if missing == 0:
+                # no draws at all -> pure no-ops (the _trigger writes
+                # are idempotent re-assignments of the same value)
+                i = count
+                break
+            if _np is None:
+                continue  # scalar path stays exact, just slower
+            # consume whole clean acts from the current block; the act
+            # containing the first success (or straddling a block
+            # boundary) is replayed scalar at the top of the loop
+            while i < count:
+                if self._pos >= len(self._buf):
+                    self._refill()
+                avail = (len(self._buf) - self._pos) // missing
+                span = min(avail, count - i)
+                if span <= 0:
+                    break
+                start = self._pos
+                stop = start + span * missing
+                hits = _np.flatnonzero(self._mirror()[start:stop] < p)
+                if hits.size:
+                    clean_acts = int(hits[0]) // missing
+                    self._pos = start + clean_acts * missing
+                    i += clean_acts
+                    break
+                self._pos = stop
+                i += span
+        return count, ()
+
+
+class _FusedMRLocDecider(_BufferedVictimDecider):
+    """MRLoc with run batching.
+
+    Every victim lookup draws exactly once, so a run consumes a fixed
+    number of draws per act.  Once the recency queue reaches its steady
+    cycle (one scalar act leaves it unchanged) the per-victim
+    probabilities are constant and the draws are scanned in bulk for the
+    first refresh trigger.
+    """
+
+    __slots__ = ()
+
+    trivial_refresh = True  # MRLoc inherits the no-op on_refresh
+
+    def _act(self, row: int, victims: Tuple[int, ...]):
+        # exact port of MRLoc.on_activation with buffered draws
+        m = self.mitigation
+        queue = m._queue
+        base = m.base_probability
+        boost = m.max_boost
+        actions = None
+        for victim in victims:
+            length = len(queue)
+            probability = base
+            if length:
+                try:
+                    position = list(queue).index(victim)
+                except ValueError:
+                    position = -1
+                if position >= 0:
+                    recency = (position + 1) / length
+                    probability = base * (1.0 + (boost - 1.0) * recency)
+                    if probability > 1.0:
+                        probability = 1.0
+            if self._draw() < probability:
+                if actions is None:
+                    actions = []
+                actions.append(RefreshRow(row=victim, trigger_row=row))
+            if victim in queue:
+                queue.remove(victim)
+            queue.append(victim)
+        return tuple(actions) if actions else ()
+
+    def on_activation(self, row: int, interval: int):
+        return self._act(row, self._neighbors(row))
+
+    def on_refresh(self, interval: int):
+        return ()
+
+    def _steady_pattern(self, victims: Tuple[int, ...]) -> List[float]:
+        """Per-victim probabilities of one act in the steady state."""
+        m = self.mitigation
+        queue = list(m._queue)
+        base = m.base_probability
+        boost = m.max_boost
+        pattern = []
+        for victim in victims:
+            length = len(queue)
+            probability = base
+            if length:
+                try:
+                    position = queue.index(victim)
+                except ValueError:
+                    position = -1
+                if position >= 0:
+                    recency = (position + 1) / length
+                    probability = base * (1.0 + (boost - 1.0) * recency)
+                    if probability > 1.0:
+                        probability = 1.0
+            pattern.append(probability)
+            if victim in queue:
+                queue.remove(victim)
+            queue.append(victim)
+        return pattern
+
+    def decide_run(self, row: int, interval: int, count: int):
+        victims = self._neighbors(row)
+        queue = self.mitigation._queue
+        width = len(victims)
+        i = 0
+        while i < count:
+            before = tuple(queue)
+            actions = self._act(row, victims)
+            i += 1
+            if actions:
+                return i - 1, actions
+            if i >= count:
+                break
+            if tuple(queue) != before:
+                continue
+            if _np is None:
+                continue
+            pattern = _np.asarray(self._steady_pattern(victims))
+            # consume whole clean acts; the act containing the first
+            # trigger draw (or straddling a block) replays scalar above
+            while i < count:
+                if self._pos >= len(self._buf):
+                    self._refill()
+                avail = (len(self._buf) - self._pos) // width
+                span = min(avail, count - i)
+                if span <= 0:
+                    break
+                start = self._pos
+                stop = start + span * width
+                window = self._mirror()[start:stop].reshape(span, width)
+                hits = _np.flatnonzero((window < pattern).ravel())
+                if hits.size:
+                    clean_acts = int(hits[0]) // width
+                    self._pos = start + clean_acts * width
+                    i += clean_acts
+                    break
+                self._pos = stop
+                i += span
+        return count, ()
+
+
+class _TableDecider:
+    """Shared plumbing for the draw-free table deciders (TWiCe, CRA,
+    CaPRoMi): decisions delegate to the real mitigation object, runs
+    collapse into one arithmetic update on its tables."""
+
+    __slots__ = ("mitigation", "telemetry", "name")
+
+    trivial_refresh = False  # all three mutate state on every ``ref``
+
+    def __init__(self, mitigation: Mitigation):
+        self.mitigation = mitigation
+        self.telemetry = None
+        self.name = mitigation.name
+
+    def attach_telemetry(self, telemetry) -> None:
+        self.telemetry = telemetry
+        self.mitigation.telemetry = telemetry
+
+    @property
+    def table_bytes(self) -> int:
+        return self.mitigation.table_bytes
+
+    @property
+    def table_occupancy(self):
+        return getattr(self.mitigation, "table_occupancy", None)
+
+    def on_activation(self, row: int, interval: int):
+        return self.mitigation.on_activation(row, interval)
+
+    def on_refresh(self, interval: int):
+        return self.mitigation.on_refresh(interval)
+
+    def clear_window(self) -> None:  # pragma: no cover - non-trivial refresh
+        pass
+
+
+class _FusedTWiCeDecider(_TableDecider):
+    """TWiCe run batching: a counter either stays below the trigger
+    threshold for the whole run (one ``+= n``) or crosses it at an
+    arithmetically recoverable act."""
+
+    __slots__ = ()
+
+    def decide_run(self, row: int, interval: int, count: int):
+        m = self.mitigation
+        table = m._table
+        entry = table.get(row)
+        if entry is None:
+            entry = _Entry()
+            table[row] = entry
+            if len(table) > m.max_occupancy:
+                m.max_occupancy = len(table)
+        need = m.trigger_threshold - entry.count
+        if need > count:
+            entry.count += count
+            return count, ()
+        entry.count = 0
+        return need - 1, (ActivateNeighbors(row=row),)
+
+
+class _FusedCRADecider(_TableDecider):
+    """CRA run batching (same arithmetic as TWiCe, sparse counters)."""
+
+    __slots__ = ()
+
+    def decide_run(self, row: int, interval: int, count: int):
+        m = self.mitigation
+        counters = m._counters
+        current = counters.get(row, 0)
+        need = m.trigger_threshold - current
+        if need > count:
+            counters[row] = current + count
+            return count, ()
+        counters.pop(row, None)
+        return need - 1, (ActivateNeighbors(row=row),)
+
+
+class _FusedCaPRoMiDecider(_TableDecider):
+    """CaPRoMi run batching.
+
+    Activations only observe (no draws, no actions): the first
+    observation of a run inserts/evicts exactly like the reference, the
+    rest collapse into one count update.  The history link is constant
+    across the run (the history table only changes at ``ref``) and
+    re-assignments are idempotent.
+    """
+
+    __slots__ = ()
+
+    def decide_run(self, row: int, interval: int, count: int):
+        m = self.mitigation
+        link = m.history.lookup_index(row)
+        entry = m.counters.observe(row, history_link=link)
+        if count > 1:
+            if entry is None:
+                # table full of locked entries: every further observe of
+                # this row drops too (no draws -- nothing is unlocked)
+                m.counters.dropped += count - 1
+            else:
+                entry.count += count - 1
+                if entry.count >= m.counters.lock_threshold:
+                    entry.locked = True
+        return count, ()
+
+
+def _make_fused_decider(mitigation: Mitigation):
+    kind = type(mitigation)
+    if kind in (LiPRoMi, LoPRoMi, LoLiPRoMi):
+        if _np is None:
+            return _TiVaPRoMiDecider(mitigation)
+        return _FusedTiVaDecider(mitigation)
+    if kind is PARA:
+        return _PARADecider(mitigation)
+    if kind is ProHit:
+        return _FusedProHitDecider(mitigation)
+    if kind is MRLoc:
+        return _FusedMRLocDecider(mitigation)
+    if kind is TWiCe:
+        return _FusedTWiCeDecider(mitigation)
+    if kind is CRA:
+        return _FusedCRADecider(mitigation)
+    if kind is CaPRoMi:
+        return _FusedCaPRoMiDecider(mitigation)
+    # unknown techniques run as real Mitigation objects: equivalence by
+    # construction, per-record replay (no run batching)
+    return _GenericDecider(mitigation)
+
+
+# ---------------------------------------------------------------------------
+# the shared tape context and per-cell lanes
+# ---------------------------------------------------------------------------
+
+
+class _Shared:
+    """Read-only state shared by every lane of one grid call."""
+
+    __slots__ = (
+        "geometry", "policy", "sequential", "refint", "rows_per_interval",
+        "interval_ns", "total_intervals", "times", "neighbors_of",
+        "second_of", "stop_after_first_trigger", "max_activations",
+        "_refresh_rows",
+    )
+
+    def __init__(self, geometry, policy, tape, stop_after_first_trigger,
+                 max_activations):
+        self.geometry = geometry
+        self.policy = policy
+        self.sequential = type(policy) is SequentialRefresh
+        self.refint = geometry.refint
+        self.rows_per_interval = geometry.rows_per_interval
+        self.interval_ns = tape.interval_ns
+        self.total_intervals = tape.total_intervals
+        self.times = tape.times
+        self.neighbors_of: Dict[int, Tuple[int, ...]] = {}
+        self.second_of: Dict[int, List[int]] = {}
+        self.stop_after_first_trigger = stop_after_first_trigger
+        self.max_activations = max_activations
+        self._refresh_rows: Dict[int, List[int]] = {}
+
+    def refresh_rows(self, slot: int) -> List[int]:
+        rows = self._refresh_rows.get(slot)
+        if rows is None:
+            rows = self._refresh_rows[slot] = list(
+                self.policy.rows_for_interval(slot)
+            )
+        return rows
+
+
+class _Lane:
+    """One computed cell: a faithful port of the fast-engine replay loop
+    driven by the shared segment schedule."""
+
+    __slots__ = (
+        "sh", "config", "seed", "deciders", "tele", "technique",
+        "flip_threshold", "distance2", "plain_disturbance", "all_trivial",
+        "can_batch", "counters", "bank_flips", "aggressors",
+        "max_disturbance", "extra_activations", "fp_extra_activations",
+        "mitigation_triggers", "max_occupancy", "pending", "time_now",
+        "current_interval", "activation_index", "attack_activations",
+        "first_trigger", "stopped",
+    )
+
+    def __init__(self, shared: _Shared, factory, seed: int,
+                 config: SimConfig, tele):
+        self.sh = shared
+        self.config = config
+        self.seed = seed
+        num_banks = shared.geometry.num_banks
+        if factory is None:
+            self.deciders: List = []
+        else:
+            self.deciders = [
+                _make_fused_decider(
+                    factory(config, bank, derive_seed(seed, "mitigation", bank))
+                )
+                for bank in range(num_banks)
+            ]
+        self.tele = tele
+        if tele is not None:
+            for decider in self.deciders:
+                decider.attach_telemetry(tele)
+        self.technique = self.deciders[0].name if self.deciders else "none"
+        self.flip_threshold = config.flip_threshold
+        self.distance2 = config.distance2_rate
+        self.plain_disturbance = self.distance2 == 0.0
+        self.all_trivial = all(d.trivial_refresh for d in self.deciders)
+        self.can_batch = self.plain_disturbance and all(
+            hasattr(d, "decide_run") for d in self.deciders
+        )
+        self.counters: List[Dict[int, float]] = [
+            {} for _ in range(num_banks)
+        ]
+        self.bank_flips: List[List[FlipEvent]] = [[] for _ in range(num_banks)]
+        self.aggressors: List[Set[int]] = [set() for _ in range(num_banks)]
+        self.max_disturbance = 0
+        self.extra_activations = 0
+        self.fp_extra_activations = 0
+        self.mitigation_triggers = 0
+        self.max_occupancy = 0
+        self.pending: List[Tuple[int, object, bool]] = []
+        self.time_now = 0
+        self.current_interval = -1
+        self.activation_index = 0
+        self.attack_activations = 0
+        self.first_trigger: Optional[int] = None
+        self.stopped = False
+
+    # -- device mirror (ports of the fast-engine closures) -------------
+
+    def do_activation(self, bank: int, row: int) -> None:
+        sh = self.sh
+        c = self.counters[bank]
+        flips = self.bank_flips[bank]
+        flip_threshold = self.flip_threshold
+        neighbors = sh.neighbors_of.get(row)
+        if neighbors is None:
+            neighbors = sh.neighbors_of[row] = sh.geometry.neighbors(row)
+        c.pop(row, None)
+        for victim in neighbors:
+            before = c.get(victim, 0.0)
+            count = before + 1.0
+            c[victim] = count
+            whole = int(count)
+            if whole > self.max_disturbance:
+                self.max_disturbance = whole
+            if before < flip_threshold <= count:
+                flips.append(
+                    FlipEvent(bank=bank, row=victim, count=whole,
+                              time_ns=self.time_now)
+                )
+        if self.distance2 > 0.0:
+            seconds = sh.second_of.get(row)
+            if seconds is None:
+                seconds = sh.second_of[row] = [
+                    second
+                    for neighbor in neighbors
+                    for second in sh.geometry.neighbors(neighbor)
+                    if second != row
+                ]
+            for victim in seconds:
+                before = c.get(victim, 0.0)
+                count = before + self.distance2
+                c[victim] = count
+                whole = int(count)
+                if whole > self.max_disturbance:
+                    self.max_disturbance = whole
+                if before < flip_threshold <= count:
+                    flips.append(
+                        FlipEvent(bank=bank, row=victim, count=whole,
+                                  time_ns=self.time_now)
+                    )
+
+    def apply_pending(self) -> None:
+        sh = self.sh
+        tele = self.tele
+        for bank, action, was_attack in self.pending:
+            self.mitigation_triggers += 1
+            if isinstance(action, RefreshRow):
+                self.do_activation(bank, action.row)
+                cost = 1
+            else:  # ActivateNeighbors
+                row = action.row
+                neighbors = sh.neighbors_of.get(row)
+                if neighbors is None:
+                    neighbors = sh.neighbors_of[row] = sh.geometry.neighbors(row)
+                for victim in neighbors:
+                    self.do_activation(bank, victim)
+                cost = len(neighbors)
+            self.extra_activations += cost
+            if not was_attack:
+                self.fp_extra_activations += cost
+            if tele is not None:
+                tele.on_apply(
+                    bank, action.row, self.current_interval, cost, not was_attack
+                )
+        self.pending.clear()
+
+    def enqueue(self, bank: int, actions) -> None:
+        tele = self.tele
+        bank_aggressors = self.aggressors[bank]
+        pending = self.pending
+        for action in actions:
+            pending.append((bank, action, action.trigger_row in bank_aggressors))
+            if tele is not None:
+                tele.on_trigger(
+                    bank, action.row, self.current_interval,
+                    type(action).__name__,
+                )
+        if len(pending) > self.max_occupancy:
+            self.max_occupancy = len(pending)
+
+    def refresh_tick(self) -> None:
+        sh = self.sh
+        if self.pending:
+            self.apply_pending()
+        self.current_interval += 1
+        rows = sh.refresh_rows(self.current_interval % sh.refint)
+        for c in self.counters:
+            for row in rows:
+                c.pop(row, None)
+        for bank, decider in enumerate(self.deciders):
+            actions = decider.on_refresh(self.current_interval)
+            if actions:
+                self.enqueue(bank, actions)
+        if self.pending:
+            self.apply_pending()
+        if self.tele is not None:
+            self.tele.on_interval(
+                self.current_interval,
+                self.current_interval * sh.interval_ns,
+                self.activation_index,
+                self.attack_activations,
+                [decider.table_occupancy for decider in self.deciders],
+            )
+
+    def skip_to(self, target: int) -> None:
+        sh = self.sh
+        if self.pending:
+            self.apply_pending()
+        first_skipped = self.current_interval + 1
+        span = target - self.current_interval
+        refint = sh.refint
+        if span >= refint:
+            for c in self.counters:
+                c.clear()
+            boundary = True
+        else:
+            lo = (self.current_interval + 1) % refint
+            hi = target % refint
+            wrapped = lo > hi
+            boundary = wrapped or lo == 0
+            rows_per_interval = sh.rows_per_interval
+            sequential = sh.sequential
+            policy = sh.policy
+            for c in self.counters:
+                if not c:
+                    continue
+                doomed = []
+                for row in c:
+                    slot = (
+                        row // rows_per_interval
+                        if sequential
+                        else policy.refresh_slot_of(row)
+                    )
+                    covered = (
+                        (slot >= lo or slot <= hi)
+                        if wrapped
+                        else lo <= slot <= hi
+                    )
+                    if covered:
+                        doomed.append(row)
+                for row in doomed:
+                    del c[row]
+        if boundary:
+            for decider in self.deciders:
+                decider.clear_window()
+        self.current_interval = target
+        if self.tele is not None:
+            self.tele.on_interval_skip(
+                first_skipped, target, target * sh.interval_ns
+            )
+
+    def advance_to(self, interval: int) -> None:
+        if interval <= self.current_interval:
+            return
+        if self.all_trivial and interval - self.current_interval > _SKIP_THRESHOLD:
+            self.skip_to(interval)
+        else:
+            while self.current_interval < interval:
+                self.refresh_tick()
+
+    # -- the replay loop ------------------------------------------------
+
+    def process_segment(self, start: int, end: int, bank: int, row: int,
+                        is_attack: bool, interval: int) -> None:
+        sh = self.sh
+        self.advance_to(interval)
+        times = sh.times
+        tele = self.tele
+        max_acts = sh.max_activations
+        neighbors_of = sh.neighbors_of
+        i = start
+        while i < end:
+            t = times[i]
+            self.time_now = t
+            if tele is not None:
+                tele.now = t
+            if self.pending:
+                self.apply_pending()
+            remaining = end - i
+            if (
+                remaining >= 2
+                and self.can_batch
+                and (self.first_trigger is not None
+                     or self.mitigation_triggers == 0)
+            ):
+                room = -1 if max_acts is None else max_acts - self.activation_index
+                if room != 1:
+                    length = (
+                        remaining if room < 0 or remaining <= room else room
+                    )
+                    if self.deciders:
+                        clean, actions = self.deciders[bank].decide_run(
+                            row, self.current_interval, length
+                        )
+                        done = length if clean == length else clean + 1
+                    else:
+                        actions = ()
+                        done = length
+                    if is_attack:
+                        self.aggressors[bank].add(row)
+                        self.attack_activations += done
+                    c = self.counters[bank]
+                    neighbors = neighbors_of.get(row)
+                    if neighbors is None:
+                        neighbors = neighbors_of[row] = sh.geometry.neighbors(row)
+                    c.pop(row, None)
+                    bump = float(done)
+                    flip_threshold = self.flip_threshold
+                    flips = self.bank_flips[bank]
+                    flips_before = len(flips)
+                    for victim in neighbors:
+                        before = c.get(victim, 0.0)
+                        count = before + bump
+                        c[victim] = count
+                        whole = int(count)
+                        if whole > self.max_disturbance:
+                            self.max_disturbance = whole
+                        if before < flip_threshold <= count:
+                            crossing = flip_threshold - int(before)
+                            flips.append(
+                                FlipEvent(
+                                    bank=bank,
+                                    row=victim,
+                                    count=flip_threshold,
+                                    time_ns=times[i + crossing - 1],
+                                )
+                            )
+                    if len(flips) - flips_before > 1:
+                        # several victims crossed inside one run: the
+                        # reference emits flips in act order, not in
+                        # victim order (timestamps break the tie)
+                        flips[flips_before:] = sorted(
+                            flips[flips_before:], key=lambda f: f.time_ns
+                        )
+                    self.activation_index += done
+                    self.time_now = times[i + done - 1]
+                    if tele is not None:
+                        tele.now = self.time_now
+                    if actions:
+                        self.enqueue(bank, actions)
+                    i += done
+                    if max_acts is not None and self.activation_index >= max_acts:
+                        self.stopped = True
+                        return
+                    continue
+            # per-record path (mirror of the fast engine's tail)
+            if is_attack:
+                self.aggressors[bank].add(row)
+                self.attack_activations += 1
+            if self.plain_disturbance:
+                c = self.counters[bank]
+                neighbors = neighbors_of.get(row)
+                if neighbors is None:
+                    neighbors = neighbors_of[row] = sh.geometry.neighbors(row)
+                c.pop(row, None)
+                flip_threshold = self.flip_threshold
+                for victim in neighbors:
+                    before = c.get(victim, 0.0)
+                    count = before + 1.0
+                    c[victim] = count
+                    whole = int(count)
+                    if whole > self.max_disturbance:
+                        self.max_disturbance = whole
+                    if before < flip_threshold <= count:
+                        self.bank_flips[bank].append(
+                            FlipEvent(bank=bank, row=victim, count=whole,
+                                      time_ns=t)
+                        )
+            else:
+                self.do_activation(bank, row)
+            if self.deciders:
+                actions = self.deciders[bank].on_activation(
+                    row, self.current_interval
+                )
+                if actions:
+                    self.enqueue(bank, actions)
+            self.activation_index += 1
+            if self.first_trigger is None and self.mitigation_triggers > 0:
+                self.first_trigger = self.activation_index
+                if sh.stop_after_first_trigger:
+                    self.stopped = True
+                    return
+            if max_acts is not None and self.activation_index >= max_acts:
+                self.stopped = True
+                return
+            i += 1
+
+    def drain(self) -> None:
+        sh = self.sh
+        if not (sh.stop_after_first_trigger and self.first_trigger):
+            if (
+                self.all_trivial
+                and sh.total_intervals - 1 - self.current_interval
+                > _SKIP_THRESHOLD
+            ):
+                self.skip_to(sh.total_intervals - 1)
+            else:
+                while self.current_interval < sh.total_intervals - 1:
+                    self.refresh_tick()
+        if self.pending:
+            self.apply_pending()
+        if self.tele is not None:
+            self.tele.finish(self.activation_index, self.attack_activations)
+
+    def result(self) -> SimResult:
+        flips: List[FlipEvent] = []
+        for events in self.bank_flips:
+            flips.extend(events)
+        out = SimResult(
+            technique=self.technique,
+            seed=self.seed,
+            flip_threshold=self.flip_threshold,
+        )
+        out.normal_activations = self.activation_index
+        out.attack_activations = self.attack_activations
+        out.extra_activations = self.extra_activations
+        out.fp_extra_activations = self.fp_extra_activations
+        out.mitigation_triggers = self.mitigation_triggers
+        out.flips = flips
+        out.max_disturbance = self.max_disturbance
+        out.intervals_simulated = self.current_interval + 1
+        out.first_trigger_activation = self.first_trigger
+        out.max_rh_buffer_occupancy = self.max_occupancy
+        if self.deciders:
+            out.table_bytes = self.deciders[0].table_bytes
+        return out
+
+
+# ---------------------------------------------------------------------------
+# grid runner
+# ---------------------------------------------------------------------------
+
+
+def _run_plans(
+    config: SimConfig,
+    trace: Trace,
+    plans: List[_Plan],
+    refresh_policy: Optional[RefreshPolicy],
+    stop_after_first_trigger: bool,
+    max_activations: Optional[int],
+    tracer,
+    metrics,
+    profiler,
+) -> List[SimResult]:
+    started = time.perf_counter()
+    geometry = config.geometry
+    policy = (
+        refresh_policy if refresh_policy is not None
+        else SequentialRefresh(geometry)
+    )
+    if policy.geometry is not geometry:
+        raise ValueError("refresh policy geometry differs from device geometry")
+    if tracer is not None and getattr(tracer, "enabled", True) and len(plans) > 1:
+        raise ValueError(
+            "a tracer records one event stream; attach it to a single-cell "
+            "run (use metrics for fused multi-cell aggregation)"
+        )
+    for plan in plans:
+        if plan.config.geometry != geometry:
+            raise ValueError(
+                "fused cells must share the base geometry "
+                f"(cell technique={plan.factory and getattr(plan.factory, 'technique_name', '?')})"
+            )
+        if plan.config.timing != config.timing:
+            raise ValueError("fused cells must share the base timing")
+
+    with section_of(profiler, "engine:decode"):
+        tape = _Tape(trace)
+    shared = _Shared(
+        geometry, policy, tape, stop_after_first_trigger, max_activations
+    )
+
+    with section_of(profiler, "engine:setup"):
+        lanes: List[_Lane] = []
+        assign: List[int] = []
+        owners: Dict[Tuple, int] = {}
+        for plan in plans:
+            if plan.key is not None and plan.key in owners:
+                assign.append(owners[plan.key])
+                continue
+            tele = EngineTelemetry.create(
+                tracer if len(plans) == 1 else None, metrics
+            )
+            lane = _Lane(shared, plan.factory, plan.seed, plan.config, tele)
+            index = len(lanes)
+            lanes.append(lane)
+            if plan.key is not None:
+                owners[plan.key] = index
+            assign.append(index)
+
+    if metrics is not None:
+        metrics.counter("fused.cells_requested").add(len(plans))
+        metrics.counter("fused.cells_computed").add(len(lanes))
+        metrics.counter("fused.cells_deduped").add(len(plans) - len(lanes))
+        metrics.counter("fused.segments").add(len(tape.segments))
+        metrics.counter("fused.records").add(len(tape.times))
+
+    replay_started = time.perf_counter()
+    active = list(lanes)
+    for segment in tape.segments:
+        start, end, bank, row, is_attack, interval = segment
+        stopped_any = False
+        for lane in active:
+            lane.process_segment(start, end, bank, row, is_attack, interval)
+            if lane.stopped:
+                stopped_any = True
+        if stopped_any:
+            active = [lane for lane in active if not lane.stopped]
+            if not active:
+                break
+    if profiler is not None:
+        profiler.add("engine:replay", time.perf_counter() - replay_started)
+
+    with section_of(profiler, "engine:drain"):
+        for lane in lanes:
+            lane.drain()
+
+    wall = time.perf_counter() - started
+    computed = [lane.result() for lane in lanes]
+    results: List[SimResult] = []
+    for plan, index in zip(plans, assign):
+        base = computed[index]
+        if base.seed == plan.seed and all(
+            j == index or computed[j] is not base for j in range(len(computed))
+        ) and assign.count(index) == 1:
+            result = base
+        else:
+            # deduplicated replica: same simulation outcome, the cell's
+            # own seed, and a private flips list
+            result = replace(base, seed=plan.seed, flips=list(base.flips))
+        result.wall_seconds = wall
+        results.append(result)
+    return results
+
+
+def run_simulation_grid(
+    config: SimConfig,
+    trace: Trace,
+    cells: Sequence[GridCell],
+    refresh_policy: Optional[RefreshPolicy] = None,
+    stop_after_first_trigger: bool = False,
+    max_activations: Optional[int] = None,
+    tracer=None,
+    metrics=None,
+    profiler=None,
+) -> List[SimResult]:
+    """Evaluate every grid *cell* in a single decode+replay of *trace*.
+
+    Returns one :class:`SimResult` per cell, in cell order, each
+    bit-identical (except ``wall_seconds``, which carries the wall time
+    of the whole grid call) to a solo :func:`repro.sim.engine.run_simulation`
+    of that cell.  The trace is consumed exactly once, so lazy traces
+    are safe; the *seed* axis only re-seeds the mitigations -- callers
+    whose traces vary per seed must issue one grid call per trace.
+    """
+    plans = [_plan_cell(cell, config) for cell in cells]
+    return _run_plans(
+        config, trace, plans, refresh_policy, stop_after_first_trigger,
+        max_activations, tracer, metrics, profiler,
+    )
+
+
+def run_simulation_fused(
+    config: SimConfig,
+    trace: Trace,
+    mitigation_factory: Optional[MitigationFactory],
+    seed: int = 0,
+    refresh_policy: Optional[RefreshPolicy] = None,
+    stop_after_first_trigger: bool = False,
+    max_activations: Optional[int] = None,
+    tracer=None,
+    metrics=None,
+    profiler=None,
+) -> SimResult:
+    """Single-cell fused run -- the ``--engine fused`` entry point.
+
+    Drop-in compatible with :func:`repro.sim.engine.run_simulation`; the
+    grid machinery degenerates to one lane.  Accepts arbitrary
+    mitigation factories (unknown techniques replay per-record through
+    the real ``Mitigation`` object, exactly like the fast engine).
+    """
+    plans = [_Plan(mitigation_factory, seed, config, None)]
+    return _run_plans(
+        config, trace, plans, refresh_policy, stop_after_first_trigger,
+        max_activations, tracer, metrics, profiler,
+    )[0]

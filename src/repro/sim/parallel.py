@@ -221,6 +221,51 @@ def _run_chunk(chunk: List[CampaignJob]) -> List[JobOutcome]:
     return [_run_job(job) for job in chunk]
 
 
+@dataclass(frozen=True)
+class _FusedBlock:
+    """One fused cell-block: every technique of one seed, one replay.
+
+    The fused engine's sharding unit -- the trace axis stays per seed
+    (each seed has its own trace), while the whole technique axis of
+    that seed rides a single decode+replay.  Picklable for the pool.
+    """
+
+    config: SimConfig
+    techniques: Tuple[Optional[str], ...]
+    seed: int
+    total_intervals: int
+    workload_kwargs: tuple = ()
+    trace_path: Optional[str] = None
+    collect_metrics: bool = False
+
+
+def _run_block(block: _FusedBlock) -> List[JobOutcome]:
+    from repro.sim.fused_engine import GridCell, run_simulation_grid
+
+    if block.trace_path is not None:
+        trace = load_trace_npz(block.trace_path)
+    else:
+        trace = paper_mixed_workload(
+            block.config,
+            total_intervals=block.total_intervals,
+            seed=derive_seed(block.seed, "trace"),
+            **dict(block.workload_kwargs),
+        )
+    metrics = MetricsRegistry() if block.collect_metrics else None
+    cells = [
+        GridCell(technique=name, seed=block.seed)
+        for name in block.techniques
+    ]
+    results = run_simulation_grid(block.config, trace, cells, metrics=metrics)
+    outcomes: List[JobOutcome] = []
+    for cell, result in zip(cells, results):
+        outcomes.append((cell.technique or "none", block.seed, result, metrics))
+        # the block shares one engine replay, so its registry ships on
+        # the first outcome only -- merging it once, not per cell
+        metrics = None
+    return outcomes
+
+
 def _map_chunk(fn: Callable[[Any], Any], chunk: List[Any]) -> List[Any]:
     return [fn(item) for item in chunk]
 
@@ -582,7 +627,61 @@ def run_campaign(
         total = len(jobs)
         outcomes: List[Optional[JobOutcome]] = [None] * total
         done = 0
-        if workers == 0:
+        # Fused cell-blocks: one replay per seed covers that seed's whole
+        # technique axis.  Retry / fault-injection need per-shard
+        # attribution and a tracer is single-cell by contract, so those
+        # modes keep the per-cell jobs below (the fused single-cell
+        # wrapper still runs there via ``get_engine``).
+        use_blocks = (
+            engine == "fused"
+            and retry is None
+            and fault_injector is None
+            and not tracer_enabled
+        )
+        if use_blocks:
+            index_of = {
+                (name or "none", seed): index
+                for index, (name, seed) in enumerate(pair_list)
+            }
+            seed_names: Dict[int, List[Optional[str]]] = {}
+            for name, seed in pair_list:
+                seed_names.setdefault(seed, []).append(name)
+            blocks = [
+                _FusedBlock(
+                    config=config,
+                    techniques=tuple(block_names),
+                    seed=seed,
+                    total_intervals=total_intervals,
+                    workload_kwargs=frozen_kwargs,
+                    trace_path=trace_paths.get(seed),
+                    collect_metrics=metrics is not None,
+                )
+                for seed, block_names in seed_names.items()
+            ]
+
+            def place(block_outcomes: List[JobOutcome]) -> None:
+                nonlocal done
+                for outcome in block_outcomes:
+                    outcomes[index_of[(outcome[0], outcome[1])]] = outcome
+                    if shard_callback is not None:
+                        shard_callback(outcome, 1)
+                done += len(block_outcomes)
+                if progress is not None:
+                    progress(done, total)
+
+            if workers == 0:
+                with section_of(profiler, "campaign:inline"):
+                    for block in blocks:
+                        place(_run_block(block))
+            else:
+                with section_of(profiler, "campaign:pool"):
+                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                        block_futures = [
+                            pool.submit(_run_block, block) for block in blocks
+                        ]
+                        for future in as_completed(block_futures):
+                            place(future.result())
+        elif workers == 0:
             with section_of(profiler, "campaign:inline"):
                 outcomes = _dispatch_inline(
                     jobs,

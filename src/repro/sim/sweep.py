@@ -21,9 +21,25 @@ def _unique(values: Sequence) -> List:
 
     Sweep grids come from CLI lists and config files where repeated
     values are easy to produce; simulating a duplicated design point
-    twice would waste a full multi-seed campaign per duplicate.
+    twice would waste a full multi-seed campaign per duplicate.  Values
+    are canonicalised to ``float`` before hashing so spellings of the
+    same number (``"0.1"`` vs ``"1e-1"`` out of a config file, ``1`` vs
+    ``1.0``) collapse to one design point -- without this, a fused
+    pbase sweep would carry duplicate cells through the whole grid.
+    The *first-seen* original value is kept, so integer grids stay
+    integers.
     """
-    return list(dict.fromkeys(values))
+    seen = set()
+    unique = []
+    for value in values:
+        try:
+            key = float(value)
+        except (TypeError, ValueError):
+            key = value
+        if key not in seen:
+            seen.add(key)
+            unique.append(value)
+    return unique
 
 
 @dataclass
@@ -50,8 +66,11 @@ def _measure(
     value: float,
     check_flooding: bool,
     flood_seeds: Sequence[int],
+    engine: str = "reference",
 ) -> SweepPoint:
-    aggregate = run_technique(config, technique, trace_factory, seeds)
+    aggregate = run_technique(
+        config, technique, trace_factory, seeds, engine=engine
+    )
     flood_median = None
     if check_flooding:
         outcome = flooding_experiment(config, technique, seeds=flood_seeds)
@@ -75,6 +94,7 @@ def sweep_history_table(
     seeds: Sequence[int] = (0, 1),
     check_flooding: bool = False,
     flood_seeds: Sequence[int] = (0, 1, 2),
+    engine: str = "reference",
 ) -> List[SweepPoint]:
     """History-table entries vs overhead (paper's fixed point: 32)."""
     points = []
@@ -84,6 +104,7 @@ def sweep_history_table(
             _measure(
                 cfg, technique, trace_factory, seeds,
                 "history_table_entries", size, check_flooding, flood_seeds,
+                engine=engine,
             )
         )
     return points
@@ -96,6 +117,7 @@ def sweep_counter_table(
     seeds: Sequence[int] = (0, 1),
     check_flooding: bool = False,
     flood_seeds: Sequence[int] = (0, 1, 2),
+    engine: str = "reference",
 ) -> List[SweepPoint]:
     """CaPRoMi counter-table entries (paper's fixed point: 64)."""
     points = []
@@ -105,6 +127,7 @@ def sweep_counter_table(
             _measure(
                 cfg, "CaPRoMi", trace_factory, seeds,
                 "counter_table_entries", size, check_flooding, flood_seeds,
+                engine=engine,
             )
         )
     return points
@@ -118,15 +141,75 @@ def sweep_pbase(
     seeds: Sequence[int] = (0, 1),
     check_flooding: bool = True,
     flood_seeds: Sequence[int] = (0, 1, 2),
+    engine: str = "reference",
 ) -> List[SweepPoint]:
-    """``Pbase`` scaling: overhead grows, flood reaction time shrinks."""
+    """``Pbase`` scaling: overhead grows, flood reaction time shrinks.
+
+    With ``engine="fused"`` the whole scale axis rides one fused grid
+    per trace seed (the pbase axis is a native fused-grid dimension),
+    instead of one engine call per (scale, seed) pair.
+    """
+    scales = _unique(scales)
+    if engine == "fused":
+        return _sweep_pbase_fused(
+            config, trace_factory, technique, scales, seeds,
+            check_flooding, flood_seeds,
+        )
     points = []
-    for scale in _unique(scales):
+    for scale in scales:
         cfg = config.scaled(pbase=config.pbase * scale)
         points.append(
             _measure(
                 cfg, technique, trace_factory, seeds,
                 "pbase_scale", scale, check_flooding, flood_seeds,
+                engine=engine,
+            )
+        )
+    return points
+
+
+def _sweep_pbase_fused(
+    config: SimConfig,
+    trace_factory: TraceFactory,
+    technique: str,
+    scales: Sequence[float],
+    seeds: Sequence[int],
+    check_flooding: bool,
+    flood_seeds: Sequence[int],
+) -> List[SweepPoint]:
+    from repro.rng import derive_seed
+    from repro.sim.experiment import TechniqueAggregate
+    from repro.sim.fused_engine import grid_cells, run_simulation_grid
+
+    aggregates = {
+        float(scale): TechniqueAggregate(technique=technique)
+        for scale in scales
+    }
+    for seed in seeds:
+        trace = trace_factory(derive_seed(seed, "trace"))
+        cells = grid_cells(
+            [technique], (seed,), pbase_scales=scales, config=config
+        )
+        results = run_simulation_grid(config, trace, cells)
+        for scale, result in zip(scales, results):
+            aggregates[float(scale)].results.append(result)
+    points = []
+    for scale in scales:
+        aggregate = aggregates[float(scale)]
+        flood_median = None
+        if check_flooding:
+            cfg = config.scaled(pbase=config.pbase * float(scale))
+            outcome = flooding_experiment(cfg, technique, seeds=flood_seeds)
+            flood_median = outcome.median_acts
+        points.append(
+            SweepPoint(
+                parameter="pbase_scale",
+                value=scale,
+                overhead_pct=aggregate.overhead_mean,
+                fpr_pct=aggregate.fpr_mean,
+                flips=aggregate.total_flips,
+                table_bytes=aggregate.table_bytes,
+                flood_median_acts=flood_median,
             )
         )
     return points

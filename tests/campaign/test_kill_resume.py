@@ -44,7 +44,7 @@ DRIVER = textwrap.dedent(
         techniques=("PARA", "TWiCe"),
         seeds=(0, 1),
         workers=0,
-        engine="fast",
+        engine={engine!r},
         fault_injector=FaultInjector.from_env(),
     )
     """
@@ -55,12 +55,12 @@ HANG_LAST_SHARD = json.dumps(
 )
 
 
-def start_doomed_campaign(ckpt):
+def start_doomed_campaign(ckpt, engine="fast"):
     env = dict(os.environ)
     env["PYTHONPATH"] = "src"
     env[FAULT_ENV_VAR] = HANG_LAST_SHARD
     return subprocess.Popen(
-        [sys.executable, "-c", DRIVER.format(ckpt=str(ckpt))],
+        [sys.executable, "-c", DRIVER.format(ckpt=str(ckpt), engine=engine)],
         env=env,
         cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
         stdout=subprocess.PIPE,
@@ -132,6 +132,91 @@ class TestKillResume:
         assert canonical(resumed) == canonical(reference)
         assert store.status().complete
         assert not resumed.failures
+
+    def test_sigkilled_fused_campaign_resumes_bit_identical(self, tmp_path):
+        """The fused engine honours the same durability contract.
+
+        The doomed subprocess runs fused per-cell shards (the fault
+        injector disables block dispatch), the resume completes the
+        remaining shards as a fused block, and the merged aggregates
+        must equal both an uninterrupted fused run and an uninterrupted
+        fast-engine run -- per-cell checkpoints and whole-grid blocks
+        compose without drift.
+        """
+        ckpt = tmp_path / "ckpt"
+        store = CampaignStore(ckpt)
+        proc = start_doomed_campaign(ckpt, engine="fused")
+        try:
+            wait_for_checkpointed_shard(store, proc)
+        finally:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+
+        completed = len(store.status().completed)
+        assert 1 <= completed < TOTAL_SHARDS, (
+            "kill must land mid-campaign; got %d/%d shards"
+            % (completed, TOTAL_SHARDS)
+        )
+
+        resumed = run_durable_campaign(
+            small_test_config(num_banks=2),
+            total_intervals=8,
+            checkpoint_dir=ckpt,
+            resume=True,
+            techniques=TECHNIQUES,
+            seeds=SEEDS,
+            workers=0,
+            engine="fused",
+        )
+        reference = run_durable_campaign(
+            small_test_config(num_banks=2),
+            total_intervals=8,
+            checkpoint_dir=tmp_path / "reference",
+            techniques=TECHNIQUES,
+            seeds=SEEDS,
+            workers=0,
+            engine="fused",
+        )
+        fast = run_durable_campaign(
+            small_test_config(num_banks=2),
+            total_intervals=8,
+            checkpoint_dir=tmp_path / "fast",
+            techniques=TECHNIQUES,
+            seeds=SEEDS,
+            workers=0,
+            engine="fast",
+        )
+        assert canonical(resumed) == canonical(reference)
+        assert canonical(resumed) == canonical(fast)
+        assert store.status().complete
+        assert not resumed.failures
+
+    def test_fused_resume_rejects_changed_grid(self, tmp_path):
+        """Config-hash validation covers fused campaigns: a resume with
+        a different cell grid (changed geometry) fails fast instead of
+        silently mixing checkpoints from incompatible campaigns."""
+        ckpt = tmp_path / "ckpt"
+        store = CampaignStore(ckpt)
+        proc = start_doomed_campaign(ckpt, engine="fused")
+        try:
+            wait_for_checkpointed_shard(store, proc)
+        finally:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+
+        with pytest.raises(CheckpointMismatchError, match="config_hash"):
+            run_durable_campaign(
+                small_test_config(num_banks=4),
+                total_intervals=8,
+                checkpoint_dir=ckpt,
+                resume=True,
+                techniques=TECHNIQUES,
+                seeds=SEEDS,
+                workers=0,
+                engine="fused",
+            )
 
     def test_resume_with_different_config_fails_fast(self, tmp_path):
         ckpt = tmp_path / "ckpt"

@@ -4,7 +4,9 @@
 
 Writes ``golden_trace.txt`` (a small mixed workload in the text trace
 format) and ``golden_results.json`` (the expected ``SimResult`` of every
-registered technique plus the unmitigated baseline on that trace).
+registered technique plus the unmitigated baseline on that trace, and
+the canonical per-cell campaign aggregates every engine must reproduce
+on a small multi-seed campaign).
 
 Only regenerate when simulation semantics intentionally change, and
 call it out in the commit message: ``tests/sim/test_golden.py`` treats
@@ -29,10 +31,26 @@ RESULTS_PATH = FIXTURE_DIR / "golden_results.json"
 #: fixture parameters (documented in the JSON header for humans)
 SEED = 42
 TOTAL_INTERVALS = 24
+#: multi-seed campaign axis for the canonical per-cell aggregates
+CAMPAIGN_SEEDS = (0, 1)
 
 
 def golden_config():
     return small_test_config()
+
+
+def golden_campaign(engine: str = "reference"):
+    """The small campaign whose per-cell results are pinned as golden."""
+    from repro.sim.parallel import run_campaign
+
+    return run_campaign(
+        golden_config(),
+        total_intervals=TOTAL_INTERVALS,
+        seeds=CAMPAIGN_SEEDS,
+        include_unmitigated=True,
+        workers=0,
+        engine=engine,
+    )
 
 
 def main() -> None:
@@ -48,12 +66,18 @@ def main() -> None:
             config, load_trace(TRACE_PATH), factory, seed=SEED
         )
         results[technique or "none"] = result.as_dict()
+    campaign = {
+        technique: [result.as_dict() for result in aggregate.results]
+        for technique, aggregate in golden_campaign().items()
+    }
     payload = {
         "_comment": "regenerate with: PYTHONPATH=src python tests/fixtures/make_golden.py",
         "seed": SEED,
         "total_intervals": TOTAL_INTERVALS,
+        "campaign_seeds": list(CAMPAIGN_SEEDS),
         "records": count,
         "results": results,
+        "campaign": campaign,
     }
     RESULTS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {count} records to {TRACE_PATH.name} and "

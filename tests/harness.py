@@ -73,6 +73,54 @@ def assert_engines_equivalent(
     return reference
 
 
+def assert_grid_equivalent(
+    config,
+    trace_factory: TraceFactory,
+    cells,
+    reference_engine=run_simulation,
+    **engine_kwargs,
+):
+    """Run a fused cell grid and pin every cell to a solo reference run.
+
+    ``cells`` is a sequence of :class:`repro.sim.fused_engine.GridCell`.
+    The trace is materialised once and shared -- exactly the fused
+    engine's contract (one grid call, one fixed trace) -- then each
+    cell's fused result is diffed field-for-field (flips included)
+    against ``reference_engine`` run solo with that cell's config, seed
+    and mitigation factory.  ``engine_kwargs`` (``refresh_policy``,
+    ``stop_after_first_trigger``, ``max_activations``) are forwarded to
+    both sides.  Returns the fused results for further assertions.
+    """
+    from repro.mitigations.registry import make_factory
+    from repro.sim.fused_engine import run_simulation_grid
+
+    trace = trace_factory().materialize()
+    fused = run_simulation_grid(config, trace, cells, **engine_kwargs)
+    assert len(fused) == len(cells)
+    for cell, candidate in zip(cells, fused):
+        cell_config = cell.config if cell.config is not None else config
+        mitigation_factory = (
+            make_factory(cell.technique, **dict(cell.kwargs))
+            if cell.technique
+            else None
+        )
+        reference = reference_engine(
+            cell_config, trace, mitigation_factory, seed=cell.seed,
+            **engine_kwargs,
+        )
+        differences = diff_results(reference, candidate)
+        assert not differences, (
+            f"fused grid diverged from {reference_engine.__name__} at "
+            f"cell technique={cell.technique!r} seed={cell.seed} "
+            f"pbase={cell_config.pbase} kwargs={engine_kwargs!r}:\n"
+            + "\n".join(
+                f"  {field}: reference={ref!r} fused={cand!r}"
+                for field, (ref, cand) in differences.items()
+            )
+        )
+    return fused
+
+
 def assert_telemetry_transparent(
     config,
     trace_factory: TraceFactory,

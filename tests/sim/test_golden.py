@@ -36,7 +36,7 @@ def _expected(technique: str) -> dict:
     return GOLDEN["results"][technique]
 
 
-@pytest.mark.parametrize("engine", ["reference", "fast"])
+@pytest.mark.parametrize("engine", ["reference", "fast", "fused"])
 @pytest.mark.parametrize("technique", sorted(GOLDEN["results"]))
 def test_golden_result(technique, engine):
     config = golden_config()
@@ -54,6 +54,30 @@ def test_golden_covers_all_techniques():
     from repro.mitigations.registry import technique_names
 
     assert sorted(GOLDEN["results"]) == sorted(technique_names() + ["none"])
+    assert sorted(GOLDEN["campaign"]) == sorted(technique_names() + ["none"])
+
+
+@pytest.mark.parametrize("engine", ["reference", "fused"])
+def test_golden_campaign_aggregates(engine):
+    """Canonical per-cell campaign aggregates are engine-invariant.
+
+    The fused engine runs the campaign as whole-grid blocks (one trace
+    decode per seed); every per-(technique, seed) cell must still equal
+    the committed per-cell reference aggregates field-for-field.
+    """
+    from tests.fixtures.make_golden import CAMPAIGN_SEEDS, golden_campaign
+
+    campaign = golden_campaign(engine)
+    assert sorted(campaign) == sorted(GOLDEN["campaign"])
+    for technique, aggregate in campaign.items():
+        assert [r.seed for r in aggregate.results] == list(CAMPAIGN_SEEDS)
+        assert [
+            result.as_dict() for result in aggregate.results
+        ] == GOLDEN["campaign"][technique], (
+            f"campaign golden drift for {technique!r} on the {engine} "
+            "engine -- if intentional, regenerate via "
+            "tests/fixtures/make_golden.py"
+        )
 
 
 def test_golden_roundtrips_through_from_dict():

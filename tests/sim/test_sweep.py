@@ -153,3 +153,39 @@ class TestSweepGrids:
             check_flooding=False,
         )
         assert [point.value for point in points] == [1.0]
+
+    def test_equal_value_distinct_spelling_scales_deduplicated(self):
+        """Regression: dedup canonicalises to the float value, so ``1``,
+        ``1.0`` and ``"1e0"`` are one grid point, and the first spelling
+        wins (``int`` here, as passed)."""
+        from repro.sim.sweep import _unique
+
+        assert _unique([1, 1.0, "1e0", 0.5, "0.5", 2]) == [1, 0.5, 2]
+        # non-numeric values still dedup by identity rather than crash
+        assert _unique(["a", "a", "b"]) == ["a", "b"]
+
+        config = self.config()
+        points = sweep_pbase(
+            config, trace_factory(config), scales=(1, 1.0, "1e0", 2.0),
+            seeds=(0,), check_flooding=False,
+        )
+        assert [float(point.value) for point in points] == [1.0, 2.0]
+
+    def test_fused_sweep_matches_reference_sweep(self):
+        """The fused pbase sweep path produces the same points as the
+        per-cell reference path (same scales, same aggregates)."""
+        config = self.config()
+        reference = sweep_pbase(
+            config, trace_factory(config), scales=(0.5, 2.0), seeds=(0, 1),
+            check_flooding=False,
+        )
+        fused = sweep_pbase(
+            config, trace_factory(config), scales=(0.5, 2.0), seeds=(0, 1),
+            check_flooding=False, engine="fused",
+        )
+        assert [point.value for point in fused] == [
+            point.value for point in reference
+        ]
+        for ref, fus in zip(reference, fused):
+            assert fus.flips == ref.flips
+            assert fus.overhead_pct == ref.overhead_pct

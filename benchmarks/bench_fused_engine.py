@@ -161,3 +161,60 @@ def test_fused_null_tracer_overhead(benchmark, paper_config):
         f"NullTracer regressed the fused engine: {plain_s:.3f}s -> "
         f"{null_s:.3f}s"
     )
+
+
+def test_campaign_disabled_observability_overhead(benchmark, paper_config):
+    """Disabled spans + no status bus must not regress ``run_campaign``.
+
+    The observability plane threads span tracers, heartbeats, and
+    progress dispatch through every campaign path; this guard (the
+    ``NullTracer`` guard's sibling) pins the disabled-path cost: a
+    campaign handed a disabled :class:`SpanTracer` and no
+    :class:`StatusBus` must run as fast as one with no observability
+    arguments at all, and produce identical aggregates.
+    """
+    from repro.sim.parallel import run_campaign
+    from repro.telemetry import SpanTracer
+
+    techniques = ("PARA", "LoLiPRoMi")
+    kwargs = dict(
+        total_intervals=BENCH_INTERVALS,
+        techniques=techniques,
+        seeds=tuple(BENCH_SEEDS),
+        workers=0,
+        engine="fused",
+    )
+
+    def best_of(runs, **extra):
+        best = None
+        for _ in range(runs):
+            started = time.perf_counter()
+            result = run_campaign(paper_config, **kwargs, **extra)
+            elapsed = time.perf_counter() - started
+            if best is None or elapsed < best[0]:
+                best = (elapsed, result)
+        return best
+
+    def compute():
+        plain = best_of(3)
+        disabled = best_of(3, spans=SpanTracer(enabled=False), status=None)
+        return plain, disabled
+
+    (plain_s, plain_result), (off_s, off_result) = run_once(
+        benchmark, compute
+    )
+    for technique in techniques:
+        plain_dicts = [r.as_dict() for r in plain_result[technique].results]
+        off_dicts = [r.as_dict() for r in off_result[technique].results]
+        assert plain_dicts == off_dicts
+    benchmark.extra_info["overhead_pct"] = round(
+        100.0 * (off_s / plain_s - 1.0), 2
+    )
+    print(f"\ndisabled-observability overhead (campaign): "
+          f"plain={plain_s:.3f}s disabled={off_s:.3f}s "
+          f"({100.0 * (off_s / plain_s - 1.0):+.2f}%)")
+    assert off_s <= plain_s * NULL_TRACER_OVERHEAD_RATIO + \
+        NULL_TRACER_OVERHEAD_EPSILON_S, (
+        f"disabled observability regressed run_campaign: {plain_s:.3f}s -> "
+        f"{off_s:.3f}s"
+    )

@@ -51,6 +51,8 @@ from repro.mitigations.registry import make_factory, resolve_technique
 from repro.rng import derive_seed, stream
 from repro.sim.engine import ENGINE_NAMES, get_engine
 from repro.sim.parallel import parallel_map
+from repro.telemetry.progress import ProgressDispatcher
+from repro.telemetry.spans import span_of
 from repro.traces.mixer import build_trace
 
 STRATEGIES = ("random", "evolve")
@@ -346,6 +348,8 @@ def run_search(
     metrics=None,
     on_generation: Optional[Callable[[int, List[Candidate]], None]] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    on_event=None,
+    spans=None,
 ) -> SearchOutcome:
     """Run (or resume) an adversary search against one technique.
 
@@ -358,7 +362,15 @@ def run_search(
       dominated by engine start-up otherwise).
     * ``on_generation(index, candidates)`` fires after each *newly
       evaluated* generation is checkpointed (not for replayed ones);
-      ``progress(evaluations, budget)`` after every generation.
+      ``progress(evaluations, budget)`` after every generation, and
+      ``on_event`` receives the same ticks as unified
+      :class:`~repro.telemetry.progress.ProgressEvent` records
+      (``kind="adversary"``, ``unit="evaluations"``).
+    * ``spans`` -- optional :class:`~repro.telemetry.spans.SpanTracer`:
+      the search records a ``search`` root span with one ``generation``
+      child per generation (``replayed`` marks checkpoint replays);
+      evaluation fan-out spans ship back from pool workers through
+      :func:`~repro.sim.parallel.parallel_map`.
     """
     settings = replace(settings, technique=resolve_technique(settings.technique))
     store = SearchStore(checkpoint_dir) if checkpoint_dir else None
@@ -392,59 +404,87 @@ def run_search(
     evaluations = 0
     generation = 0
 
-    while evaluations < settings.budget:
-        genomes = _propose(generation, population, seen, settings, config)
-        genomes = genomes[: settings.budget - evaluations]
-        if generation < len(stored):
-            candidates = [
-                Candidate.from_dict(data) for data in stored[generation]
-            ]
-        else:
-            jobs = [
-                EvalJob(
-                    config=config,
-                    technique=settings.technique,
-                    genome=genome,
-                    total_intervals=total_intervals,
-                    seeds=eval_seeds,
-                    engine=settings.engine,
+    dispatcher = ProgressDispatcher("adversary", unit="evaluations")
+    dispatcher.add_legacy(progress)
+    dispatcher.add_listener(on_event)
+    root_span = (
+        spans.start(
+            "search", technique=settings.technique,
+            strategy=settings.strategy, budget=settings.budget,
+        )
+        if spans is not None and spans.enabled else None
+    )
+    try:
+        while evaluations < settings.budget:
+            replayed = generation < len(stored)
+            with span_of(
+                spans, "generation", index=generation, replayed=replayed,
+            ):
+                genomes = _propose(
+                    generation, population, seen, settings, config
                 )
-                for genome in genomes
-            ]
-            measured = parallel_map(
-                evaluate_genome, jobs, workers=workers, chunk_size=chunk_size
-            )
-            candidates = [
-                Candidate(
-                    genome=genome,
-                    generation=generation,
-                    acts_to_trigger=result["acts_to_trigger"],
-                    total_acts=result["total_acts"],
-                    acts_per_window=genome.acts_per_window(config),
+                genomes = genomes[: settings.budget - evaluations]
+                if replayed:
+                    candidates = [
+                        Candidate.from_dict(data)
+                        for data in stored[generation]
+                    ]
+                else:
+                    jobs = [
+                        EvalJob(
+                            config=config,
+                            technique=settings.technique,
+                            genome=genome,
+                            total_intervals=total_intervals,
+                            seeds=eval_seeds,
+                            engine=settings.engine,
+                        )
+                        for genome in genomes
+                    ]
+                    measured = parallel_map(
+                        evaluate_genome, jobs, workers=workers,
+                        chunk_size=chunk_size, spans=spans,
+                    )
+                    candidates = [
+                        Candidate(
+                            genome=genome,
+                            generation=generation,
+                            acts_to_trigger=result["acts_to_trigger"],
+                            total_acts=result["total_acts"],
+                            acts_per_window=genome.acts_per_window(config),
+                        )
+                        for genome, result in zip(genomes, measured)
+                    ]
+                    if store is not None:
+                        store.write_generation(
+                            generation, [c.as_dict() for c in candidates]
+                        )
+                    if on_generation is not None:
+                        on_generation(generation, candidates)
+                if generation == 0:
+                    corpus_candidates = list(candidates)
+                evaluations += len(candidates)
+                all_candidates.extend(candidates)
+                for candidate in candidates:
+                    seen.add(candidate.genome.key())
+                frontier.update(c.frontier_point() for c in candidates)
+                population = select(
+                    population + candidates, settings.population
                 )
-                for genome, result in zip(genomes, measured)
-            ]
-            if store is not None:
-                store.write_generation(
-                    generation, [c.as_dict() for c in candidates]
+                history.append(population[0].fitness)
+                if metrics is not None:
+                    metrics.counter("adversary.evaluations").add(
+                        len(candidates)
+                    )
+                    metrics.counter("adversary.generations").add(1)
+            if dispatcher:
+                dispatcher.emit(
+                    evaluations, settings.budget, generation=generation,
                 )
-            if on_generation is not None:
-                on_generation(generation, candidates)
-        if generation == 0:
-            corpus_candidates = list(candidates)
-        evaluations += len(candidates)
-        all_candidates.extend(candidates)
-        for candidate in candidates:
-            seen.add(candidate.genome.key())
-        frontier.update(c.frontier_point() for c in candidates)
-        population = select(population + candidates, settings.population)
-        history.append(population[0].fitness)
-        if metrics is not None:
-            metrics.counter("adversary.evaluations").add(len(candidates))
-            metrics.counter("adversary.generations").add(1)
-        if progress is not None:
-            progress(evaluations, settings.budget)
-        generation += 1
+            generation += 1
+    finally:
+        if root_span is not None:
+            spans.finish()
 
     return SearchOutcome(
         technique=settings.technique,

@@ -374,6 +374,74 @@ def render_campaign_status(status) -> str:
     return "\n\n".join(sections)
 
 
+def _fmt_eta(seconds) -> str:
+    if seconds is None:
+        return "-"
+    seconds = int(round(seconds))
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+def render_campaign_live(snapshot, workers=(), stale=(), now=None) -> str:
+    """One frame of ``campaign-status --follow``.
+
+    *snapshot* is a :class:`~repro.telemetry.statusbus.CampaignSnapshot`
+    (or ``None`` while the runner has not published one yet), *workers*
+    the heartbeats read from the status bus, *stale* the worker names
+    flagged stale, and *now* a ``time.monotonic()`` stamp for heartbeat
+    ages (injectable so tests render deterministic frames).
+    """
+    import time as _time
+
+    if now is None:
+        now = _time.monotonic()
+    stale = set(stale)
+    lines = []
+    if snapshot is None:
+        lines.append("campaign: waiting for first status snapshot...")
+    else:
+        pct = (100.0 * snapshot.done / snapshot.total
+               if snapshot.total else 0.0)
+        rate = snapshot.throughput
+        head = (
+            f"campaign: {snapshot.done}/{snapshot.total} shards ({pct:.0f}%)"
+        )
+        if rate is not None:
+            head += f"  throughput {rate:.2f}/s"
+        head += f"  eta {_fmt_eta(snapshot.eta_seconds)}"
+        if snapshot.complete:
+            head += "  [complete]"
+        lines.append(head)
+        lines.append(
+            f"retries {snapshot.retries}  degraded {snapshot.degraded}  "
+            f"stale {snapshot.stale}"
+        )
+    if workers:
+        rows = []
+        for beat in workers:
+            flags = []
+            if beat.degraded:
+                flags.append("degraded")
+            if beat.worker in stale and beat.phase == "running":
+                flags.append("STALE")
+            rows.append((
+                beat.worker,
+                f"{beat.cells_done}/{beat.cells_total}",
+                beat.phase,
+                f"{max(0.0, now - beat.mono):.1f}s",
+                str(beat.retries),
+                ",".join(flags) or "-",
+            ))
+        lines.append("")
+        lines.append(render_table(
+            ("worker", "done", "phase", "age", "retries", "flags"), rows
+        ))
+    return "\n".join(lines)
+
+
 def render_ingest(result) -> str:
     """Render an :class:`~repro.traces.ingest.IngestResult`.
 

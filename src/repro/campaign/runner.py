@@ -35,6 +35,13 @@ from repro.sim.parallel import (
     run_campaign,
 )
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.progress import ProgressListener
+from repro.telemetry.spans import SpanTracer
+from repro.telemetry.statusbus import (
+    DEFAULT_STALE_AFTER_S,
+    CampaignSnapshot,
+    StatusBus,
+)
 
 from repro.campaign.store import (
     CampaignSpec,
@@ -61,9 +68,14 @@ def run_durable_campaign(
     memoize_traces: bool = True,
     chunk_size: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    on_event: Optional[ProgressListener] = None,
     tracer=None,
     metrics: Optional[MetricsRegistry] = None,
     profiler=None,
+    spans: Optional[SpanTracer] = None,
+    status: Optional[StatusBus] = None,
+    publish_status: bool = True,
+    stale_after: Optional[float] = None,
     retry: Optional[RetryPolicy] = None,
     fault_injector=None,
     sleep: Callable[[float], None] = time.sleep,
@@ -91,6 +103,21 @@ def run_durable_campaign(
     Shards degraded under ``retry.on_failure == "skip"`` are *not*
     checkpointed as complete: a later ``resume`` retries exactly those
     shards, so a degraded campaign heals incrementally.
+
+    Observability: unless ``publish_status=False``, a
+    :class:`~repro.telemetry.statusbus.StatusBus` is created under
+    ``<checkpoint_dir>/status`` (or pass ``status`` explicitly) --
+    workers publish per-shard heartbeats there and the runner a rolling
+    snapshot, which is what ``campaign-status --follow`` reads.
+    ``stale_after`` tunes hung-shard detection (defaults to just under
+    ``retry.shard_timeout`` when one is set, so staleness surfaces
+    before the kill).  ``spans`` receives the campaign span tree:
+    shard spans are checkpointed with each shard and re-adopted from
+    the store in canonical order, so a resumed campaign's span
+    *summary* is bit-identical to an uninterrupted one's.  Neither the
+    status directory nor any span/heartbeat state enters the campaign
+    spec or its config hash -- toggling observability can never
+    invalidate ``--resume``.
 
     ``trace_path`` replays one pre-serialised npz trace for every shard
     (see :func:`repro.sim.parallel.run_campaign`); pass the trace's
@@ -132,6 +159,18 @@ def run_durable_campaign(
         for seed in seeds
         if (name or "none", seed) not in shards
     ]
+    if status is None and publish_status:
+        if stale_after is None:
+            # surface staleness before the hung-shard kill would fire
+            stale_after = (
+                max(1.0, retry.shard_timeout * 0.75)
+                if retry is not None and retry.shard_timeout is not None
+                else DEFAULT_STALE_AFTER_S
+            )
+        status = StatusBus.for_checkpoint(store.root, stale_after=stale_after)
+    if status is not None:
+        # heartbeats of a previous (killed) run must not read as live
+        status.clear_workers()
     failures: List[ShardFailure] = []
     if pending:
         # jobs collect into a scratch registry; the caller's registry is
@@ -142,9 +181,14 @@ def run_durable_campaign(
         # or a later resume with a manifest would be missing the
         # counters of every shard completed before the interruption.
         scratch = MetricsRegistry()
+        # same reasoning for spans: workers always record and the shard
+        # records carry the trees, so a later resume that wants a span
+        # summary still covers pre-interruption shards.  The id seed is
+        # the config hash: span ids are stable across runs and resumes.
+        scratch_spans = SpanTracer(id_seed=spec.config_hash)
 
         def persist(outcome: JobOutcome, attempts: int) -> None:
-            name, seed, result, job_metrics = outcome
+            name, seed, result, job_metrics, job_spans = outcome
             store.write_shard(
                 ShardRecord(
                     technique=name,
@@ -155,6 +199,7 @@ def run_durable_campaign(
                         job_metrics.as_dict()
                         if job_metrics is not None else None
                     ),
+                    spans=job_spans,
                 )
             )
 
@@ -167,9 +212,15 @@ def run_durable_campaign(
             memoize_traces=memoize_traces,
             chunk_size=chunk_size,
             progress=progress,
+            on_event=on_event,
             tracer=tracer,
             metrics=scratch,
             profiler=profiler,
+            spans=scratch_spans,
+            status=status,
+            # already-checkpointed shards count toward the live view:
+            # a resumed campaign reports whole-campaign progress
+            status_done_base=len(spec.shard_keys()) - len(pending),
             pairs=pending,
             retry=retry,
             fault_injector=fault_injector,
@@ -214,6 +265,29 @@ def run_durable_campaign(
         metrics.counter("campaign.shards_completed").add(completed)
         if degraded:
             metrics.counter("campaign.shards_degraded").add(degraded)
+    if spans is not None and spans.enabled:
+        # same canonical rebuild as metrics: the caller's span tree is
+        # re-adopted straight from the store in shard-key order, so its
+        # summary is a pure function of the stored shards -- identical
+        # whether or not this campaign was ever interrupted
+        root = spans.start(
+            "campaign", engine=engine, shards=len(spec.shard_keys())
+        )
+        for key in spec.shard_keys():
+            record = shards.get(key)
+            if record is not None and record.spans:
+                spans.adopt(record.spans, parent=root)
+        spans.finish()
+    if status is not None and not pending:
+        # resume of an already-complete campaign: refresh the snapshot
+        # so a follower sees the store's truth, not a stale mid-run view
+        total = len(spec.shard_keys())
+        done = sum(1 for key in spec.shard_keys() if key in shards)
+        now = time.monotonic()
+        status.publish_snapshot(CampaignSnapshot(
+            done=done, total=total, degraded=total - done,
+            started_mono=now, mono=now, complete=True,
+        ))
     return aggregates
 
 

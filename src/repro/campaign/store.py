@@ -25,8 +25,6 @@ hash alike?".
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -35,6 +33,7 @@ from repro.config import SimConfig
 from repro.sim.metrics import SimResult
 from repro.sim.parallel import ShardFailure
 from repro.telemetry.manifest import config_as_dict, config_digest
+from repro.telemetry.statusbus import write_json_atomic
 
 #: bump when the checkpoint layout changes incompatibly
 STORE_SCHEMA_VERSION = 1
@@ -63,31 +62,10 @@ class CheckpointMismatchError(CampaignStateError):
         )
 
 
-def write_json_atomic(path: Path, payload: Any) -> None:
-    """Write *payload* as canonical JSON via temp file + ``os.replace``.
-
-    The durability primitive shared by every checkpoint layer (campaign
-    shards here, adversary-search generations in
-    :mod:`repro.adversary.store`): a process killed mid-write leaves at
-    worst an ignored ``*.tmp`` file, never a torn record.
-    """
-    path.parent.mkdir(parents=True, exist_ok=True)
-    handle, tmp = tempfile.mkstemp(
-        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(handle, "w", encoding="utf-8") as stream:
-            json.dump(payload, stream, indent=2, sort_keys=True)
-            stream.write("\n")
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
-
-
+# The atomic-write primitive now lives in repro.telemetry.statusbus
+# (the status bus shares the same durability discipline); re-exported
+# here because campaign and adversary checkpoint code has always
+# imported it from this module.
 #: backwards-compatible alias (pre-adversary name)
 _write_json_atomic = write_json_atomic
 
@@ -159,6 +137,9 @@ class ShardRecord:
     result: SimResult
     attempts: int = 1
     metrics: Optional[Dict[str, Any]] = None
+    #: serialised worker span tree (:meth:`SpanTracer.as_dict`); resume
+    #: re-adopts these so span summaries match uninterrupted runs
+    spans: Optional[Dict[str, Any]] = None
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -167,6 +148,7 @@ class ShardRecord:
             "attempts": self.attempts,
             "result": self.result.as_dict(include_wall=True),
             "metrics": self.metrics,
+            "spans": self.spans,
         }
 
     @classmethod
@@ -177,6 +159,7 @@ class ShardRecord:
             result=SimResult.from_dict(data["result"]),
             attempts=int(data.get("attempts", 1)),
             metrics=data.get("metrics"),
+            spans=data.get("spans"),
         )
 
 

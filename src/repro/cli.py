@@ -84,6 +84,16 @@ def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
         "--profile", action="store_true",
         help="print a wall-clock phase breakdown after the run",
     )
+    _add_metrics_out_arg(parser)
+
+
+def _add_metrics_out_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="export the run's metrics (and span summary, where the "
+             "command records spans) to FILE: .prom writes Prometheus "
+             "text format, anything else JSON lines",
+    )
 
 
 def _telemetry_from_args(args):
@@ -91,24 +101,54 @@ def _telemetry_from_args(args):
     from repro.telemetry import JsonlTracer, MetricsRegistry, Profiler
 
     tracer = JsonlTracer(args.trace_events) if args.trace_events else None
-    # the manifest embeds the metrics snapshot, so --manifest implies
-    # metrics collection (it is interval-granular and near-free)
-    metrics = MetricsRegistry() if (args.manifest or args.trace_events) else None
+    # the manifest embeds the metrics snapshot and --metrics-out exports
+    # it, so both imply metrics collection (interval-granular, near-free)
+    metrics = (
+        MetricsRegistry()
+        if (args.manifest or args.trace_events
+            or getattr(args, "metrics_out", None))
+        else None
+    )
     profiler = Profiler() if args.profile else None
     return tracer, metrics, profiler
+
+
+def _spans_from_args(args, config):
+    """A :class:`SpanTracer` when ``--metrics-out`` wants a summary."""
+    if not getattr(args, "metrics_out", None):
+        return None
+    from repro.telemetry import SpanTracer, config_digest
+
+    return SpanTracer(id_seed=config_digest(config))
 
 
 def _finish_telemetry(
     args, config, tracer, metrics, profiler,
     comparison=None, total_intervals=None, extra=None, failures=None,
+    spans=None,
 ) -> None:
-    """Close the tracer, write the manifest, print the profile."""
+    """Close the tracer, export metrics, write the manifest and profile."""
     from repro.telemetry import build_manifest
 
     if tracer is not None:
         tracer.close()
         print(f"wrote {tracer.events_written:,} events to {tracer.path}",
               file=sys.stderr)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        from repro.telemetry import write_metrics_export
+
+        path = write_metrics_export(
+            metrics_out, metrics,
+            spans.summary() if spans is not None else None,
+        )
+        print(f"wrote metrics export to {path}", file=sys.stderr)
+        extra = dict(extra or {})
+        extra["metrics_export"] = {
+            "path": str(path),
+            "format": "prometheus" if path.suffix in (".prom", ".txt")
+            else "jsonl",
+        }
     if args.manifest:
         manifest = build_manifest(
             config,
@@ -438,6 +478,7 @@ def _cmd_campaign(args) -> int:
 
     tracer, metrics, profiler = _telemetry_from_args(args)
     config = SimConfig()
+    spans = _spans_from_args(args, config)
     retry = None
     if (
         args.max_retries
@@ -494,6 +535,7 @@ def _cmd_campaign(args) -> int:
             tracer=tracer,
             metrics=metrics,
             profiler=profiler,
+            spans=spans,
             trace_path=trace_path,
             trace_digest=trace_digest,
         )
@@ -507,7 +549,7 @@ def _cmd_campaign(args) -> int:
     _finish_telemetry(
         args, config, tracer, metrics, profiler,
         comparison=aggregates, total_intervals=total_intervals,
-        extra=extra, failures=aggregates.failures,
+        extra=extra, failures=aggregates.failures, spans=spans,
     )
     return 1 if aggregates.failures else 0
 
@@ -525,6 +567,7 @@ def _cmd_adversary(args) -> int:
     config = SimConfig() if args.preset == "paper" else small_test_config()
     if args.pbase_exp is not None:
         config = replace(config, pbase=2.0 ** -args.pbase_exp)
+    spans = _spans_from_args(args, config)
     settings = SearchSettings(
         technique=args.technique,
         strategy=args.strategy,
@@ -550,6 +593,7 @@ def _cmd_adversary(args) -> int:
         workers=args.workers,
         metrics=metrics,
         progress=progress,
+        spans=spans,
     )
     if profiler is not None:
         profiler.add("adversary.search", time.perf_counter() - started)
@@ -573,21 +617,83 @@ def _cmd_adversary(args) -> int:
             "corpus_best_fitness": outcome.corpus_best.fitness,
             "improvement": outcome.improvement,
         },
+        spans=spans,
     )
     return 0
 
 
+def _status_frame_json(store, bus):
+    """One machine-readable ``campaign-status`` poll as a dict."""
+    snapshot = bus.read_snapshot()
+    heartbeats = bus.read_heartbeats()
+    stale = {beat.worker for beat in bus.stale_workers()}
+    frame = {
+        "snapshot": snapshot.as_dict() if snapshot is not None else None,
+        "workers": [beat.as_dict() for beat in heartbeats],
+        "stale": sorted(stale),
+    }
+    if store.exists:
+        status = store.status()
+        frame["store"] = {
+            "completed": len(status.completed),
+            "total": status.total,
+            "complete": status.complete,
+            "failures": len(status.failures),
+        }
+    else:
+        frame["store"] = None
+    return frame
+
+
 def _cmd_campaign_status(args) -> int:
-    from repro.analysis.report import render_campaign_status
+    import json
+    import time
+
+    from repro.analysis.report import (
+        render_campaign_live,
+        render_campaign_status,
+    )
     from repro.campaign import CampaignStore
+    from repro.telemetry import StatusBus
 
     store = CampaignStore(args.checkpoint_dir)
-    if not store.exists:
-        print(f"no campaign checkpoint at {args.checkpoint_dir}",
-              file=sys.stderr)
-        return 2
-    print(render_campaign_status(store.status()))
-    return 0
+    follow = args.follow or args.once
+    if not follow:
+        if not store.exists:
+            print(f"no campaign checkpoint at {args.checkpoint_dir}",
+                  file=sys.stderr)
+            return 2
+        print(render_campaign_status(store.status()))
+        return 0
+
+    bus = StatusBus.for_checkpoint(args.checkpoint_dir,
+                                   stale_after=args.stale_after)
+    # without a terminal, a refreshing table is useless -- emit JSON
+    # frames instead so scripts (and the CI smoke job) can parse them
+    as_json = args.json or not sys.stdout.isatty()
+    try:
+        while True:
+            if as_json:
+                frame = _status_frame_json(store, bus)
+                print(json.dumps(frame, sort_keys=True), flush=True)
+                complete = bool(
+                    (frame["snapshot"] or {}).get("complete")
+                    or (frame["store"] or {}).get("complete")
+                )
+            else:
+                snapshot = bus.read_snapshot()
+                stale = {beat.worker for beat in bus.stale_workers()}
+                frame_text = render_campaign_live(
+                    snapshot, bus.read_heartbeats(), stale=stale
+                )
+                # in-place refresh: home the cursor and clear downwards
+                print("\x1b[H\x1b[J" + frame_text, flush=True)
+                complete = snapshot is not None and snapshot.complete
+            if args.once or complete:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_manifest_diff(args) -> int:
@@ -796,12 +902,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="print a wall-clock phase breakdown after the run",
     )
+    _add_metrics_out_arg(adversary)
 
     campaign_status = subparsers.add_parser(
         "campaign-status",
         help="inspect a campaign checkpoint directory",
     )
     campaign_status.add_argument("checkpoint_dir", metavar="DIR")
+    campaign_status.add_argument(
+        "--follow", action="store_true",
+        help="poll the campaign's status bus and redraw a live progress "
+             "table until the campaign completes (JSON frames when "
+             "stdout is not a terminal)",
+    )
+    campaign_status.add_argument(
+        "--once", action="store_true",
+        help="take a single status-bus poll and exit (implies --follow)",
+    )
+    campaign_status.add_argument(
+        "--json", action="store_true",
+        help="force machine-readable JSON frames even on a terminal",
+    )
+    campaign_status.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="poll period for --follow (default %(default)s)",
+    )
+    campaign_status.add_argument(
+        "--stale-after", type=float, default=15.0, metavar="SECONDS",
+        help="flag a running shard stale after this heartbeat silence "
+             "(default %(default)s)",
+    )
     campaign_status.set_defaults(func=_cmd_campaign_status)
 
     manifest_diff = subparsers.add_parser(

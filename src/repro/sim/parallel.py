@@ -35,6 +35,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import ExitStack
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -46,6 +47,9 @@ from repro.sim.experiment import TechniqueAggregate
 from repro.sim.metrics import SimResult
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.profiler import section_of
+from repro.telemetry.progress import ProgressDispatcher, ProgressListener
+from repro.telemetry.spans import SpanTracer, span_of
+from repro.telemetry.statusbus import CampaignSnapshot, StatusBus
 from repro.traces.mixer import paper_mixed_workload
 from repro.traces.trace_io import load_trace_npz, save_trace_npz
 
@@ -183,14 +187,28 @@ class CampaignJob:
     attempt: int = 0
     #: test-only deterministic fault hook (see :mod:`repro.campaign.faults`)
     fault_injector: Optional[Any] = None
+    #: record a worker-local span tree (shard -> trace/simulate) and ship
+    #: it back serialised for re-parenting, like the metrics registry
+    collect_spans: bool = False
+    #: deterministic id seed shared by the campaign's tracers
+    span_seed: str = ""
+    #: status-bus directory for worker heartbeats (None = no bus)
+    status_dir: Optional[str] = None
 
 
-#: (technique, seed, result, per-job metrics or None)
-JobOutcome = Tuple[str, int, SimResult, Optional[MetricsRegistry]]
+#: (technique, seed, result, per-job metrics or None, serialised spans or None)
+JobOutcome = Tuple[
+    str, int, SimResult, Optional[MetricsRegistry], Optional[Dict[str, Any]]
+]
 
 #: called with each completed shard outcome and its attempt count; the
 #: durable campaign runner uses this to checkpoint shards as they land
 ShardCallback = Callable[[JobOutcome, int], None]
+
+
+def _shard_id(technique: Optional[str], seed: int) -> str:
+    """The shard's identity on the status bus and in span id seeds."""
+    return f"{technique or 'none'}__s{seed}"
 
 
 def _run_job(job: CampaignJob, tracer=None, in_worker: bool = True) -> JobOutcome:
@@ -198,23 +216,42 @@ def _run_job(job: CampaignJob, tracer=None, in_worker: bool = True) -> JobOutcom
         job.fault_injector.fire(
             job.technique or "none", job.seed, job.attempt, in_worker=in_worker
         )
-    if job.trace_path is not None:
-        trace = load_trace_npz(job.trace_path)
-    else:
-        trace = paper_mixed_workload(
-            job.config,
-            total_intervals=job.total_intervals,
-            seed=derive_seed(job.seed, "trace"),
-            **dict(job.workload_kwargs),
-        )
-    factory = make_factory(job.technique) if job.technique else None
-    run = get_engine(job.engine)
-    metrics = MetricsRegistry() if job.collect_metrics else None
-    result = run(
-        job.config, trace, factory, seed=job.seed, tracer=tracer,
-        metrics=metrics,
+    shard = _shard_id(job.technique, job.seed)
+    bus = StatusBus(job.status_dir) if job.status_dir else None
+    if bus is not None:
+        bus.beat(shard, 0, 1, retries=job.attempt)
+    spans = (
+        SpanTracer(id_seed=f"{job.span_seed}|{shard}")
+        if job.collect_spans else None
     )
-    return (job.technique or "none", job.seed, result, metrics)
+    with span_of(
+        spans, "shard",
+        technique=job.technique or "none", seed=job.seed, engine=job.engine,
+    ):
+        with span_of(spans, "trace"):
+            if job.trace_path is not None:
+                trace = load_trace_npz(job.trace_path)
+            else:
+                trace = paper_mixed_workload(
+                    job.config,
+                    total_intervals=job.total_intervals,
+                    seed=derive_seed(job.seed, "trace"),
+                    **dict(job.workload_kwargs),
+                )
+        factory = make_factory(job.technique) if job.technique else None
+        run = get_engine(job.engine)
+        metrics = MetricsRegistry() if job.collect_metrics else None
+        with span_of(spans, "simulate"):
+            result = run(
+                job.config, trace, factory, seed=job.seed, tracer=tracer,
+                metrics=metrics,
+            )
+    if bus is not None:
+        bus.beat(shard, 1, 1, retries=job.attempt, phase="done")
+    return (
+        job.technique or "none", job.seed, result, metrics,
+        spans.as_dict() if spans is not None else None,
+    )
 
 
 def _run_chunk(chunk: List[CampaignJob]) -> List[JobOutcome]:
@@ -237,37 +274,89 @@ class _FusedBlock:
     workload_kwargs: tuple = ()
     trace_path: Optional[str] = None
     collect_metrics: bool = False
+    collect_spans: bool = False
+    span_seed: str = ""
+    status_dir: Optional[str] = None
 
 
 def _run_block(block: _FusedBlock) -> List[JobOutcome]:
     from repro.sim.fused_engine import GridCell, run_simulation_grid
 
-    if block.trace_path is not None:
-        trace = load_trace_npz(block.trace_path)
-    else:
-        trace = paper_mixed_workload(
-            block.config,
-            total_intervals=block.total_intervals,
-            seed=derive_seed(block.seed, "trace"),
-            **dict(block.workload_kwargs),
-        )
-    metrics = MetricsRegistry() if block.collect_metrics else None
-    cells = [
-        GridCell(technique=name, seed=block.seed)
-        for name in block.techniques
+    shards = [_shard_id(name, block.seed) for name in block.techniques]
+    bus = StatusBus(block.status_dir) if block.status_dir else None
+    if bus is not None:
+        for shard in shards:
+            bus.beat(shard, 0, 1)
+    # One tracer per cell, all spanning the shared decode+replay window:
+    # the per-shard span records a fused block ships are structurally
+    # identical to per-cell dispatch (same paths, same attribute keys),
+    # so block composition -- which changes on --resume -- can never
+    # leak into a span summary.
+    tracers: List[Optional[SpanTracer]] = [
+        SpanTracer(id_seed=f"{block.span_seed}|{shard}")
+        if block.collect_spans else None
+        for shard in shards
     ]
-    results = run_simulation_grid(block.config, trace, cells, metrics=metrics)
+    with ExitStack() as shard_stack:
+        for name, tracer in zip(block.techniques, tracers):
+            shard_stack.enter_context(span_of(
+                tracer, "shard",
+                technique=name or "none", seed=block.seed, engine="fused",
+            ))
+        with ExitStack() as trace_stack:
+            for tracer in tracers:
+                trace_stack.enter_context(span_of(tracer, "trace"))
+            if block.trace_path is not None:
+                trace = load_trace_npz(block.trace_path)
+            else:
+                trace = paper_mixed_workload(
+                    block.config,
+                    total_intervals=block.total_intervals,
+                    seed=derive_seed(block.seed, "trace"),
+                    **dict(block.workload_kwargs),
+                )
+        metrics = MetricsRegistry() if block.collect_metrics else None
+        cells = [
+            GridCell(technique=name, seed=block.seed)
+            for name in block.techniques
+        ]
+        with ExitStack() as simulate_stack:
+            for tracer in tracers:
+                simulate_stack.enter_context(span_of(tracer, "simulate"))
+            results = run_simulation_grid(
+                block.config, trace, cells, metrics=metrics
+            )
+    if bus is not None:
+        for shard in shards:
+            bus.beat(shard, 1, 1, phase="done")
     outcomes: List[JobOutcome] = []
-    for cell, result in zip(cells, results):
-        outcomes.append((cell.technique or "none", block.seed, result, metrics))
+    for cell, result, tracer in zip(cells, results, tracers):
+        outcomes.append((
+            cell.technique or "none", block.seed, result, metrics,
+            tracer.as_dict() if tracer is not None else None,
+        ))
         # the block shares one engine replay, so its registry ships on
         # the first outcome only -- merging it once, not per cell
         metrics = None
     return outcomes
 
 
-def _map_chunk(fn: Callable[[Any], Any], chunk: List[Any]) -> List[Any]:
-    return [fn(item) for item in chunk]
+def _map_chunk(
+    fn: Callable[[Any], Any],
+    chunk: List[Any],
+    span_seed: Optional[str] = None,
+    chunk_id: int = 0,
+) -> Tuple[List[Any], Optional[Dict[str, Any]]]:
+    spans = (
+        SpanTracer(id_seed=f"{span_seed}|chunk{chunk_id}")
+        if span_seed is not None else None
+    )
+    results = []
+    with span_of(spans, "chunk", items=len(chunk)):
+        for item in chunk:
+            with span_of(spans, "item"):
+                results.append(fn(item))
+    return results, (spans.as_dict() if spans is not None else None)
 
 
 def parallel_map(
@@ -276,6 +365,8 @@ def parallel_map(
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    on_event: Optional[ProgressListener] = None,
+    spans: Optional[SpanTracer] = None,
 ) -> List[Any]:
     """Order-preserving map over a process pool.
 
@@ -285,34 +376,55 @@ def parallel_map(
     ``workers`` settings.  ``workers=0`` maps inline (debuggers,
     coverage, tracers); otherwise *fn* and every item must be picklable
     and items are dispatched in chunks like :func:`run_campaign`.
-    ``progress(done, total)`` fires as chunks complete.
+
+    Progress is reported both ways: the legacy ``progress(done,
+    total)`` callable and an ``on_event`` listener receiving
+    :class:`~repro.telemetry.progress.ProgressEvent` records
+    (``kind="parallel_map"``, ``unit="items"``) fire together as
+    chunks complete.  ``spans`` records a ``parallel_map`` span with
+    ``chunk``/``item`` children; pool workers record their chunk's
+    spans locally and the tree is re-parented on merge.
     """
     items = list(items)
     total = len(items)
-    if workers == 0 or total == 0:
-        results: List[Any] = []
-        for index, item in enumerate(items):
-            results.append(fn(item))
-            if progress is not None:
-                progress(index + 1, total)
-        return results
-    if chunk_size is None:
-        pool_width = workers or os.cpu_count() or 1
-        chunk_size = max(1, math.ceil(total / (4 * pool_width)))
-    results = [None] * total
-    done = 0
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {
-            pool.submit(_map_chunk, fn, items[start : start + chunk_size]): start
-            for start in range(0, total, chunk_size)
-        }
-        for future in as_completed(futures):
-            start = futures[future]
-            chunk_results = future.result()
-            results[start : start + len(chunk_results)] = chunk_results
-            done += len(chunk_results)
-            if progress is not None:
-                progress(done, total)
+    dispatcher = ProgressDispatcher("parallel_map", unit="items")
+    dispatcher.add_legacy(progress)
+    dispatcher.add_listener(on_event)
+    collect_spans = spans is not None and spans.enabled
+    with span_of(spans, "parallel_map", items=total):
+        if workers == 0 or total == 0:
+            results: List[Any] = []
+            # one logical chunk, so inline and pool runs share paths
+            with span_of(spans, "chunk", items=total):
+                for index, item in enumerate(items):
+                    with span_of(spans, "item"):
+                        results.append(fn(item))
+                    if dispatcher:
+                        dispatcher.emit(index + 1, total)
+            return results
+        if chunk_size is None:
+            pool_width = workers or os.cpu_count() or 1
+            chunk_size = max(1, math.ceil(total / (4 * pool_width)))
+        results = [None] * total
+        done = 0
+        span_seed = spans.id_seed if collect_spans else None
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(
+                    _map_chunk, fn, items[start : start + chunk_size],
+                    span_seed, start,
+                ): start
+                for start in range(0, total, chunk_size)
+            }
+            for future in as_completed(futures):
+                start = futures[future]
+                chunk_results, chunk_spans = future.result()
+                results[start : start + len(chunk_results)] = chunk_results
+                done += len(chunk_results)
+                if collect_spans:
+                    spans.adopt(chunk_spans)
+                if dispatcher:
+                    dispatcher.emit(done, total)
     return results
 
 
@@ -518,9 +630,13 @@ def run_campaign(
     memoize_traces: bool = True,
     chunk_size: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    on_event: Optional[ProgressListener] = None,
     tracer=None,
     metrics=None,
     profiler=None,
+    spans: Optional[SpanTracer] = None,
+    status: Optional[StatusBus] = None,
+    status_done_base: int = 0,
     pairs: Optional[Sequence[Tuple[Optional[str], int]]] = None,
     retry: Optional[RetryPolicy] = None,
     fault_injector=None,
@@ -549,6 +665,24 @@ def run_campaign(
     ``tracer`` streams cannot cross a process boundary, so an *enabled*
     tracer requires ``workers=0``; ``profiler`` likewise only times the
     coarse campaign phases in pool mode.
+
+    ``spans`` works in every mode like ``metrics``: each shard records
+    a local ``shard -> trace/simulate`` span tree (also under fused
+    block dispatch, where every cell's records span the shared replay
+    window) and ships it back for re-parenting under the campaign root
+    span.  ``status`` turns on the live status bus: workers publish
+    per-shard heartbeats into its directory, the runner publishes a
+    rolling :class:`~repro.telemetry.statusbus.CampaignSnapshot` at
+    every progress tick, and shards whose heartbeat goes quiet for
+    longer than the bus's ``stale_after`` surface through the
+    ``campaign.workers_stale`` metric -- *before* any
+    ``shard_timeout`` kill fires.  ``status_done_base`` offsets every
+    published snapshot by shards completed *before* this invocation,
+    so a resumed durable campaign reports whole-campaign totals
+    instead of remainder-only ones.  ``on_event`` receives unified
+    :class:`~repro.telemetry.progress.ProgressEvent` records
+    alongside the legacy ``progress`` callable.  All three are pure
+    observation: results are bit-identical with them on or off.
 
     ``trace_path`` replays one pre-serialised ``.npz`` trace (e.g. an
     ingested external capture, see :mod:`repro.traces.ingest`) for
@@ -589,6 +723,50 @@ def run_campaign(
     ordered_names = list(dict.fromkeys(name or "none" for name, _ in pair_list))
     frozen_kwargs = tuple(sorted(workload_kwargs.items()))
     failures: List[ShardFailure] = []
+    collect_spans = spans is not None and spans.enabled
+    span_seed = spans.id_seed if collect_spans else ""
+    status_dir = str(status.root) if status is not None else None
+    dispatcher = ProgressDispatcher("campaign", unit="shards")
+    dispatcher.add_legacy(progress)
+    dispatcher.add_listener(on_event)
+    started_mono = time.monotonic()
+    if status is not None:
+        stale_seen: set = set()
+
+        def _publish_status(event) -> None:
+            stale = status.stale_workers()
+            for heartbeat in stale:
+                if heartbeat.worker not in stale_seen:
+                    stale_seen.add(heartbeat.worker)
+                    _count(metrics, "campaign.workers_stale")
+            retries = 0
+            if metrics is not None:
+                retry_counter = metrics.counters.get("campaign.shard_retries")
+                retries = retry_counter.value if retry_counter else 0
+            status.publish_snapshot(CampaignSnapshot(
+                done=status_done_base + event.done,
+                total=status_done_base + event.total,
+                degraded=len(failures),
+                retries=retries,
+                stale=len(stale),
+                started_mono=started_mono,
+                mono=time.monotonic(),
+                complete=event.done >= event.total,
+            ))
+
+        dispatcher.add_listener(_publish_status)
+        status.publish_snapshot(CampaignSnapshot(
+            done=status_done_base,
+            total=status_done_base + len(pair_list),
+            started_mono=started_mono, mono=started_mono,
+        ))
+    progress_cb: Optional[ProgressCallback] = (
+        dispatcher.emit if dispatcher else None
+    )
+    root_span = (
+        spans.start("campaign", engine=engine, shards=len(pair_list))
+        if collect_spans else None
+    )
     tmpdir: Optional[str] = None
     try:
         trace_paths: Dict[int, str] = {}
@@ -621,6 +799,9 @@ def run_campaign(
                 engine=engine,
                 collect_metrics=metrics is not None,
                 fault_injector=fault_injector,
+                collect_spans=collect_spans,
+                span_seed=span_seed,
+                status_dir=status_dir,
             )
             for name, seed in pair_list
         ]
@@ -655,6 +836,9 @@ def run_campaign(
                     workload_kwargs=frozen_kwargs,
                     trace_path=trace_paths.get(seed),
                     collect_metrics=metrics is not None,
+                    collect_spans=collect_spans,
+                    span_seed=span_seed,
+                    status_dir=status_dir,
                 )
                 for seed, block_names in seed_names.items()
             ]
@@ -666,8 +850,8 @@ def run_campaign(
                     if shard_callback is not None:
                         shard_callback(outcome, 1)
                 done += len(block_outcomes)
-                if progress is not None:
-                    progress(done, total)
+                if progress_cb is not None:
+                    progress_cb(done, total)
 
             if workers == 0:
                 with section_of(profiler, "campaign:inline"):
@@ -688,7 +872,7 @@ def run_campaign(
                     retry or RetryPolicy(),
                     tracer if tracer_enabled else None,
                     metrics,
-                    progress,
+                    progress_cb,
                     shard_callback,
                     failures,
                     sleep,
@@ -696,7 +880,7 @@ def run_campaign(
         elif retry is not None:
             with section_of(profiler, "campaign:pool"):
                 outcomes = _dispatch_tolerant_pool(
-                    jobs, retry, workers, metrics, progress, shard_callback,
+                    jobs, retry, workers, metrics, progress_cb, shard_callback,
                     failures, sleep,
                 )
         else:
@@ -723,27 +907,44 @@ def run_campaign(
                             for outcome in chunk_outcomes:
                                 shard_callback(outcome, 1)
                         done += len(chunk_outcomes)
-                        if progress is not None:
-                            progress(done, total)
+                        if progress_cb is not None:
+                            progress_cb(done, total)
     finally:
         if tmpdir is not None:
             shutil.rmtree(tmpdir, ignore_errors=True)
+        if collect_spans:
+            spans.finish()  # close the campaign root span
     # outcomes is ordered by job index (technique-major, seed-minor)
     # regardless of completion order; degraded shards stay None
     aggregates = CampaignResult(failures=failures)
     for name in ordered_names:
         aggregates[name] = TechniqueAggregate(technique=name)
+    completed = 0
     for outcome in outcomes:
         if outcome is None:
             continue
-        name, _seed, result, job_metrics = outcome
+        name, _seed, result, job_metrics, job_spans = outcome
         aggregates[name].results.append(result)
+        completed += 1
         if metrics is not None and job_metrics is not None:
             metrics.merge(job_metrics)
+        if collect_spans and job_spans is not None:
+            spans.adopt(job_spans, parent=root_span)
     for failure in failures:
         aggregates[failure.technique].degraded_seeds.append(failure.seed)
-    _count(
-        metrics, "campaign.shards_completed",
-        sum(1 for outcome in outcomes if outcome is not None),
-    )
+    _count(metrics, "campaign.shards_completed", completed)
+    if status is not None:
+        final_retries = 0
+        if metrics is not None:
+            retry_counter = metrics.counters.get("campaign.shard_retries")
+            final_retries = retry_counter.value if retry_counter else 0
+        status.publish_snapshot(CampaignSnapshot(
+            done=status_done_base + completed,
+            total=status_done_base + len(pair_list),
+            degraded=len(failures),
+            retries=final_retries,
+            started_mono=started_mono,
+            mono=time.monotonic(),
+            complete=completed + len(failures) >= len(pair_list),
+        ))
     return aggregates

@@ -13,6 +13,12 @@ and workflow recipes.
 """
 
 from repro.telemetry.events import EVENT_KINDS
+from repro.telemetry.export import (
+    registry_from_prometheus,
+    to_jsonl,
+    to_prometheus,
+    write_metrics_export,
+)
 from repro.telemetry.hooks import EngineTelemetry
 from repro.telemetry.manifest import (
     RunManifest,
@@ -22,6 +28,18 @@ from repro.telemetry.manifest import (
 )
 from repro.telemetry.metrics import Counter, Histogram, MetricsRegistry
 from repro.telemetry.profiler import Profiler, section_of
+from repro.telemetry.progress import (
+    ProgressDispatcher,
+    ProgressEvent,
+    adapt_legacy,
+)
+from repro.telemetry.spans import Span, SpanTracer, span_id_for, span_of
+from repro.telemetry.statusbus import (
+    CampaignSnapshot,
+    StatusBus,
+    WorkerHeartbeat,
+    write_json_atomic,
+)
 from repro.telemetry.tracer import (
     JsonlTracer,
     NullTracer,
@@ -42,6 +60,21 @@ __all__ = [
     "MetricsRegistry",
     "Profiler",
     "section_of",
+    "Span",
+    "SpanTracer",
+    "span_id_for",
+    "span_of",
+    "CampaignSnapshot",
+    "StatusBus",
+    "WorkerHeartbeat",
+    "write_json_atomic",
+    "ProgressDispatcher",
+    "ProgressEvent",
+    "adapt_legacy",
+    "registry_from_prometheus",
+    "to_jsonl",
+    "to_prometheus",
+    "write_metrics_export",
     "JsonlTracer",
     "NullTracer",
     "RecordingTracer",

@@ -127,6 +127,13 @@ class MetricsRegistry:
         counter = self.counters.get(name)
         if counter is None:
             counter = self.counters[name] = Counter(name, limit=limit)
+        elif limit is not None and counter.limit != limit:
+            # mirror histogram(): a silently ignored conflicting limit
+            # would make export -> import round-trips lossy
+            raise ValueError(
+                f"counter {name!r} already exists with limit "
+                f"{counter.limit}, requested {limit}"
+            )
         return counter
 
     def histogram(self, name: str, bounds: Sequence[float]) -> Histogram:
@@ -148,7 +155,12 @@ class MetricsRegistry:
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold *other* into this registry (campaign shard aggregation)."""
         for name, counter in other.counters.items():
-            self.counter(name, limit=counter.limit).add(counter.value)
+            mine_c = self.counter(name, limit=counter.limit)
+            mine_c.add(counter.value)
+            if counter.saturated:
+                # the clamp happened in the shard; the merged total is a
+                # lower bound even if it sits below the limit here
+                mine_c.saturated = True
         for name, histogram in other.histograms.items():
             mine = self.histogram(name, histogram.bounds)
             for index, count in enumerate(histogram.counts):
@@ -181,9 +193,10 @@ class MetricsRegistry:
         registry = cls()
         for name, entry in (data.get("counters") or {}).items():
             counter = registry.counter(name, limit=entry.get("limit"))
-            counter.add(entry.get("value", 0))
-            if entry.get("saturated"):
-                counter.saturated = True
+            # assign, don't add(): the clamp path must not re-run, and
+            # the stored saturated flag is authoritative either way
+            counter.value = entry.get("value", 0)
+            counter.saturated = bool(entry.get("saturated", False))
         for name, entry in (data.get("histograms") or {}).items():
             histogram = registry.histogram(name, entry["bounds"])
             histogram.counts = list(entry.get("counts", histogram.counts))

@@ -1,0 +1,108 @@
+"""One progress vocabulary for every long-running loop.
+
+Before this module the repo had two ad-hoc progress-callback
+conventions: ``parallel_map(..., progress=fn)`` called ``fn(done,
+total)`` with completed shard counts, and adversary
+``run_search(..., progress=fn)`` called ``fn(evaluations, budget)``.
+Both survive unchanged as thin adapters around a single
+:class:`ProgressEvent` record that also carries *what kind of unit* is
+being counted and arbitrary context attributes -- which is what the
+status bus and the ``campaign-status --follow`` view need to render
+heterogeneous producers uniformly.
+
+Producers build a :class:`ProgressDispatcher`, hand it any mix of
+legacy ``(done, total)`` callables and :class:`ProgressEvent`
+listeners, and emit once per step; the dispatcher fans out and never
+lets a listener's exception kill the producing loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+#: a listener receiving the full event record
+ProgressListener = Callable[["ProgressEvent"], None]
+#: the legacy convention: ``fn(done, total)``
+LegacyProgress = Callable[[int, int], None]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """A point-in-time progress report from one producing loop.
+
+    ``kind`` names the producer (``"campaign"``, ``"parallel_map"``,
+    ``"adversary"``, ...), ``unit`` names what ``done``/``total``
+    count (``"cells"``, ``"shards"``, ``"evaluations"``).
+    """
+
+    kind: str
+    done: int
+    total: int
+    unit: str = "items"
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def fraction(self) -> Optional[float]:
+        if self.total <= 0:
+            return None
+        return min(1.0, self.done / self.total)
+
+    @property
+    def complete(self) -> bool:
+        return self.total > 0 and self.done >= self.total
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "done": self.done,
+            "total": self.total,
+            "unit": self.unit,
+            "attrs": dict(self.attrs),
+        }
+
+
+def adapt_legacy(callback: LegacyProgress) -> ProgressListener:
+    """Wrap an old ``fn(done, total)`` callable as an event listener."""
+
+    def listener(event: ProgressEvent) -> None:
+        callback(event.done, event.total)
+
+    return listener
+
+
+class ProgressDispatcher:
+    """Fans one stream of :class:`ProgressEvent` out to many listeners.
+
+    Legacy ``(done, total)`` callables and event listeners coexist;
+    listener exceptions are swallowed so observability can never abort
+    the work it is observing.
+    """
+
+    def __init__(self, kind: str, unit: str = "items") -> None:
+        self.kind = kind
+        self.unit = unit
+        self._listeners: List[ProgressListener] = []
+
+    def add_listener(self, listener: Optional[ProgressListener]) -> None:
+        if listener is not None:
+            self._listeners.append(listener)
+
+    def add_legacy(self, callback: Optional[LegacyProgress]) -> None:
+        if callback is not None:
+            self._listeners.append(adapt_legacy(callback))
+
+    def __bool__(self) -> bool:
+        return bool(self._listeners)
+
+    def emit(self, done: int, total: int, **attrs: Any) -> ProgressEvent:
+        event = ProgressEvent(
+            kind=self.kind, done=done, total=total, unit=self.unit,
+            attrs=attrs,
+        )
+        for listener in self._listeners:
+            try:
+                listener(event)
+            except Exception:  # noqa: BLE001 - observers must not kill work
+                continue
+        return event

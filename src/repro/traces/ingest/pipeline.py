@@ -28,6 +28,7 @@ from typing import Any, Dict, List, Optional, Union
 
 from repro.config import SimConfig
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import span_of
 from repro.traces.ingest.cache import IngestCache, cache_key, file_digest
 from repro.traces.ingest.mapper import AddressMapper, resolve_mapper
 from repro.traces.ingest.readers import (
@@ -124,6 +125,7 @@ def ingest_trace(
     cache: Optional[IngestCache] = None,
     use_cache: bool = True,
     metrics: Optional[MetricsRegistry] = None,
+    spans=None,
 ) -> IngestResult:
     """Ingest the external trace at *path* for simulation under *config*.
 
@@ -133,6 +135,10 @@ def ingest_trace(
     (dramsim: False, litex: True; native keeps its per-record flags).
     ``on_parse_error="skip"`` drops malformed records instead of
     raising.  Pass ``use_cache=False`` to force a re-parse.
+
+    ``spans`` (a :class:`~repro.telemetry.spans.SpanTracer`) records an
+    ``ingest`` span with ``parse``/``cache`` children, so trace
+    ingestion shows up in the same timing tree as simulation.
 
     Raises :class:`TraceFormatError` on malformed input (respecting
     the skip policy for record-level problems) and ``FileNotFoundError``
@@ -160,52 +166,56 @@ def ingest_trace(
     elif metrics is not None and cache.metrics is None:
         cache.metrics = metrics
 
-    source_digest = file_digest(path)
-    key = cache_key(source_digest, spec.digest)
-    if use_cache:
-        cached = cache.load(key)
-        if cached is not None:
-            trace, sidecar = cached
-            provenance = dict(sidecar)
-            provenance["source"] = str(path)
-            provenance["cache"] = {
-                "enabled": True, "hit": True, "key": key,
-                "path": str(cache.entry_path(key)),
-            }
-            return IngestResult(trace=trace, provenance=provenance)
+    with span_of(spans, "ingest", format=fmt):
+        source_digest = file_digest(path)
+        key = cache_key(source_digest, spec.digest)
+        if use_cache:
+            with span_of(spans, "cache", op="load"):
+                cached = cache.load(key)
+            if cached is not None:
+                trace, sidecar = cached
+                provenance = dict(sidecar)
+                provenance["source"] = str(path)
+                provenance["cache"] = {
+                    "enabled": True, "hit": True, "key": key,
+                    "path": str(cache.entry_path(key)),
+                }
+                return IngestResult(trace=trace, provenance=provenance)
 
-    policy = ParseErrorPolicy(mode=on_parse_error)
-    trace, file_meta = _parse(path, fmt, config, resolved_mapper,
-                              clock_ns, mark_attacks, policy)
-    sidecar = {
-        "schema": 1,
-        "source_digest": source_digest,
-        "format": fmt,
-        "mapper": spec.mapper_spec,
-        "spec_digest": spec.digest,
-        "records": trace.count(),
-        "skipped": policy.skipped,
-        "skipped_samples": list(policy.samples),
-        "meta": {
-            "total_intervals": trace.meta.total_intervals,
-            "interval_ns": trace.meta.interval_ns,
-            "num_banks": trace.meta.num_banks,
-        },
-    }
-    if file_meta is not None:
-        sidecar["declared_meta"] = file_meta
-    if use_cache:
-        # replay through the same npz round-trip a later cache hit will
-        # use, so hit and miss cannot produce different records
-        entry = cache.store(key, trace, sidecar)
-        trace = load_trace_npz(entry)
-    provenance = dict(sidecar)
-    provenance["source"] = str(path)
-    provenance["cache"] = {
-        "enabled": use_cache, "hit": False, "key": key,
-        "path": str(cache.entry_path(key)) if use_cache else None,
-    }
-    return IngestResult(trace=trace, provenance=provenance)
+        policy = ParseErrorPolicy(mode=on_parse_error)
+        with span_of(spans, "parse"):
+            trace, file_meta = _parse(path, fmt, config, resolved_mapper,
+                                      clock_ns, mark_attacks, policy)
+        sidecar = {
+            "schema": 1,
+            "source_digest": source_digest,
+            "format": fmt,
+            "mapper": spec.mapper_spec,
+            "spec_digest": spec.digest,
+            "records": trace.count(),
+            "skipped": policy.skipped,
+            "skipped_samples": list(policy.samples),
+            "meta": {
+                "total_intervals": trace.meta.total_intervals,
+                "interval_ns": trace.meta.interval_ns,
+                "num_banks": trace.meta.num_banks,
+            },
+        }
+        if file_meta is not None:
+            sidecar["declared_meta"] = file_meta
+        if use_cache:
+            # replay through the same npz round-trip a later cache hit
+            # will use, so hit and miss cannot produce different records
+            with span_of(spans, "cache", op="store"):
+                entry = cache.store(key, trace, sidecar)
+                trace = load_trace_npz(entry)
+        provenance = dict(sidecar)
+        provenance["source"] = str(path)
+        provenance["cache"] = {
+            "enabled": use_cache, "hit": False, "key": key,
+            "path": str(cache.entry_path(key)) if use_cache else None,
+        }
+        return IngestResult(trace=trace, provenance=provenance)
 
 
 def _parse(

@@ -29,10 +29,11 @@ class TestJob:
             seed=0,
             total_intervals=8,
         )
-        name, seed, result, metrics = _run_job(job)
+        name, seed, result, metrics, spans = _run_job(job)
         assert name == "PARA"
         assert result.normal_activations > 0
         assert metrics is None  # collect_metrics defaults off
+        assert spans is None  # collect_spans defaults off
 
 
 class TestCampaign:

@@ -1,0 +1,138 @@
+"""Tests for the filesystem status bus (repro.telemetry.statusbus)."""
+
+import json
+import time
+
+import pytest
+
+from repro.telemetry.statusbus import (
+    CampaignSnapshot,
+    StatusBus,
+    WorkerHeartbeat,
+    write_json_atomic,
+)
+
+
+class TestWriteJsonAtomic:
+    def test_writes_canonical_json(self, tmp_path):
+        path = tmp_path / "deep" / "record.json"
+        write_json_atomic(path, {"b": 2, "a": 1})
+        assert json.loads(path.read_text()) == {"a": 1, "b": 2}
+
+    def test_leaves_no_temp_debris(self, tmp_path):
+        path = tmp_path / "record.json"
+        write_json_atomic(path, {"x": 1})
+        write_json_atomic(path, {"x": 2})
+        assert [p.name for p in tmp_path.iterdir()] == ["record.json"]
+        assert json.loads(path.read_text()) == {"x": 2}
+
+    def test_unserialisable_payload_leaves_no_file(self, tmp_path):
+        path = tmp_path / "record.json"
+        with pytest.raises(TypeError):
+            write_json_atomic(path, {"x": object()})
+        assert not path.exists()
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestHeartbeats:
+    def test_beat_round_trips(self, tmp_path):
+        bus = StatusBus(tmp_path / "status")
+        sent = bus.beat("PARA__s0", 1, 4, retries=2, degraded=True,
+                        engine="fused")
+        (read,) = bus.read_heartbeats()
+        assert read.as_dict() == sent.as_dict()
+        assert read.attrs == {"engine": "fused"}
+
+    def test_worker_names_are_sanitised_for_paths(self, tmp_path):
+        bus = StatusBus(tmp_path / "status")
+        bus.beat("evil/../name with spaces", 0, 1)
+        (path,) = bus.workers_dir.glob("*.json")
+        assert path.parent == bus.workers_dir
+        assert "/" not in path.stem and " " not in path.stem
+        (read,) = bus.read_heartbeats()
+        assert read.worker == "evil/../name with spaces"
+
+    def test_torn_records_are_skipped_not_raised(self, tmp_path):
+        bus = StatusBus(tmp_path / "status")
+        bus.beat("good", 1, 1)
+        bus.workers_dir.joinpath("torn.json").write_text("{not json")
+        bus.workers_dir.joinpath("foreign.json").write_text('{"hi": 1}')
+        (read,) = bus.read_heartbeats()
+        assert read.worker == "good"
+
+    def test_clear_workers(self, tmp_path):
+        bus = StatusBus(tmp_path / "status")
+        bus.beat("a", 0, 1)
+        bus.beat("b", 0, 1)
+        bus.clear_workers()
+        assert bus.read_heartbeats() == []
+
+
+class TestStaleness:
+    def test_silent_running_worker_is_stale(self, tmp_path):
+        bus = StatusBus(tmp_path / "status", stale_after=5.0)
+        now = time.monotonic()
+        bus.publish_heartbeat(WorkerHeartbeat(
+            worker="hung", cells_done=0, cells_total=1, mono=now - 60.0,
+        ))
+        bus.publish_heartbeat(WorkerHeartbeat(
+            worker="live", cells_done=0, cells_total=1, mono=now,
+        ))
+        assert [b.worker for b in bus.stale_workers(now=now)] == ["hung"]
+
+    def test_done_workers_never_go_stale(self, tmp_path):
+        bus = StatusBus(tmp_path / "status", stale_after=5.0)
+        now = time.monotonic()
+        bus.publish_heartbeat(WorkerHeartbeat(
+            worker="finished", cells_done=1, cells_total=1,
+            mono=now - 60.0, phase="done",
+        ))
+        assert bus.stale_workers(now=now) == []
+
+    def test_rejects_nonpositive_budget(self, tmp_path):
+        with pytest.raises(ValueError, match="stale_after"):
+            StatusBus(tmp_path, stale_after=0.0)
+
+
+class TestSnapshot:
+    def test_round_trip(self, tmp_path):
+        bus = StatusBus(tmp_path / "status")
+        snapshot = CampaignSnapshot(
+            done=3, total=8, degraded=1, retries=2, stale=1,
+            started_mono=10.0, mono=16.0,
+        )
+        bus.publish_snapshot(snapshot)
+        assert bus.read_snapshot().as_dict() == snapshot.as_dict()
+
+    def test_missing_or_torn_snapshot_reads_none(self, tmp_path):
+        bus = StatusBus(tmp_path / "status")
+        assert bus.read_snapshot() is None
+        bus.root.mkdir(parents=True)
+        bus.snapshot_path.write_text("{oops")
+        assert bus.read_snapshot() is None
+
+    def test_throughput_and_eta(self):
+        snapshot = CampaignSnapshot(
+            done=3, total=9, started_mono=0.0, mono=6.0
+        )
+        assert snapshot.throughput == pytest.approx(0.5)
+        assert snapshot.eta_seconds == pytest.approx(12.0)
+
+    def test_no_estimate_without_progress_or_elapsed(self):
+        assert CampaignSnapshot(done=0, total=4, started_mono=0.0,
+                                mono=5.0).throughput is None
+        assert CampaignSnapshot(done=2, total=4, started_mono=5.0,
+                                mono=5.0).eta_seconds is None
+        complete = CampaignSnapshot(done=4, total=4, started_mono=0.0,
+                                    mono=2.0, complete=True)
+        assert complete.eta_seconds is None
+
+
+class TestLayout:
+    def test_for_checkpoint_nests_under_status(self, tmp_path):
+        bus = StatusBus.for_checkpoint(tmp_path / "ckpt")
+        assert bus.root == tmp_path / "ckpt" / "status"
+        assert bus.snapshot_path.name == "campaign.json"
+        assert not bus.exists
+        bus.beat("w", 0, 1)
+        assert bus.exists

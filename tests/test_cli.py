@@ -141,3 +141,111 @@ class TestAdversary:
         with pytest.raises(ValueError, match="choose from"):
             main(["adversary", "--technique", "NoSuch", "--budget", "1",
                   "--preset", "small"])
+
+
+class TestObservabilityCli:
+    """--metrics-out exports and the campaign-status live modes."""
+
+    CAMPAIGN = ["campaign", "--intervals", "8", "--seeds", "2",
+                "--techniques", "PARA", "--workers", "0"]
+
+    def run_campaign(self, tmp_path, *extra):
+        ckpt = tmp_path / "ckpt"
+        code = main(self.CAMPAIGN + ["--checkpoint-dir", str(ckpt)]
+                    + list(extra))
+        assert code == 0
+        return ckpt
+
+    def test_metrics_out_prometheus_round_trips(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry import registry_from_prometheus
+        from repro.telemetry.export import parse_prometheus
+
+        export = tmp_path / "metrics.prom"
+        manifest = tmp_path / "manifest.json"
+        self.run_campaign(tmp_path, "--metrics-out", str(export),
+                          "--manifest", str(manifest))
+        err = capsys.readouterr().err
+        assert "wrote metrics export" in err
+        text = export.read_text(encoding="utf-8")
+        registry = registry_from_prometheus(text)
+        assert registry.counters["campaign.shards_completed"].value == 2
+        # span summary rode along: the campaign tree is in the export
+        span_paths = parse_prometheus(text)["span_paths"]
+        assert span_paths["campaign/shard"] == 2
+        assert "campaign/shard/simulate" in span_paths
+        # and the manifest records the export provenance
+        extra = json.loads(manifest.read_text())["extra"]
+        assert extra["metrics_export"] == {
+            "path": str(export), "format": "prometheus",
+        }
+
+    def test_metrics_out_jsonl(self, tmp_path, capsys):
+        from repro.telemetry.export import parse_jsonl
+
+        export = tmp_path / "metrics.jsonl"
+        self.run_campaign(tmp_path, "--metrics-out", str(export))
+        capsys.readouterr()
+        parsed = parse_jsonl(export.read_text(encoding="utf-8"))
+        assert parsed["counters"]["campaign.shards_completed"]["value"] == 2
+        assert parsed["span_paths"]["campaign"] == 1
+
+    def test_campaign_status_once_emits_json_frame(self, tmp_path, capsys):
+        import json
+
+        ckpt = self.run_campaign(tmp_path)
+        capsys.readouterr()
+        assert main(["campaign-status", str(ckpt), "--once"]) == 0
+        frame = json.loads(capsys.readouterr().out)
+        assert frame["snapshot"]["complete"] is True
+        assert frame["snapshot"]["done"] == 2
+        assert frame["store"] == {
+            "completed": 2, "total": 2, "complete": True, "failures": 0,
+        }
+        assert [w["worker"] for w in frame["workers"]] == \
+            ["PARA__s0", "PARA__s1"]
+        assert all(w["phase"] == "done" for w in frame["workers"])
+        assert frame["stale"] == []
+
+    def test_campaign_status_follow_exits_on_complete(self, tmp_path,
+                                                      capsys):
+        import json
+
+        ckpt = self.run_campaign(tmp_path)
+        capsys.readouterr()
+        assert main(["campaign-status", str(ckpt), "--follow",
+                     "--json", "--interval", "0.01"]) == 0
+        frames = [json.loads(line)
+                  for line in capsys.readouterr().out.splitlines()]
+        assert frames
+        assert frames[-1]["snapshot"]["complete"] is True
+
+    def test_campaign_status_once_before_campaign_exists(self, tmp_path,
+                                                         capsys):
+        import json
+
+        assert main(["campaign-status", str(tmp_path / "nope"),
+                     "--once"]) == 0
+        frame = json.loads(capsys.readouterr().out)
+        assert frame["snapshot"] is None
+        assert frame["store"] is None
+
+    def test_plain_status_still_errors_without_checkpoint(self, capsys,
+                                                          tmp_path):
+        assert main(["campaign-status", str(tmp_path / "nope")]) == 2
+        assert "no campaign checkpoint" in capsys.readouterr().err
+
+    def test_adversary_metrics_out_records_generations(self, tmp_path,
+                                                       capsys):
+        from repro.telemetry.export import parse_jsonl
+
+        export = tmp_path / "adversary.jsonl"
+        code = main(["adversary", "--technique", "lipromi", "--preset",
+                     "small", "--budget", "9", "--eval-seeds", "1",
+                     "--metrics-out", str(export)])
+        capsys.readouterr()
+        assert code == 0
+        parsed = parse_jsonl(export.read_text(encoding="utf-8"))
+        assert parsed["span_paths"]["search"] == 1
+        assert parsed["span_paths"].get("search/generation", 0) >= 1

@@ -480,3 +480,42 @@ def render_ingest(result) -> str:
     stats = characterize(result.trace)
     sections.append(render_table(("statistic", "value"), stats.summary_rows()))
     return "\n\n".join(sections)
+
+
+def render_serve_session(outcome) -> str:
+    """Render a ``repro submit`` :class:`~repro.serve.client.SessionOutcome`.
+
+    A provenance header (session id, shard, server cache outcome),
+    then one :meth:`~repro.sim.metrics.SimResult.summary` line per
+    verdict -- byte-identical to what an offline ``repro run`` of the
+    same cell prints, which is what lets the CI smoke job diff the
+    streamed and offline outputs directly.
+    """
+    from repro.sim.metrics import SimResult
+
+    provenance = outcome.provenance
+    cache = provenance.get("cache", {})
+    if not cache.get("enabled"):
+        cache_cell = "disabled"
+    elif cache.get("hit"):
+        cache_cell = "hit"
+    else:
+        cache_cell = "miss (entry written)"
+    header_rows = [
+        ("session", str(outcome.session or "-")),
+        ("shard", str(outcome.accepted.get("shard", "-"))),
+        ("engine", str(outcome.accepted.get("engine", "-"))),
+        ("format", str(provenance.get("format", "-"))),
+        ("source digest", str(provenance.get("source_digest", "-"))[:16]),
+        ("records", f"{provenance.get('records', 0):,}"),
+        ("server cache", cache_cell),
+        ("verdicts", str(len(outcome.verdicts))),
+    ]
+    sections = [render_table(("field", "value"), header_rows)]
+    if outcome.verdicts:
+        lines = [
+            SimResult.from_dict(verdict["result"]).summary()
+            for verdict in outcome.verdicts
+        ]
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections)

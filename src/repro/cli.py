@@ -14,6 +14,8 @@
     python -m repro campaign --checkpoint-dir DIR [--resume]
     python -m repro campaign-status DIR
     python -m repro adversary --technique NAME [--strategy evolve]
+    python -m repro serve [--port 7777 --shards N --status-dir DIR]
+    python -m repro submit FILE --port 7777 [--techniques NAME ...]
 
 ``ingest`` parses an externally captured trace (DRAMSim/Ramulator
 command logs, litex-rowhammer-tester JSON dumps, or the native format;
@@ -42,6 +44,15 @@ continue from the completed shards (see docs/campaigns.md).  Worker
 faults are handled by ``--max-retries/--shard-timeout`` with
 exponential backoff, and ``--on-shard-failure skip`` degrades failed
 shards instead of aborting the campaign.
+
+``serve`` starts the streaming evaluation service: a long-running
+server that accepts trace uploads over newline-delimited JSON,
+multiplexes concurrent client sessions onto sharded workers running
+the fused engine, and streams verdicts back incrementally.  ``submit``
+is its client: it uploads a capture and prints the same per-technique
+summary lines an offline ``run`` would.  Protocol spec and quickstart
+in docs/serve.md; with ``--status-dir`` a live server is observable
+through ``campaign-status DIR --follow`` like any campaign.
 
 ``adversary`` runs the red-team pattern fuzzer against one mitigation:
 a deterministic random or (mu+lambda) evolutionary search over attack
@@ -168,9 +179,15 @@ def _finish_telemetry(
 
 
 def _add_ingest_args(
-    parser: argparse.ArgumentParser, with_trace_file: bool = True
+    parser: argparse.ArgumentParser,
+    with_trace_file: bool = True,
+    with_cache: bool = True,
 ) -> None:
-    """Flags controlling external-trace ingestion (docs/trace-formats.md)."""
+    """Flags controlling external-trace ingestion (docs/trace-formats.md).
+
+    ``with_cache=False`` omits the cache-location flags -- ``submit``
+    streams to a server whose cache lives server-side.
+    """
     if with_trace_file:
         parser.add_argument(
             "--trace-file", metavar="FILE", default=None,
@@ -202,14 +219,19 @@ def _add_ingest_args(
         help="malformed records abort the ingest (raise) or are counted "
              "and dropped (skip)",
     )
+    if with_cache:
+        _add_ingest_cache_arg(parser)
+        parser.add_argument(
+            "--no-ingest-cache", action="store_true",
+            help="bypass the npz ingest cache (always re-parse)",
+        )
+
+
+def _add_ingest_cache_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--ingest-cache", metavar="DIR", default=None,
         help="ingest cache directory (default: $REPRO_INGEST_CACHE or "
              "~/.cache/repro/ingest)",
-    )
-    parser.add_argument(
-        "--no-ingest-cache", action="store_true",
-        help="bypass the npz ingest cache (always re-parse)",
     )
 
 
@@ -622,6 +644,104 @@ def _cmd_adversary(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import threading
+
+    from repro.serve import ServeServer, ServeSettings
+
+    settings = ServeSettings(
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        engine=args.engine,
+        session_queue=args.session_queue,
+        shed_grace_s=args.shed_grace,
+        write_buffer_bytes=args.write_buffer_bytes,
+        status_dir=args.status_dir,
+        metrics_out=args.metrics_out,
+        ingest_cache=args.ingest_cache,
+    )
+    server = ServeServer(config=SimConfig(), settings=settings)
+    thread = threading.Thread(
+        target=server.run, name="repro-serve", daemon=True
+    )
+    thread.start()
+    try:
+        if not server.wait_started(30):
+            print("serve: server failed to start within 30s",
+                  file=sys.stderr)
+            return 1
+    except RuntimeError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 1
+    # one parseable line on stdout: scripts (and the CI smoke job)
+    # read the bound port from it when --port 0 picked a free one
+    print(
+        f"repro-serve listening on {settings.host}:{server.port} "
+        f"shards={settings.shards} engine={settings.engine}",
+        flush=True,
+    )
+    try:
+        while thread.is_alive():
+            thread.join(0.5)
+        return 0
+    except KeyboardInterrupt:
+        server.shutdown()
+        thread.join(10)
+        return 0
+
+
+def _cmd_submit(args) -> int:
+    import os
+
+    from repro.analysis.report import render_serve_session
+    from repro.serve import ServeClient, ServeError
+
+    if not os.path.isfile(args.trace_file):
+        print(f"submit: trace file not found: {args.trace_file}",
+              file=sys.stderr)
+        return 2
+    client = ServeClient(args.host, args.port, timeout=args.timeout)
+
+    def on_frame(frame) -> None:
+        if frame.get("type") == "progress":
+            print(
+                f"submit: uploaded {frame.get('bytes', 0):,} bytes "
+                f"({frame.get('lines', 0):,} lines)",
+                file=sys.stderr,
+            )
+
+    try:
+        outcome = client.submit(
+            args.trace_file,
+            techniques=args.techniques or ["PARA"],
+            seeds=list(range(args.seeds)),
+            format=args.trace_format,
+            mapper=args.mapper,
+            clock_ns=args.clock_ns,
+            mark_attacks=_MARK_ATTACKS[args.mark_attacks],
+            on_parse_error=args.on_parse_error,
+            session=args.session,
+            on_frame=on_frame if args.progress else None,
+        )
+    except ServeError as exc:
+        print(f"submit: server error {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        # ServeDisconnected included: no terminal frame ever arrived
+        print(f"submit: connection to {args.host}:{args.port} failed: "
+              f"{exc}", file=sys.stderr)
+        return 3
+    if args.summary_only:
+        from repro.sim.metrics import SimResult
+
+        for verdict in outcome.verdicts:
+            print(SimResult.from_dict(verdict["result"]).summary())
+    else:
+        print(render_serve_session(outcome))
+    return 0
+
+
 def _status_frame_json(store, bus):
     """One machine-readable ``campaign-status`` poll as a dict."""
     snapshot = bus.read_snapshot()
@@ -671,6 +791,10 @@ def _cmd_campaign_status(args) -> int:
     # without a terminal, a refreshing table is useless -- emit JSON
     # frames instead so scripts (and the CI smoke job) can parse them
     as_json = args.json or not sys.stdout.isatty()
+    if as_json and hasattr(sys.stdout, "reconfigure"):
+        # non-TTY stdout is block-buffered: force line buffering so a
+        # polling consumer sees every frame the moment it is printed
+        sys.stdout.reconfigure(line_buffering=True)
     try:
         while True:
             if as_json:
@@ -693,6 +817,15 @@ def _cmd_campaign_status(args) -> int:
                 return 0
             time.sleep(args.interval)
     except KeyboardInterrupt:
+        return 0
+    except BrokenPipeError:
+        # a downstream consumer (`... --follow | head -1`) closed the
+        # pipe after taking what it needed: that is a clean stop, not
+        # an error.  Point stdout at devnull so the interpreter-exit
+        # flush cannot raise a second BrokenPipeError traceback.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
 
 
@@ -903,6 +1036,93 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a wall-clock phase breakdown after the run",
     )
     _add_metrics_out_arg(adversary)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the streaming evaluation service (docs/serve.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default %(default)s)")
+    serve.add_argument(
+        "--port", type=int, default=7777,
+        help="TCP port; 0 picks a free one, reported on stdout "
+             "(default %(default)s)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=2,
+        help="worker lanes; sessions are assigned round-robin "
+             "(default %(default)s)",
+    )
+    serve.add_argument(
+        "--session-queue", type=int, default=256, metavar="FRAMES",
+        help="outbound frames buffered per session; when full the "
+             "worker throttles instead of overflowing "
+             "(default %(default)s)",
+    )
+    serve.add_argument(
+        "--shed-grace", type=float, default=20.0, metavar="SECONDS",
+        help="cumulative seconds a session's worker may stall on a "
+             "full outbound queue before the client is shed "
+             "(default %(default)s)",
+    )
+    serve.add_argument(
+        "--write-buffer-bytes", type=int, default=256 * 1024,
+        metavar="BYTES",
+        help="transport write-buffer high-water mark; smaller values "
+             "surface slow clients sooner (default %(default)s)",
+    )
+    serve.add_argument(
+        "--status-dir", metavar="DIR", default=None,
+        help="publish a campaign-status-compatible status bus under "
+             "DIR/status ('repro campaign-status DIR --follow' then "
+             "shows live sessions)",
+    )
+    _add_ingest_cache_arg(serve)
+    _add_metrics_out_arg(serve)
+    _add_engine_arg(serve)
+    serve.set_defaults(func=_cmd_serve, engine="fused")
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="stream a trace to a repro-serve server for evaluation",
+    )
+    submit.add_argument(
+        "trace_file", metavar="FILE",
+        help="trace to upload (DRAMSim/Ramulator, litex JSON, or "
+             "native; gzip travels as-is)",
+    )
+    submit.add_argument("--host", default="127.0.0.1",
+                        help="server address (default %(default)s)")
+    submit.add_argument("--port", type=int, default=7777,
+                        help="server port (default %(default)s)")
+    submit.add_argument(
+        "--techniques", nargs="+", default=None, metavar="NAME",
+        help="techniques to evaluate, or 'none' for the unmitigated "
+             "baseline (default: PARA)",
+    )
+    submit.add_argument(
+        "--seeds", type=int, default=1,
+        help="seeds per technique (default %(default)s)",
+    )
+    submit.add_argument(
+        "--session", default="", metavar="LABEL",
+        help="session label (appears in server logs and status bus)",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=120.0, metavar="SECONDS",
+        help="socket timeout (default %(default)s)",
+    )
+    submit.add_argument(
+        "--progress", action="store_true",
+        help="print upload progress frames to stderr",
+    )
+    submit.add_argument(
+        "--summary-only", action="store_true",
+        help="print only the per-cell summary lines (byte-identical "
+             "to an offline 'repro run' of the same cells)",
+    )
+    _add_ingest_args(submit, with_trace_file=False, with_cache=False)
+    submit.set_defaults(func=_cmd_submit)
 
     campaign_status = subparsers.add_parser(
         "campaign-status",

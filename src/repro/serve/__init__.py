@@ -1,0 +1,44 @@
+"""The streaming evaluation service behind ``repro serve``.
+
+A session-sharded asyncio server (:mod:`repro.serve.server`), its
+NDJSON wire protocol (:mod:`repro.serve.protocol`) and a blocking
+client (:mod:`repro.serve.client`).  See ``docs/serve.md`` for the
+protocol specification and a runnable quickstart.
+"""
+
+from repro.serve.client import (
+    ServeClient,
+    ServeDisconnected,
+    ServeError,
+    SessionOutcome,
+)
+from repro.serve.protocol import (
+    DEFAULT_CHUNK_BYTES,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_chunk,
+    decode_frame,
+    encode_chunk,
+    encode_frame,
+    error_frame,
+)
+from repro.serve.server import ServeServer, ServeSettings
+
+__all__ = [
+    "DEFAULT_CHUNK_BYTES",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServeClient",
+    "ServeDisconnected",
+    "ServeError",
+    "ServeServer",
+    "ServeSettings",
+    "SessionOutcome",
+    "decode_chunk",
+    "decode_frame",
+    "encode_chunk",
+    "encode_frame",
+    "error_frame",
+]

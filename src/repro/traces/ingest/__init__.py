@@ -25,10 +25,17 @@ from repro.traces.ingest.readers import (
     FORMAT_NAMES,
     ParseErrorPolicy,
     detect_format,
+    dramsim_records,
+    native_records,
     open_trace_text,
     read_dramsim,
     read_litex,
     read_native,
+)
+from repro.traces.ingest.streaming import (
+    ChunkDecoder,
+    StreamTruncated,
+    iter_chunk_lines,
 )
 
 __all__ = [
@@ -40,12 +47,17 @@ __all__ = [
     "IngestSpec",
     "MapperSpecError",
     "ParseErrorPolicy",
+    "ChunkDecoder",
+    "StreamTruncated",
     "cache_key",
     "default_cache_dir",
     "detect_format",
+    "dramsim_records",
     "file_digest",
     "ingest_trace",
+    "iter_chunk_lines",
     "layout_spec",
+    "native_records",
     "open_trace_text",
     "read_dramsim",
     "read_litex",

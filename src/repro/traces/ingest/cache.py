@@ -32,6 +32,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
@@ -115,20 +116,27 @@ class IngestCache:
 
         Returns the npz path.  The npz lands via temp-file + rename so
         a crash mid-write leaves no addressable half-entry; the sidecar
-        is written second because :meth:`load` requires both.
+        is written second because :meth:`load` requires both.  The temp
+        names are unique per writer: two concurrent misses of the same
+        key (e.g. two serve sessions racing the same upload) each
+        complete their own write-and-rename, last one wins, and the
+        contents are identical either way because the key fixes them.
         """
         self.root.mkdir(parents=True, exist_ok=True)
         npz_path, sidecar_path = self._paths(key)
         # numpy appends ".npz" to names lacking it, so the temp name
         # must keep the suffix for os.replace to find the file
-        tmp_npz = npz_path.with_name(f"{key}.tmp.npz")
+        handle, tmp_npz = tempfile.mkstemp(
+            dir=str(self.root), prefix=f"{key}.", suffix=".tmp.npz"
+        )
+        os.close(handle)
         save_trace_npz(trace, tmp_npz)
         os.replace(tmp_npz, npz_path)
-        tmp_sidecar = sidecar_path.with_suffix(".json.tmp")
-        tmp_sidecar.write_text(
-            json.dumps(sidecar, indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
+        handle, tmp_sidecar = tempfile.mkstemp(
+            dir=str(self.root), prefix=f"{key}.", suffix=".json.tmp"
         )
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            stream.write(json.dumps(sidecar, indent=2, sort_keys=True) + "\n")
         os.replace(tmp_sidecar, sidecar_path)
         return npz_path
 

@@ -23,7 +23,16 @@ import gzip
 import io
 import json
 from pathlib import Path
-from typing import Iterator, List, Optional, Sequence, TextIO, Tuple, Union
+from typing import (
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    TextIO,
+    Tuple,
+    Union,
+)
 
 from repro.config import SimConfig
 from repro.traces.ingest.mapper import AddressMapper
@@ -102,6 +111,89 @@ def detect_format(path: Union[str, Path]) -> str:
     return "dramsim"
 
 
+def dramsim_records(
+    lines: Iterable[str],
+    source: Union[str, Path],
+    mapper: AddressMapper,
+    config: SimConfig,
+    policy: ParseErrorPolicy,
+    clock_ns: float = 1.0,
+    act_commands: Sequence[str] = DEFAULT_ACT_COMMANDS,
+    mark_attacks: bool = False,
+    start_line: int = 1,
+) -> Iterator[TraceRecord]:
+    """Parse DRAMSim/Ramulator ``cycle,cmd,addr`` *lines* into records.
+
+    The line-granular core shared by the file reader
+    (:func:`read_dramsim`) and the chunk-fed streaming sessions of
+    ``repro serve``, which assemble lines with
+    :class:`~repro.traces.ingest.streaming.ChunkDecoder`.  *source*
+    names the origin in error messages; *start_line* seeds the error
+    line numbering.
+    """
+    acts = frozenset(c.upper() for c in act_commands)
+    num_banks = config.geometry.num_banks
+    rows_per_bank = config.geometry.rows_per_bank
+    for line_no, line in enumerate(lines, start=start_line):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = (
+            [p.strip() for p in line.split(",")]
+            if "," in line
+            else line.split()
+        )
+        if len(parts) != 3:
+            policy.handle(TraceFormatError(
+                source,
+                f"bad dramsim record {line!r} (expected "
+                "'cycle,cmd,addr')",
+                line_no=line_no,
+            ))
+            continue
+        cycle_text, cmd, addr_text = parts
+        try:
+            cycle = int(cycle_text)
+            if cycle < 0:
+                raise ValueError("negative cycle")
+        except ValueError:
+            policy.handle(TraceFormatError(
+                source,
+                f"bad dramsim record {line!r} (cycle must be a "
+                "non-negative integer)",
+                line_no=line_no,
+            ))
+            continue
+        if cmd.upper() not in acts:
+            continue
+        try:
+            addr = int(addr_text, 0)
+            if addr < 0:
+                raise ValueError("negative addr")
+        except ValueError:
+            policy.handle(TraceFormatError(
+                source,
+                f"bad dramsim record {line!r} (addr must be a "
+                "non-negative integer; 0x hex accepted)",
+                line_no=line_no,
+            ))
+            continue
+        decoded = mapper.decode(addr)
+        bank = mapper.flat_bank(decoded)
+        if bank >= num_banks or decoded.row >= rows_per_bank:
+            policy.handle(TraceFormatError(
+                source,
+                f"address 0x{addr:x} decodes to bank {bank}, row "
+                f"{decoded.row} outside the configured geometry "
+                f"({num_banks} banks x {rows_per_bank} rows)",
+                line_no=line_no,
+            ))
+            continue
+        yield TraceRecord(
+            int(round(cycle * clock_ns)), bank, decoded.row, mark_attacks
+        )
+
+
 def read_dramsim(
     path: Union[str, Path],
     mapper: AddressMapper,
@@ -119,68 +211,12 @@ def read_dramsim(
     drive Row-Hammer.  ``cycle`` is converted to nanoseconds via
     *clock_ns* and each address is decoded through *mapper*.
     """
-    acts = frozenset(c.upper() for c in act_commands)
-    num_banks = config.geometry.num_banks
-    rows_per_bank = config.geometry.rows_per_bank
     with open_trace_text(path) as handle:
-        for line_no, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line or line.startswith("#"):
-                continue
-            parts = (
-                [p.strip() for p in line.split(",")]
-                if "," in line
-                else line.split()
-            )
-            if len(parts) != 3:
-                policy.handle(TraceFormatError(
-                    path,
-                    f"bad dramsim record {line!r} (expected "
-                    "'cycle,cmd,addr')",
-                    line_no=line_no,
-                ))
-                continue
-            cycle_text, cmd, addr_text = parts
-            try:
-                cycle = int(cycle_text)
-                if cycle < 0:
-                    raise ValueError("negative cycle")
-            except ValueError:
-                policy.handle(TraceFormatError(
-                    path,
-                    f"bad dramsim record {line!r} (cycle must be a "
-                    "non-negative integer)",
-                    line_no=line_no,
-                ))
-                continue
-            if cmd.upper() not in acts:
-                continue
-            try:
-                addr = int(addr_text, 0)
-                if addr < 0:
-                    raise ValueError("negative addr")
-            except ValueError:
-                policy.handle(TraceFormatError(
-                    path,
-                    f"bad dramsim record {line!r} (addr must be a "
-                    "non-negative integer; 0x hex accepted)",
-                    line_no=line_no,
-                ))
-                continue
-            decoded = mapper.decode(addr)
-            bank = mapper.flat_bank(decoded)
-            if bank >= num_banks or decoded.row >= rows_per_bank:
-                policy.handle(TraceFormatError(
-                    path,
-                    f"address 0x{addr:x} decodes to bank {bank}, row "
-                    f"{decoded.row} outside the configured geometry "
-                    f"({num_banks} banks x {rows_per_bank} rows)",
-                    line_no=line_no,
-                ))
-                continue
-            yield TraceRecord(
-                int(round(cycle * clock_ns)), bank, decoded.row, mark_attacks
-            )
+        yield from dramsim_records(
+            handle, path, mapper, config, policy,
+            clock_ns=clock_ns, act_commands=act_commands,
+            mark_attacks=mark_attacks,
+        )
 
 
 def read_litex(
@@ -365,6 +401,27 @@ def _json_int(path, obj: dict, key: str, default=None, index=None):
     return value
 
 
+def native_records(
+    lines: Iterable[str],
+    source: Union[str, Path],
+    policy: ParseErrorPolicy,
+    start_line: int = 2,
+) -> Iterator[TraceRecord]:
+    """Parse native-format record *lines* (header already consumed).
+
+    Line-granular core shared by :func:`read_native` and the chunk-fed
+    streaming sessions; honours the skip *policy* per record.
+    """
+    for line_no, line in enumerate(lines, start=start_line):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield parse_trace_record(line, source, line_no)
+        except TraceFormatError as exc:
+            policy.handle(exc)
+
+
 def read_native(
     path: Union[str, Path],
     policy: ParseErrorPolicy,
@@ -384,13 +441,6 @@ def read_native(
 
     def records() -> Iterator[TraceRecord]:
         with handle:
-            for line_no, line in enumerate(handle, start=2):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    yield parse_trace_record(line, path, line_no)
-                except TraceFormatError as exc:
-                    policy.handle(exc)
+            yield from native_records(handle, path, policy)
 
     return meta, records()

@@ -1,0 +1,170 @@
+"""Chunk-oriented trace arrival: byte chunks -> complete text lines.
+
+The ``repro serve`` sessions (and any future network transport) deliver
+trace bytes in arbitrary chunks: a chunk boundary can fall in the
+middle of a line, in the middle of a UTF-8 code point, or -- for
+gzipped uploads -- in the middle of a deflate block or *between two
+gzip members* of a concatenated archive.  The file-based readers in
+:mod:`repro.traces.ingest.readers` never see any of that because
+:func:`~repro.traces.ingest.readers.open_trace_text` hands them a
+seekable file; this module provides the incremental counterpart.
+
+:class:`ChunkDecoder` accepts raw byte chunks exactly as they arrive
+and yields only **complete** text lines:
+
+* gzip input is detected from the ``1f 8b`` magic (sniffed across
+  chunk boundaries: a 1-byte first chunk is held until the verdict is
+  in), and multi-member archives are decompressed member by member --
+  a member boundary split across two ``feed`` calls is reassembled;
+* line splitting happens on the *byte* stream, so a multi-byte UTF-8
+  character torn by a chunk boundary is reassembled before decoding;
+* :meth:`ChunkDecoder.flush` terminates the stream, emitting a final
+  unterminated line (if any) and raising on a truncated gzip stream.
+
+The decoded lines feed straight into the line-based record generators
+(:func:`~repro.traces.ingest.readers.dramsim_records`,
+:func:`~repro.traces.ingest.readers.native_records`), which is pinned
+by ``tests/traces/ingest/test_streaming.py``: any chunking of a fixture
+file produces records identical to a whole-file read.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Iterator, List, Optional
+
+from repro.traces.trace_io import TraceFormatError
+
+_GZIP_MAGIC = b"\x1f\x8b"
+
+#: ``wbits`` selecting gzip-wrapped deflate for :func:`zlib.decompressobj`
+_GZIP_WBITS = 16 + zlib.MAX_WBITS
+
+
+class StreamTruncated(TraceFormatError):
+    """The byte stream ended inside a gzip member (structural error)."""
+
+
+class ChunkDecoder:
+    """Incremental bytes -> lines decoder (see module docstring).
+
+    One instance decodes one upload.  ``feed`` returns the list of
+    lines the chunk completed (without trailing newlines); ``flush``
+    returns the final unterminated line, if any.  ``lines_seen`` /
+    ``bytes_seen`` count decoded lines and raw (wire) bytes for
+    progress reporting.
+    """
+
+    def __init__(self, source: str = "<stream>"):
+        self.source = source
+        self.lines_seen = 0
+        self.bytes_seen = 0
+        self._line_buf = bytearray()  # decompressed bytes of a torn line
+        self._sniff = bytearray()     # first bytes awaiting the gzip verdict
+        self._mode: Optional[str] = None  # None | "plain" | "gzip"
+        self._gz: Optional[Any] = None
+        self._flushed = False
+
+    # -- feeding -------------------------------------------------------
+
+    def feed(self, chunk: bytes) -> List[str]:
+        """Decode *chunk*; return the complete lines it finished."""
+        if self._flushed:
+            raise ValueError("ChunkDecoder.feed() after flush()")
+        self.bytes_seen += len(chunk)
+        if self._mode is None:
+            self._sniff.extend(chunk)
+            if len(self._sniff) < len(_GZIP_MAGIC):
+                return []  # verdict needs more bytes; hold
+            sniffed = bytes(self._sniff)
+            self._sniff.clear()
+            if sniffed.startswith(_GZIP_MAGIC):
+                self._mode = "gzip"
+                self._gz = zlib.decompressobj(_GZIP_WBITS)
+            else:
+                self._mode = "plain"
+            return self._accept(sniffed)
+        return self._accept(chunk)
+
+    def flush(self) -> List[str]:
+        """End of stream: emit the final line, validate gzip closure."""
+        if self._flushed:
+            return []
+        self._flushed = True
+        lines: List[str] = []
+        if self._mode is None and self._sniff:
+            # a stream shorter than the magic is necessarily plain text
+            self._mode = "plain"
+            held = bytes(self._sniff)
+            self._sniff.clear()
+            lines.extend(self._accept(held))
+        if self._mode == "gzip" and self._gz is not None and not self._gz.eof:
+            raise StreamTruncated(
+                self.source, "gzip stream ended mid-member (truncated upload)"
+            )
+        if self._line_buf:
+            lines.append(self._emit(bytes(self._line_buf)))
+            self._line_buf.clear()
+        return lines
+
+    # -- internals -----------------------------------------------------
+
+    def _accept(self, data: bytes) -> List[str]:
+        if self._mode == "gzip":
+            data = self._inflate(data)
+        return self._split(data)
+
+    def _inflate(self, data: bytes) -> bytes:
+        """Decompress *data*, restarting across gzip member boundaries."""
+        out = bytearray()
+        while data:
+            if self._gz.eof:
+                # the previous member closed (possibly in an earlier
+                # feed); these bytes open the next one.  A partial
+                # header is buffered inside the fresh decompressor
+                # until later chunks complete it.
+                self._gz = zlib.decompressobj(_GZIP_WBITS)
+            try:
+                out.extend(self._gz.decompress(data))
+            except zlib.error as exc:
+                raise TraceFormatError(
+                    self.source, f"corrupt gzip stream: {exc}"
+                ) from exc
+            data = self._gz.unused_data if self._gz.eof else b""
+        return bytes(out)
+
+    def _split(self, data: bytes) -> List[str]:
+        if not data:
+            return []
+        self._line_buf.extend(data)
+        if b"\n" not in data:
+            return []
+        *complete, tail = bytes(self._line_buf).split(b"\n")
+        self._line_buf = bytearray(tail)
+        return [self._emit(raw) for raw in complete]
+
+    def _emit(self, raw: bytes) -> str:
+        self.lines_seen += 1
+        try:
+            return raw.decode("utf-8").rstrip("\r")
+        except UnicodeDecodeError as exc:
+            raise TraceFormatError(
+                self.source,
+                f"undecodable UTF-8 at line {self.lines_seen}: {exc}",
+                line_no=self.lines_seen,
+            ) from exc
+
+
+def iter_chunk_lines(chunks, source: str = "<stream>") -> Iterator[str]:
+    """Decode an iterable of byte *chunks* into a stream of lines.
+
+    Convenience wrapper used by tests and one-shot callers; a live
+    session drives :class:`ChunkDecoder` directly because its chunks
+    arrive over time.
+    """
+    decoder = ChunkDecoder(source=source)
+    for chunk in chunks:
+        for line in decoder.feed(chunk):
+            yield line
+    for line in decoder.flush():
+        yield line

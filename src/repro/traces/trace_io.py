@@ -8,7 +8,10 @@ Two formats:
   traces (e.g. converted gem5 output) enter the pipeline.
 * **npz** (:func:`save_trace_npz` / :func:`load_trace_npz`) -- columnar
   numpy arrays; ~10x smaller and far faster for the multi-million-
-  record traces of full-scale runs.
+  record traces of full-scale runs.  numpy is optional: without it a
+  pure-python codec reads and writes the same on-disk format (an npz is
+  a zip archive of npy members), so caches and campaign spools written
+  in one environment stay readable in the other.
 
 Externally captured traces in foreign formats (DRAMSim-style command
 logs, litex-rowhammer-tester payload dumps) enter through
@@ -178,12 +181,20 @@ def load_trace(path: Union[str, Path], lazy: bool = False) -> Trace:
 
 
 def save_trace_npz(trace: Trace, path: Union[str, Path]) -> int:
-    """Write *trace* as columnar numpy arrays; returns the record count."""
-    import numpy as np
+    """Write *trace* as columnar numpy arrays; returns the record count.
 
+    Without numpy the pure-python writer emits the same zip-of-npy
+    container (:func:`_save_npz_pure`), byte-compatible with
+    :func:`numpy.load`.
+    """
     trace.materialize()
     records = trace.records
     count = len(records)
+    try:
+        import numpy as np
+    except ImportError:
+        _save_npz_pure(trace, path)
+        return count
     times = np.fromiter((r.time_ns for r in records), dtype=np.int64, count=count)
     banks = np.fromiter((r.bank for r in records), dtype=np.int16, count=count)
     rows = np.fromiter((r.row for r in records), dtype=np.int32, count=count)
@@ -206,9 +217,15 @@ def save_trace_npz(trace: Trace, path: Union[str, Path]) -> int:
 
 
 def load_trace_npz(path: Union[str, Path]) -> Trace:
-    """Read a trace written by :func:`save_trace_npz`."""
-    import numpy as np
+    """Read a trace written by :func:`save_trace_npz`.
 
+    Falls back to the pure-python npz reader when numpy is absent;
+    either reader accepts archives written by either writer.
+    """
+    try:
+        import numpy as np
+    except ImportError:
+        return _load_npz_pure(path)
     with np.load(Path(path)) as data:
         total_intervals, interval_ns, num_banks = (int(v) for v in data["meta"])
         records = [
@@ -217,6 +234,135 @@ def load_trace_npz(path: Union[str, Path]) -> Trace:
                 data["times"], data["banks"], data["rows"], data["attacks"]
             )
         ]
+    meta = TraceMeta(
+        total_intervals=total_intervals,
+        interval_ns=interval_ns,
+        num_banks=num_banks,
+    )
+    return Trace(meta=meta, records=records)
+
+
+# ---------------------------------------------------------------------------
+# pure-python npy/npz codec (numpy-free fallback)
+#
+# An ``.npz`` file is a zip archive whose members are ``.npy`` files;
+# an ``.npy`` file is a fixed magic + ascii header dict + raw
+# little-endian column bytes.  Implementing the v1.0 subset we emit
+# (1-D ``<i8``/``<i4``/``<i2``/``|b1`` columns) keeps the no-numpy lane
+# on the exact same interchange format -- caches written with numpy
+# load without it and vice versa -- instead of forking into a
+# second, incompatible spool format.
+# ---------------------------------------------------------------------------
+
+_NPY_MAGIC = b"\x93NUMPY"
+
+#: npy descr -> struct per-element format code for the dtypes we emit
+_NPY_DESCRS = {"<i8": "q", "<i4": "i", "<i2": "h", "|b1": "?"}
+
+
+def _npy_bytes(values, descr: str) -> bytes:
+    """Serialise a 1-D column as an npy v1.0 member body."""
+    import struct
+
+    header = (
+        "{'descr': '%s', 'fortran_order': False, 'shape': (%d,), }"
+        % (descr, len(values))
+    )
+    # pad with spaces so magic+version+len+header is 64-byte aligned,
+    # ending in newline, exactly as numpy.lib.format writes it
+    unpadded = len(_NPY_MAGIC) + 2 + 2 + len(header) + 1
+    header = header + " " * (-unpadded % 64) + "\n"
+    return b"".join([
+        _NPY_MAGIC, b"\x01\x00",
+        struct.pack("<H", len(header)), header.encode("ascii"),
+        struct.pack("<%d%s" % (len(values), _NPY_DESCRS[descr]), *values),
+    ])
+
+
+def _parse_npy(data: bytes, path, name: str):
+    """Decode an npy member back into a list of python scalars."""
+    import ast
+    import struct
+
+    def bad(reason: str):
+        return TraceFormatError(path, f"npz member {name!r}: {reason}")
+
+    if data[: len(_NPY_MAGIC)] != _NPY_MAGIC:
+        raise bad("not an npy file (bad magic)")
+    major = data[len(_NPY_MAGIC)]
+    offset = len(_NPY_MAGIC) + 2
+    if major == 1:
+        (header_len,) = struct.unpack_from("<H", data, offset)
+        offset += 2
+    elif major in (2, 3):
+        (header_len,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+    else:
+        raise bad(f"unsupported npy version {major}")
+    try:
+        header = ast.literal_eval(
+            data[offset:offset + header_len].decode("latin-1").strip()
+        )
+        descr = header["descr"]
+        shape = header["shape"]
+    except Exception as exc:
+        raise bad(f"malformed header: {exc}") from exc
+    if header.get("fortran_order") or len(shape) != 1:
+        raise bad(f"expected a 1-D C-order column, got {header!r}")
+    if descr not in _NPY_DESCRS:
+        raise bad(f"unsupported dtype {descr!r}")
+    count = shape[0]
+    code = _NPY_DESCRS[descr]
+    body = data[offset + header_len:]
+    expected = count * struct.calcsize("<" + code)
+    if len(body) < expected:
+        raise bad(f"truncated data ({len(body)} bytes, need {expected})")
+    return list(struct.unpack_from("<%d%s" % (count, code), body))
+
+
+def _save_npz_pure(trace: Trace, path: Union[str, Path]) -> None:
+    import zipfile
+
+    trace.materialize()
+    records = trace.records
+    columns = [
+        ("times", [r.time_ns for r in records], "<i8"),
+        ("banks", [r.bank for r in records], "<i2"),
+        ("rows", [r.row for r in records], "<i4"),
+        ("attacks", [r.is_attack for r in records], "|b1"),
+        ("meta", [trace.meta.total_intervals, trace.meta.interval_ns,
+                  trace.meta.num_banks], "<i8"),
+    ]
+    with zipfile.ZipFile(
+        Path(path), "w", compression=zipfile.ZIP_DEFLATED
+    ) as archive:
+        for name, values, descr in columns:
+            archive.writestr(f"{name}.npy", _npy_bytes(values, descr))
+
+
+def _load_npz_pure(path: Union[str, Path]) -> Trace:
+    import zipfile
+
+    path = Path(path)
+    columns = {}
+    try:
+        with zipfile.ZipFile(path) as archive:
+            for member in ("times", "banks", "rows", "attacks", "meta"):
+                columns[member] = _parse_npy(
+                    archive.read(f"{member}.npy"), path, f"{member}.npy"
+                )
+    except (zipfile.BadZipFile, KeyError) as exc:
+        raise TraceFormatError(path, f"unreadable npz archive: {exc}") from exc
+    total_intervals, interval_ns, num_banks = (
+        int(v) for v in columns["meta"]
+    )
+    records = [
+        TraceRecord(int(t), int(b), int(r), bool(a))
+        for t, b, r, a in zip(
+            columns["times"], columns["banks"],
+            columns["rows"], columns["attacks"],
+        )
+    ]
     meta = TraceMeta(
         total_intervals=total_intervals,
         interval_ns=interval_ns,

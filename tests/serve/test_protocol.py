@@ -1,0 +1,69 @@
+"""Tests for the NDJSON wire protocol helpers."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_chunk,
+    decode_frame,
+    encode_chunk,
+    encode_frame,
+    error_frame,
+)
+
+
+class TestFrames:
+    def test_round_trip(self):
+        frame = {"type": "open", "techniques": ["PARA"], "clock_ns": 45.0}
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_encoding_is_canonical_one_line(self):
+        data = encode_frame({"b": 1, "a": 2, "type": "x"})
+        assert data.endswith(b"\n")
+        assert data.count(b"\n") == 1
+        assert json.loads(data) == {"a": 2, "b": 1, "type": "x"}
+        # sorted keys: byte-stable across dict insertion orders
+        assert data == encode_frame({"type": "x", "a": 2, "b": 1})
+
+    def test_oversized_frame_rejected(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame({"type": "chunk", "data": "x" * MAX_FRAME_BYTES})
+
+    @pytest.mark.parametrize("line", [
+        b"not json\n",
+        b"[1, 2]\n",
+        b'{"no-type": 1}\n',
+        b'{"type": 7}\n',
+    ])
+    def test_malformed_lines_rejected(self, line):
+        with pytest.raises(ProtocolError):
+            decode_frame(line)
+
+
+class TestChunks:
+    @pytest.mark.parametrize("payload", [b"", b"abc", bytes(range(256))])
+    def test_round_trip(self, payload):
+        assert decode_chunk(encode_chunk(payload)) == payload
+
+    def test_non_base64_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="base64"):
+            decode_chunk({"type": "chunk", "data": "!!not-base64!!"})
+
+    def test_missing_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="data"):
+            decode_chunk({"type": "chunk"})
+
+
+class TestErrorFrames:
+    def test_known_codes_build(self):
+        for code in ERROR_CODES:
+            frame = error_frame(code, "boom")
+            assert frame == {"type": "error", "code": code, "message": "boom"}
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown error code"):
+            error_frame("nonsense", "boom")

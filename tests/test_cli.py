@@ -249,3 +249,70 @@ class TestObservabilityCli:
         parsed = parse_jsonl(export.read_text(encoding="utf-8"))
         assert parsed["span_paths"]["search"] == 1
         assert parsed["span_paths"].get("search/generation", 0) >= 1
+
+
+class TestServeCli:
+    def test_serve_and_submit_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--port", "0", "--shards", "3"])
+        assert (args.command, args.shards, args.engine) == ("serve", 3, "fused")
+        args = parser.parse_args([
+            "submit", "trace.gz", "--port", "7777",
+            "--techniques", "PARA", "none", "--seeds", "2",
+            "--clock-ns", "45", "--summary-only",
+        ])
+        assert args.command == "submit"
+        assert args.techniques == ["PARA", "none"]
+        assert args.summary_only
+
+    def test_submit_against_no_server_exits_3(self, tmp_path, capsys):
+        trace = tmp_path / "t.trc"
+        trace.write_text("0,ACT,0x0\n")
+        # a bound-then-closed socket yields a port nothing listens on
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        assert main(["submit", str(trace), "--port", str(port)]) == 3
+        assert "connection" in capsys.readouterr().err
+
+    def test_submit_missing_trace_file(self, tmp_path, capsys):
+        code = main(["submit", str(tmp_path / "absent.trc"), "--port", "1"])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+
+class TestCampaignStatusPipe:
+    def test_follow_json_survives_a_closed_pipe(self, tmp_path):
+        """`campaign-status --follow --json | head -1` must exit clean.
+
+        The downstream consumer closes the pipe after the first frame;
+        the follow loop must treat the resulting BrokenPipeError as a
+        normal stop -- no traceback, exit code 0 -- and every frame
+        must be flushed as a complete line (head would hang forever on
+        a block-buffered writer that never fills its buffer).
+        """
+        import json
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo_root / "src")
+        proc = subprocess.run(
+            [
+                "bash", "-c",
+                f"{sys.executable} -m repro campaign-status "
+                f"{tmp_path} --follow --json --interval 0.05 | head -1",
+            ],
+            capture_output=True, text=True, timeout=60, env=env,
+            cwd=repo_root,
+        )
+        assert proc.returncode == 0
+        assert "Traceback" not in proc.stderr
+        frame = json.loads(proc.stdout.strip())
+        assert frame["snapshot"] is None  # empty dir: bus not written yet

@@ -53,6 +53,7 @@ DOC_PAGES = (
     "campaigns.md",
     "observability.md",
     "reproducing.md",
+    "serve.md",
     "trace-formats.md",
 )
 

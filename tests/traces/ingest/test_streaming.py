@@ -1,0 +1,146 @@
+"""Tests for the chunk-oriented streaming decoder.
+
+Covers the serve-session arrival conditions the file-based readers
+never see: chunk boundaries inside lines, inside multi-byte UTF-8
+code points, inside gzip deflate blocks and *between* concatenated
+gzip members -- plus truncation detection and equivalence with the
+whole-file readers at every chunking.
+"""
+
+import gzip
+from pathlib import Path
+
+import pytest
+
+from repro.config import ddr4_paper_config
+from repro.traces.ingest import (
+    ChunkDecoder,
+    ParseErrorPolicy,
+    StreamTruncated,
+    dramsim_records,
+    iter_chunk_lines,
+    read_dramsim,
+    resolve_mapper,
+)
+from repro.traces.trace_io import TraceFormatError
+
+FIXTURES = Path(__file__).resolve().parents[2] / "fixtures" / "traces"
+CONFIG = ddr4_paper_config()
+
+TEXT = "alpha,1\nbeta,2\r\ngamma,3\nfinal-no-newline"
+LINES = ["alpha,1", "beta,2", "gamma,3", "final-no-newline"]
+
+
+def chunked(data: bytes, size: int):
+    return [data[i:i + size] for i in range(0, len(data), size)]
+
+
+def decode_all(chunks, **kwargs):
+    return list(iter_chunk_lines(chunks, **kwargs))
+
+
+class TestPlainText:
+    @pytest.mark.parametrize("size", [1, 2, 3, 5, 7, 100_000])
+    def test_every_chunking_yields_identical_lines(self, size):
+        data = TEXT.encode("utf-8")
+        assert decode_all(chunked(data, size)) == LINES
+
+    def test_torn_utf8_code_point_reassembled(self):
+        # U+00E9 is two bytes; split the stream between them
+        data = "café\nok\n".encode("utf-8")
+        split = data.index(b"\xc3") + 1
+        assert decode_all([data[:split], data[split:]]) == ["café", "ok"]
+
+    def test_empty_chunks_are_harmless(self):
+        data = TEXT.encode("utf-8")
+        assert decode_all([b"", data[:4], b"", data[4:], b""]) == LINES
+
+    def test_crlf_stripped_like_text_mode(self):
+        assert decode_all([b"a\r\nb\r\n"]) == ["a", "b"]
+
+    def test_stream_shorter_than_gzip_magic(self):
+        # one byte total: the sniffer must not hold it forever
+        assert decode_all([b"x"]) == ["x"]
+
+    def test_undecodable_bytes_raise_with_line_number(self):
+        decoder = ChunkDecoder(source="bad")
+        with pytest.raises(TraceFormatError, match="bad"):
+            decoder.feed(b"ok\n\xff\xfe\n")
+
+    def test_counters_track_wire_bytes_and_lines(self):
+        decoder = ChunkDecoder()
+        decoder.feed(b"a\nb")
+        decoder.feed(b"c\n")
+        decoder.flush()
+        assert decoder.bytes_seen == len(b"a\nbc\n")
+        assert decoder.lines_seen == 2
+
+    def test_feed_after_flush_rejected(self):
+        decoder = ChunkDecoder()
+        decoder.flush()
+        with pytest.raises(ValueError, match="after flush"):
+            decoder.feed(b"x")
+
+
+class TestGzip:
+    @pytest.mark.parametrize("size", [1, 2, 3, 7, 64, 100_000])
+    def test_every_chunking_of_gzip_stream(self, size):
+        data = gzip.compress(TEXT.encode("utf-8"))
+        assert decode_all(chunked(data, size)) == LINES
+
+    @pytest.mark.parametrize("size", [1, 2, 3, 7, 64, 100_000])
+    def test_multi_member_archive_member_split_across_reads(self, size):
+        # concatenated gzip members are a valid archive; chunking at
+        # any size puts the member boundary inside or between feeds
+        data = (
+            gzip.compress(b"one\ntwo\n")
+            + gzip.compress(b"three\n")
+            + gzip.compress(b"four\nfive\n")
+        )
+        expected = ["one", "two", "three", "four", "five"]
+        assert decode_all(chunked(data, size)) == expected
+
+    def test_truncated_member_raises_on_flush(self):
+        data = gzip.compress(TEXT.encode("utf-8"))
+        decoder = ChunkDecoder(source="cut")
+        decoder.feed(data[: len(data) // 2])
+        with pytest.raises(StreamTruncated, match="truncated"):
+            decoder.flush()
+
+    def test_clean_single_member_does_not_false_positive(self):
+        # a cleanly finished member must NOT look truncated at flush
+        decoder = ChunkDecoder()
+        lines = decoder.feed(gzip.compress(b"a\nb\n"))
+        assert lines + decoder.flush() == ["a", "b"]
+
+    def test_corrupt_gzip_raises(self):
+        data = bytearray(gzip.compress(b"payload payload payload\n"))
+        data[12] ^= 0xFF
+        decoder = ChunkDecoder(source="corrupt")
+        with pytest.raises(TraceFormatError, match="gzip"):
+            decoder.feed(bytes(data))
+            decoder.flush()
+
+    def test_magic_split_across_first_two_chunks(self):
+        data = gzip.compress(b"x\ny\n")
+        assert decode_all([data[:1], data[1:]]) == ["x", "y"]
+
+
+class TestReaderEquivalence:
+    """Any chunking + line-based readers == whole-file readers."""
+
+    @pytest.mark.parametrize("size", [1, 7, 64, 4096])
+    def test_dramsim_fixture_records_identical(self, size):
+        path = FIXTURES / "mini_dramsim.trace.gz"
+        mapper = resolve_mapper("layout", CONFIG.geometry)
+        expected = list(read_dramsim(
+            path, mapper, CONFIG, ParseErrorPolicy(), clock_ns=45.0
+        ))
+        lines = iter_chunk_lines(
+            chunked(path.read_bytes(), size), source=str(path)
+        )
+        streamed = list(dramsim_records(
+            lines, str(path), mapper, CONFIG, ParseErrorPolicy(),
+            clock_ns=45.0,
+        ))
+        assert streamed == expected

@@ -203,3 +203,101 @@ class TestNpzRoundtrip:
         path = tmp_path / "gen.npz"
         save_trace_npz(trace, path)
         assert list(load_trace_npz(path)) == list(trace)
+
+
+class TestPurePythonNpzCodec:
+    """The numpy-free npy/npz codec used on the CI no-numpy lane.
+
+    The pure writer and reader are exercised directly here even when
+    numpy is installed, plus cross-compatibility in both directions:
+    an archive written by either codec must load through the other,
+    because ingest caches and campaign spools travel between
+    environments with and without numpy.
+    """
+
+    def generated(self):
+        config = small_test_config()
+        return build_trace(
+            config,
+            total_intervals=8,
+            benign_params=WorkloadParams(avg_acts_per_interval=10),
+            seed=3,
+        ).materialize()
+
+    def test_pure_roundtrip(self, tmp_path):
+        from repro.traces.trace_io import _load_npz_pure, _save_npz_pure
+
+        trace = self.generated()
+        path = tmp_path / "pure.npz"
+        _save_npz_pure(trace, path)
+        loaded = _load_npz_pure(path)
+        assert loaded.meta == trace.meta
+        assert list(loaded) == list(trace)
+
+    def test_pure_reader_loads_numpy_archives(self, tmp_path):
+        pytest.importorskip("numpy", exc_type=ImportError)
+        from repro.traces.trace_io import _load_npz_pure, save_trace_npz
+
+        trace = self.generated()
+        path = tmp_path / "np.npz"
+        save_trace_npz(trace, path)  # numpy writer (numpy installed)
+        loaded = _load_npz_pure(path)
+        assert loaded.meta == trace.meta
+        assert list(loaded) == list(trace)
+
+    def test_numpy_reader_loads_pure_archives(self, tmp_path):
+        np = pytest.importorskip("numpy", exc_type=ImportError)
+        from repro.traces.trace_io import _save_npz_pure
+
+        trace = self.generated()
+        path = tmp_path / "pure.npz"
+        _save_npz_pure(trace, path)
+        with np.load(path) as data:
+            assert data["times"].dtype == np.int64
+            assert data["banks"].dtype == np.int16
+            assert data["rows"].dtype == np.int32
+            assert data["attacks"].dtype == np.bool_
+            assert [int(v) for v in data["meta"]] == [
+                trace.meta.total_intervals,
+                trace.meta.interval_ns,
+                trace.meta.num_banks,
+            ]
+            assert [int(t) for t in data["times"]] == \
+                [r.time_ns for r in trace.records]
+
+    def test_pure_reader_rejects_truncated_member(self, tmp_path):
+        import zipfile
+
+        from repro.traces.trace_io import (
+            _load_npz_pure,
+            _npy_bytes,
+            _save_npz_pure,
+        )
+
+        trace = self.generated()
+        path = tmp_path / "cut.npz"
+        _save_npz_pure(trace, path)
+        with zipfile.ZipFile(path) as archive:
+            members = {
+                name: archive.read(name) for name in archive.namelist()
+            }
+        members["times.npy"] = members["times.npy"][:-4]
+        with zipfile.ZipFile(path, "w") as archive:
+            for name, data in members.items():
+                archive.writestr(name, data)
+        with pytest.raises(TraceFormatError, match="truncated"):
+            _load_npz_pure(path)
+        # unsupported dtypes are named, not silently misread
+        with zipfile.ZipFile(path, "w") as archive:
+            archive.writestr("times.npy", _npy_bytes([1], "<i8").replace(
+                b"'<i8'", b"'<f8'", 1))
+        with pytest.raises(TraceFormatError, match="dtype"):
+            _load_npz_pure(path)
+
+    def test_pure_reader_rejects_non_zip(self, tmp_path):
+        from repro.traces.trace_io import _load_npz_pure
+
+        path = tmp_path / "bogus.npz"
+        path.write_bytes(b"definitely not a zip archive")
+        with pytest.raises(TraceFormatError, match="unreadable npz"):
+            _load_npz_pure(path)

@@ -112,6 +112,66 @@ def test_fused_campaign_speedup(benchmark, paper_config):
     )
 
 
+#: per-technique fused replay floors for the modern tracker families,
+#: in trace records per second.  Local runs clock ~3M rec/s; the floor
+#: leaves a ~20x margin for slow CI runners while still catching an
+#: accidental de-batching (losing ``observe_run`` costs well over 20x
+#: on a flooding trace).
+MODERN_THROUGHPUT_FLOORS = {
+    "LoadedDice": 150_000,
+    "RVC": 150_000,
+    "PVAC": 150_000,
+    "PRAC": 150_000,
+    "PRACtical": 150_000,
+    "ProbTracker": 150_000,
+}
+
+
+def test_modern_technique_throughput_floors(benchmark, paper_config):
+    """Each modern family must hold its fused-replay throughput floor.
+
+    A solo fused run per technique over the flooding benchmark trace,
+    best-of-3 to damp scheduler noise.  The floor is the guard that the
+    run-batched ``observe_run`` paths stay wired up: falling back to
+    per-record dispatch on a flooding trace costs orders of magnitude.
+    """
+    trace = _flooding_trace(paper_config)
+    records = trace.count()
+
+    def compute():
+        rates = {}
+        for name in sorted(MODERN_THROUGHPUT_FLOORS):
+            best = None
+            for _ in range(3):
+                started = time.perf_counter()
+                run_simulation_fused(
+                    paper_config, trace, make_factory(name), seed=0
+                )
+                elapsed = time.perf_counter() - started
+                if best is None or elapsed < best:
+                    best = elapsed
+            rates[name] = records / best
+        return rates
+
+    rates = run_once(benchmark, compute)
+    rows = [
+        (name, f"{rates[name]:,.0f}", f"{floor:,}")
+        for name, floor in sorted(MODERN_THROUGHPUT_FLOORS.items())
+    ]
+    report = (
+        f"=== modern-technique fused replay throughput, flooding trace "
+        f"({records:,} records, {BENCH_INTERVALS} intervals) ===\n"
+        + render_table(("technique", "records/s", "floor"), rows)
+    )
+    print("\n" + report)
+    write_bench_output("modern_technique_throughput", report)
+    for name, floor in MODERN_THROUGHPUT_FLOORS.items():
+        benchmark.extra_info[f"{name}_records_per_s"] = round(rates[name])
+        assert rates[name] >= floor, (
+            f"{name}: {rates[name]:,.0f} records/s < {floor:,} floor"
+        )
+
+
 #: a NullTracer run may be at most this much slower than a plain run
 #: (ratio bound, plus an absolute epsilon to absorb timer noise on the
 #: reduced CI scale)

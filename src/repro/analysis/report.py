@@ -127,6 +127,59 @@ def render_table3(
     return table
 
 
+def render_techniques(
+    config: SimConfig,
+    include_extended: bool = True,
+    include_modern: bool = True,
+) -> str:
+    """The `repro techniques` listing: every registered technique.
+
+    One row per technique with its registry tier, fused-dedup traits,
+    per-bank table bytes, a DDR4 LUT estimate where the area model
+    covers it, and the documented vulnerabilities.
+    """
+    from repro.analysis.area import area_estimate
+    from repro.mitigations.registry import (
+        make_mitigation,
+        technique_names,
+        technique_tier,
+    )
+
+    rows = []
+    for name in technique_names(
+        include_extended=include_extended, include_modern=include_modern
+    ):
+        cls_instance = make_mitigation(name, config)
+        try:
+            luts = f"{area_estimate(name, config, config.timing).total:,}"
+        except ValueError:
+            luts = "n/a"
+        vulnerabilities = "; ".join(type(cls_instance).known_vulnerabilities)
+        rows.append(
+            (
+                name,
+                technique_tier(name),
+                "yes" if type(cls_instance).consumes_rng else "no",
+                "yes" if type(cls_instance).consumes_pbase else "no",
+                f"{cls_instance.table_bytes:,}",
+                luts,
+                vulnerabilities or "none documented",
+            )
+        )
+    return render_table(
+        (
+            "technique",
+            "tier",
+            "rng",
+            "pbase",
+            "table B/bank",
+            "LUTs DDR4",
+            "known vulnerabilities",
+        ),
+        rows,
+    )
+
+
 def render_fig4(points: Sequence[Mapping[str, float]]) -> str:
     """Fig. 4: table size vs activation overhead (log-log scatter data)."""
     ordered = sorted(points, key=lambda point: point["table_bytes"])

@@ -284,13 +284,28 @@ def _cmd_table2(args) -> int:
     return 0
 
 
+def _cmd_techniques(args) -> int:
+    from repro.analysis.report import render_techniques
+
+    print(render_techniques(
+        SimConfig(),
+        include_extended=not args.paper_only,
+        include_modern=not args.paper_only,
+    ))
+    return 0
+
+
 def _comparison(args, tracer=None, metrics=None, profiler=None):
+    from repro.mitigations.registry import technique_names
     from repro.sim.experiment import compare_techniques, default_trace_factory
 
     config = SimConfig()
     factory = default_trace_factory(config, total_intervals=args.intervals)
+    techniques = None
+    if getattr(args, "include_modern", False):
+        techniques = technique_names(include_modern=True)
     return config, compare_techniques(
-        config, factory, seeds=tuple(range(args.seeds)),
+        config, factory, techniques=techniques, seeds=tuple(range(args.seeds)),
         include_unmitigated=True, engine=args.engine,
         tracer=tracer, metrics=metrics, profiler=profiler,
     )
@@ -305,7 +320,8 @@ def _cmd_table3(args) -> int:
     full_comparison = dict(comparison)
     unmitigated = comparison.pop("none")
     print(f"unmitigated flips: {unmitigated.total_flips}\n")
-    print(render_table3(config, comparison, table3_resources(config)))
+    resources = table3_resources(config, include_modern=args.include_modern)
+    print(render_table3(config, comparison, resources))
     _finish_telemetry(
         args, config, tracer, metrics, profiler,
         comparison=full_comparison, total_intervals=args.intervals,
@@ -449,7 +465,7 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    from repro.mitigations.registry import make_factory
+    from repro.mitigations.registry import make_factory, resolve_technique
     from repro.sim.engine import get_engine
     from repro.sim.experiment import TechniqueAggregate
     from repro.traces.trace_io import load_trace
@@ -458,6 +474,8 @@ def _cmd_run(args) -> int:
         print("run: pass exactly one of --trace / --trace-file",
               file=sys.stderr)
         return 2
+    if args.technique != "none":
+        args.technique = resolve_technique(args.technique)
     tracer, metrics, profiler = _telemetry_from_args(args)
     config = SimConfig()
     ingest_provenance = None
@@ -854,7 +872,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     table3 = subparsers.add_parser("table3", help="Table III comparison")
     _add_scale_args(table3)
+    table3.add_argument(
+        "--include-modern", action="store_true",
+        help="append the modern tracker families (LoadedDice, RVC, PVAC, "
+             "PRAC, PRACtical, ProbTracker) to the paper's nine rows",
+    )
     table3.set_defaults(func=_cmd_table3)
+
+    techniques = subparsers.add_parser(
+        "techniques",
+        help="list registered techniques with traits and area estimates",
+    )
+    techniques.add_argument(
+        "--paper-only", action="store_true",
+        help="restrict to the nine techniques from the paper's Table III",
+    )
+    techniques.set_defaults(func=_cmd_techniques)
 
     fig4 = subparsers.add_parser("fig4", help="Fig. 4 tradeoff")
     _add_scale_args(fig4)

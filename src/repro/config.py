@@ -99,6 +99,11 @@ class DRAMGeometry:
     num_banks: int = 4
     rows_per_bank: int = 65_536
     rows_per_interval: int = 8
+    #: sense-amplifier subarrays per bank.  1 (the default) keeps the
+    #: paper's flat-bank adjacency; larger values split the bank into
+    #: equal row slices separated by sense-amp stripes, across which
+    #: Row-Hammer disturbance does not propagate (PRACtical, Section II)
+    subarrays_per_bank: int = 1
 
     def __post_init__(self) -> None:
         if self.rows_per_bank % self.rows_per_interval:
@@ -108,6 +113,15 @@ class DRAMGeometry:
             )
         if self.num_banks < 1 or self.rows_per_bank < 2:
             raise ValueError("need at least one bank with two rows")
+        if self.subarrays_per_bank < 1:
+            raise ValueError("subarrays_per_bank must be positive")
+        if self.rows_per_bank % self.subarrays_per_bank:
+            raise ValueError(
+                "rows_per_bank must be a multiple of subarrays_per_bank "
+                f"(got {self.rows_per_bank} / {self.subarrays_per_bank})"
+            )
+        if self.rows_per_bank // self.subarrays_per_bank < 2:
+            raise ValueError("each subarray needs at least two rows")
 
     @property
     def refint(self) -> int:
@@ -131,16 +145,41 @@ class DRAMGeometry:
         start = interval * self.rows_per_interval
         return range(start, start + self.rows_per_interval)
 
+    @property
+    def rows_per_subarray(self) -> int:
+        """Rows in one sense-amp subarray slice of the bank."""
+        return self.rows_per_bank // self.subarrays_per_bank
+
+    def subarray_of(self, row: int) -> int:
+        """Index of the subarray containing *row*."""
+        self._check_row(row)
+        return row // self.rows_per_subarray
+
+    def subarray_rows(self, subarray: int) -> range:
+        """Rows belonging to *subarray* (contiguous slice)."""
+        if not 0 <= subarray < self.subarrays_per_bank:
+            raise ValueError(
+                f"subarray {subarray} outside [0, {self.subarrays_per_bank})"
+            )
+        start = subarray * self.rows_per_subarray
+        return range(start, start + self.rows_per_subarray)
+
     def neighbors(self, row: int) -> tuple[int, ...]:
         """Physical neighbours of *row*; edge rows have a single neighbour.
 
-        Subclasses (e.g. :class:`repro.dram.remap.RemappedGeometry`)
-        override this with the device's true internal adjacency.
+        Disturbance never crosses a sense-amp stripe, so with more than
+        one subarray the rows at each subarray boundary also have a
+        single neighbour.  Subclasses (e.g.
+        :class:`repro.dram.remap.RemappedGeometry`) override this with
+        the device's true internal adjacency.
         """
         self._check_row(row)
-        if row == 0:
-            return (1,)
-        if row == self.rows_per_bank - 1:
+        width = self.rows_per_subarray
+        low = (row // width) * width
+        high = low + width - 1
+        if row == low:
+            return (row + 1,)
+        if row == high:
             return (row - 1,)
         return (row - 1, row + 1)
 
@@ -219,6 +258,7 @@ def small_test_config(
     rows_per_interval: int = 8,
     num_banks: int = 1,
     flip_threshold: int = 2_000,
+    subarrays_per_bank: int = 1,
 ) -> SimConfig:
     """A shrunk geometry for unit tests.
 
@@ -230,6 +270,7 @@ def small_test_config(
         num_banks=num_banks,
         rows_per_bank=rows_per_bank,
         rows_per_interval=rows_per_interval,
+        subarrays_per_bank=subarrays_per_bank,
     )
     refint = geometry.refint
     pbase = 2.0 ** -(10 + int(math.log2(refint)))

@@ -25,6 +25,7 @@ from repro.mitigations.base import (
     ActivateNeighbors,
     Mitigation,
     MitigationAction,
+    RecoveryRefresh,
     RefreshRow,
 )
 from repro.rng import derive_seed
@@ -144,6 +145,12 @@ class MemoryController:
         self.mitigation_triggers += 1
         if isinstance(action, ActivateNeighbors):
             cost = bank.activate_neighbors(action.row, self._time_ns)
+        elif isinstance(action, RecoveryRefresh):
+            # ALERT back-off recovery: a batch of act_n commands, one
+            # per alerted aggressor, performed while the bus is stalled.
+            cost = 0
+            for aggressor in action.rows:
+                cost += bank.activate_neighbors(aggressor, self._time_ns)
         elif isinstance(action, RefreshRow):
             # A directed refresh is one extra activation of the victim
             # row itself (which also disturbs the victim's neighbours).

@@ -10,6 +10,7 @@ are judged.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import List
 
 from repro.config import DRAMGeometry
 from repro.dram.disturbance import BankDisturbance
@@ -26,6 +27,9 @@ class Bank:
     extra_activations: int = 0
     refreshes: int = 0
     disturbance: BankDisturbance = field(init=False)
+    #: normal activations landing in each sense-amp subarray; a single
+    #: entry when the geometry keeps the paper's flat-bank model
+    subarray_activations: List[int] = field(init=False)
 
     def __post_init__(self) -> None:
         self.disturbance = BankDisturbance(
@@ -34,12 +38,14 @@ class Bank:
             bank=self.index,
             distance2_rate=self.distance2_rate,
         )
+        self.subarray_activations = [0] * self.geometry.subarrays_per_bank
 
     def activate(self, row: int, time_ns: int = -1) -> None:
         """A normal activation issued by the memory controller."""
         self.geometry._check_row(row)
         self.open_row = row
         self.activations += 1
+        self.subarray_activations[row // self.geometry.rows_per_subarray] += 1
         self.disturbance.on_activation(row, time_ns)
 
     def activate_neighbors(self, row: int, time_ns: int = -1) -> int:

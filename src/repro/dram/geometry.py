@@ -10,9 +10,28 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Dict, List
+
 from repro.config import DRAMGeometry
 
-__all__ = ["DRAMGeometry", "AddressMapper"]
+__all__ = ["DRAMGeometry", "AddressMapper", "subarray_slices", "subarray_histogram"]
+
+
+def subarray_slices(geometry: DRAMGeometry) -> List[range]:
+    """Row ranges of each sense-amp subarray, in subarray order."""
+    return [
+        geometry.subarray_rows(subarray)
+        for subarray in range(geometry.subarrays_per_bank)
+    ]
+
+
+def subarray_histogram(geometry: DRAMGeometry, rows) -> Dict[int, int]:
+    """Count how many of *rows* land in each subarray (sparse; sorted keys)."""
+    counts: Dict[int, int] = {}
+    for row in rows:
+        subarray = geometry.subarray_of(row)
+        counts[subarray] = counts.get(subarray, 0) + 1
+    return dict(sorted(counts.items()))
 
 
 @dataclass(frozen=True)

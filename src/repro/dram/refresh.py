@@ -21,7 +21,9 @@ differ only in the order.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Sequence
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Sequence
 
 from repro.config import DRAMGeometry
 from repro.rng import stream
@@ -148,6 +150,60 @@ class CounterMaskRefresh(RefreshPolicy):
         if group >= self.geometry.refint:  # mask pushed past the end: fold back
             group = interval
         return self.geometry.rows_of_interval(group)
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One device->controller ALERT_n assertion (PRAC / DDR5 ABO).
+
+    ``row`` is the aggressor whose per-row activation counter crossed
+    the back-off threshold; ``subarray`` locates its counter bank so
+    PRACtical-style recovery can be isolated per subarray.
+    """
+
+    bank: int
+    subarray: int
+    row: int
+    interval: int
+
+
+class RecoveryChannel:
+    """FIFO back-off channel from the DRAM device to the controller.
+
+    PRAC-family mitigations queue :class:`AlertEvent`s here when an
+    in-DRAM activation counter crosses its threshold; the mitigation
+    drains the queue into recovery refreshes either immediately (PRAC)
+    or batched at the next refresh tick (PRACtical's bank-level
+    recovery isolation).  The channel keeps occupancy statistics so the
+    ALERT storm a wave attack provokes is observable.
+    """
+
+    def __init__(self) -> None:
+        self._pending: Deque[AlertEvent] = deque()
+        self.alerts_raised = 0
+        self.max_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def raise_alert(self, bank: int, subarray: int, row: int, interval: int) -> None:
+        self._pending.append(AlertEvent(bank, subarray, row, interval))
+        self.alerts_raised += 1
+        if len(self._pending) > self.max_depth:
+            self.max_depth = len(self._pending)
+
+    def drain(self) -> List[AlertEvent]:
+        """Pop every pending alert in raise order."""
+        events = list(self._pending)
+        self._pending.clear()
+        return events
+
+    def drain_by_subarray(self) -> Dict[int, List[AlertEvent]]:
+        """Pop all alerts grouped per subarray, groups in first-alert order."""
+        grouped: Dict[int, List[AlertEvent]] = {}
+        for event in self.drain():
+            grouped.setdefault(event.subarray, []).append(event)
+        return grouped
 
 
 def all_policies(geometry: DRAMGeometry, seed: int = 0) -> List[RefreshPolicy]:

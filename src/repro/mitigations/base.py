@@ -16,6 +16,11 @@ literature:
   PARA (one randomly chosen neighbour), ProHit and MRLoc (which track
   victim addresses directly).  ``trigger_row`` records which activated
   row caused the action, for false-positive attribution.
+* :class:`RecoveryRefresh` -- the ALERT-style back-off recovery used by
+  the PRAC family: the device refreshes the neighbours of every listed
+  aggressor row in one recovery window (a batched ``act_n``), after
+  signalling the controller through a
+  :class:`repro.dram.refresh.RecoveryChannel`.
 """
 
 from __future__ import annotations
@@ -46,7 +51,27 @@ class RefreshRow:
     trigger_row: int
 
 
-MitigationAction = Union[ActivateNeighbors, RefreshRow]
+@dataclass(frozen=True)
+class RecoveryRefresh:
+    """ALERT back-off recovery: refresh the neighbours of ``rows``.
+
+    Semantically a batch of ``act_n`` commands the device performs
+    while the controller is stalled by ALERT_n; the mitigation never
+    names victim addresses, so defective-row remapping is resolved by
+    the memory exactly as for :class:`ActivateNeighbors`.
+    ``trigger_row`` is the aggressor whose counter crossing raised the
+    alert (the first one, for a batched PRACtical recovery).
+    """
+
+    rows: Tuple[int, ...]
+    trigger_row: int
+
+    @property
+    def row(self) -> int:
+        return self.trigger_row
+
+
+MitigationAction = Union[ActivateNeighbors, RefreshRow, RecoveryRefresh]
 
 
 class Mitigation(ABC):
@@ -132,6 +157,8 @@ def total_extra_activations(
     for action in actions:
         if isinstance(action, ActivateNeighbors):
             total += neighbor_counts(action.row)
+        elif isinstance(action, RecoveryRefresh):
+            total += sum(neighbor_counts(aggressor) for aggressor in action.rows)
         else:
             total += 1
     return total

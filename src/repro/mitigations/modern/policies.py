@@ -1,0 +1,171 @@
+"""Probabilistic tracker-management policies (Jaleel et al., arXiv:2404.16256).
+
+Counter-table trackers (TWiCe, Graphene descendants) spend most of
+their area on the *management* of a small table: which rows get an
+entry, and who is displaced when the table is full.  Jaleel, Keckler
+and Saileshwar show that deterministic insertion is the weakness --
+and, conversely, that *probabilistic* insertion and replacement make a
+small table behave like a much larger one in expectation, because an
+attacker cannot deterministically engineer the eviction pattern.
+
+:class:`ProbabilisticTracker` packages those policies as a configurable
+wrapper over the repo's counter-table idiom:
+
+* hits increment the entry's counter and trigger ``act_n`` at the
+  threshold, exactly like the deterministic tables;
+* a miss only *probabilistically* claims an entry
+  (``insert_probability``, default 1/16 -- approximating one insert
+  per expected threshold-fraction of activations);
+* when the table is full the displaced entry is chosen by the
+  ``replacement`` policy: ``"random"`` (the paper's headline policy --
+  random replacement needs no metadata and resists eviction
+  engineering) or ``"minimum"`` (deterministic min-count baseline for
+  comparison).
+
+RNG-dependent (insertion and random replacement draw from the seeded
+per-bank stream) but independent of ``config.pbase``, so the fused
+engine dedups it across the pbase axis only.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import ClassVar, Dict, Optional, Sequence, Tuple
+
+from repro.config import SimConfig
+from repro.mitigations.base import ActivateNeighbors, Mitigation, MitigationAction
+from repro.rng import stream
+
+_REPLACEMENT_POLICIES = ("random", "minimum")
+
+
+class ProbabilisticTracker(Mitigation):
+    name: ClassVar[str] = "ProbTracker"
+    known_vulnerabilities: ClassVar[Tuple[str, ...]] = (
+        "insertion lottery: an aggressor stays untracked while every "
+        "insert draw fails, a tail the policy only bounds in "
+        "expectation (arXiv:2404.16256)",
+    )
+    consumes_rng: ClassVar[bool] = True
+    consumes_pbase: ClassVar[bool] = False
+
+    def __init__(
+        self,
+        config: SimConfig,
+        bank: int = 0,
+        seed: int = 0,
+        entries: Optional[int] = None,
+        insert_probability: float = 1 / 16,
+        replacement: str = "random",
+        trigger_threshold: Optional[int] = None,
+    ):
+        super().__init__(config, bank)
+        self.entries = config.counter_table_entries if entries is None else entries
+        if self.entries < 1:
+            raise ValueError(f"entries must be positive: {self.entries}")
+        if not 0.0 < insert_probability <= 1.0:
+            raise ValueError(
+                f"insert_probability must be in (0, 1]: {insert_probability}"
+            )
+        if replacement not in _REPLACEMENT_POLICIES:
+            raise ValueError(
+                f"replacement must be one of {_REPLACEMENT_POLICIES}: {replacement!r}"
+            )
+        self.insert_probability = insert_probability
+        self.replacement = replacement
+        self.trigger_threshold = (
+            max(1, config.flip_threshold // 4)
+            if trigger_threshold is None
+            else trigger_threshold
+        )
+        if self.trigger_threshold < 1:
+            raise ValueError(
+                f"trigger_threshold must be positive: {self.trigger_threshold}"
+            )
+        #: tracked aggressor row -> activation count (insertion-ordered)
+        self._table: Dict[int, int] = {}
+        self.max_occupancy = 0
+        self.evictions = 0
+        self._rng = stream(seed, "prob-tracker", bank)
+
+    def _insert(self, row: int) -> None:
+        """Claim an entry for *row*, displacing one under the policy."""
+        if len(self._table) >= self.entries:
+            if self.replacement == "random":
+                victim = list(self._table)[self._rng.randrange(len(self._table))]
+            else:
+                victim = self._coldest()
+            self._table.pop(victim)
+            self.evictions += 1
+        self._table[row] = 1
+        if len(self._table) > self.max_occupancy:
+            self.max_occupancy = len(self._table)
+
+    def _coldest(self) -> int:
+        coldest = -1
+        coldest_count = -1
+        for tracked, count in self._table.items():
+            if coldest_count < 0 or count < coldest_count:
+                coldest, coldest_count = tracked, count
+        return coldest
+
+    def on_activation(self, row: int, interval: int) -> Sequence[MitigationAction]:
+        count = self._table.get(row)
+        if count is not None:
+            count += 1
+            if count >= self.trigger_threshold:
+                self._table.pop(row, None)
+                return (ActivateNeighbors(row=row),)
+            self._table[row] = count
+            return ()
+        if self._rng.random() < self.insert_probability:
+            self._insert(row)
+        return ()
+
+    def counter(self, row: int) -> int:
+        return self._table.get(row, 0)
+
+    def observe_run(
+        self, row: int, interval: int, count: int
+    ) -> Tuple[int, Sequence[MitigationAction]]:
+        """Run-batching hook preserving the exact per-activation draws.
+
+        Tracked stretches are pure arithmetic; untracked stretches
+        consume exactly one insert draw per activation (plus the
+        replacement draw when one lands), matching the per-record RNG
+        sequence bit for bit.
+        """
+        table = self._table
+        threshold = self.trigger_threshold
+        consumed = 0
+        while consumed < count:
+            current = table.get(row)
+            if current is not None:
+                remaining = count - consumed
+                need = max(1, threshold - current)
+                if need > remaining:
+                    table[row] = current + remaining
+                    return count, ()
+                table.pop(row, None)
+                consumed += need
+                return consumed - 1, (ActivateNeighbors(row=row),)
+            remaining = count - consumed
+            probability = self.insert_probability
+            draw = self._rng.random
+            inserted = False
+            for miss in range(remaining):
+                if draw() < probability:
+                    self._insert(row)
+                    consumed += miss + 1
+                    inserted = True
+                    break
+            if not inserted:
+                return count, ()
+        return count, ()
+
+    @property
+    def table_bytes(self) -> int:
+        row_bits = max(1, math.ceil(math.log2(self.config.geometry.rows_per_bank)))
+        count_bits = max(1, math.ceil(math.log2(self.trigger_threshold + 1)))
+        total_bits = self.entries * (row_bits + count_bits + 1)  # +valid
+        return (total_bits + 7) // 8

@@ -1,0 +1,191 @@
+"""PRAC / PRACtical -- per-row activation counters with ALERT back-off.
+
+DDR5's PRAC scheme stores an activation counter inside every DRAM row.
+When a counter crosses the back-off threshold the *device* raises
+ALERT_n; the controller stalls while the device refreshes the
+aggressor's neighbours, then the counter resets.  Because counting is
+exhaustive and in-DRAM the scheme has no tracker to thrash -- but the
+recovery protocol itself becomes the attack surface: Nazaraliyev et
+al. (arXiv:2507.18581) show that wave patterns provoking continuous
+ALERTs stall every bank behind a single aggressor ("performance
+attack"), and propose **PRACtical**: per-subarray counter banks so
+counter updates proceed in parallel, and recovery isolation so an
+ALERT only costs the affected subarray its slack, serviced in batch at
+the next refresh tick.
+
+Model implemented here:
+
+* :class:`PRAC` -- sparse per-row counters; crossing the
+  ``back_off_threshold`` raises an alert on a
+  :class:`~repro.dram.refresh.RecoveryChannel` and immediately emits a
+  :class:`~repro.mitigations.base.RecoveryRefresh` for the aggressor
+  (the device resolves the true neighbours).  Counters of refreshed
+  rows reset with the periodic refresh.
+* :class:`PRACtical` -- counters split into per-subarray banks
+  (``geometry.subarrays_per_bank``); alerts queue on the channel and
+  are *deferred*: the next refresh tick drains the queue and issues one
+  batched :class:`RecoveryRefresh` per subarray, so one hot subarray
+  cannot serialise the whole bank.  The deferral trades a bounded
+  window of extra disturbance for isolation, which is exactly the
+  trade the differential harness pins.
+
+Both are deterministic: no RNG stream, no ``pbase`` dependence, so the
+fused engine dedups them across both grid axes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import ClassVar, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import SimConfig
+from repro.dram.refresh import RecoveryChannel
+from repro.mitigations.base import Mitigation, MitigationAction, RecoveryRefresh
+
+
+class PRAC(Mitigation):
+    name: ClassVar[str] = "PRAC"
+    known_vulnerabilities: ClassVar[Tuple[str, ...]] = (
+        "ALERT wave attack: rotating aggressors force back-to-back "
+        "back-off recoveries that stall the whole bank (performance "
+        "denial, shown by PRACtical, arXiv:2507.18581)",
+    )
+    consumes_rng: ClassVar[bool] = False
+    consumes_pbase: ClassVar[bool] = False
+
+    def __init__(
+        self,
+        config: SimConfig,
+        bank: int = 0,
+        seed: int = 0,
+        back_off_threshold: Optional[int] = None,
+    ):
+        super().__init__(config, bank)
+        self.back_off_threshold = (
+            max(1, config.flip_threshold // 4)
+            if back_off_threshold is None
+            else back_off_threshold
+        )
+        if self.back_off_threshold < 1:
+            raise ValueError(
+                f"back_off_threshold must be positive: {self.back_off_threshold}"
+            )
+        #: per-row activation counters (sparse; zero not stored)
+        self._counters: Dict[int, int] = {}
+        #: device -> controller ALERT_n channel
+        self.channel = RecoveryChannel()
+
+    def _cross(self, row: int, interval: int) -> None:
+        """Record one threshold crossing of *row* on the alert channel."""
+        self.channel.raise_alert(
+            self.bank, self.config.geometry.subarray_of(row), row, interval
+        )
+
+    def on_activation(self, row: int, interval: int) -> Sequence[MitigationAction]:
+        count = self._counters.get(row, 0) + 1
+        if count >= self.back_off_threshold:
+            self._counters.pop(row, None)
+            self._cross(row, interval)
+            self.channel.drain()
+            return (RecoveryRefresh(rows=(row,), trigger_row=row),)
+        self._counters[row] = count
+        return ()
+
+    def on_refresh(self, interval: int) -> Sequence[MitigationAction]:
+        """Periodic refresh resets the counters of restored rows."""
+        for row in self.config.geometry.rows_of_interval(
+            self.window_interval(interval)
+        ):
+            self._counters.pop(row, None)
+        return ()
+
+    def counter(self, row: int) -> int:
+        return self._counters.get(row, 0)
+
+    def observe_run(
+        self, row: int, interval: int, count: int
+    ) -> Tuple[int, Sequence[MitigationAction]]:
+        """Run-batching hook: one counter, first crossing computed directly."""
+        current = self._counters.get(row, 0)
+        need = self.back_off_threshold - current
+        if need > count:
+            self._counters[row] = current + count
+            return count, ()
+        self._counters.pop(row, None)
+        self._cross(row, interval)
+        self.channel.drain()
+        return need - 1, (RecoveryRefresh(rows=(row,), trigger_row=row),)
+
+    @property
+    def table_bytes(self) -> int:
+        count_bits = max(1, math.ceil(math.log2(self.back_off_threshold + 1)))
+        total_bits = self.config.geometry.rows_per_bank * count_bits
+        return (total_bits + 7) // 8
+
+
+class PRACtical(PRAC):
+    name: ClassVar[str] = "PRACtical"
+    known_vulnerabilities: ClassVar[Tuple[str, ...]] = ()
+
+    def __init__(
+        self,
+        config: SimConfig,
+        bank: int = 0,
+        seed: int = 0,
+        back_off_threshold: Optional[int] = None,
+    ):
+        super().__init__(config, bank, seed, back_off_threshold)
+        subarrays = config.geometry.subarrays_per_bank
+        #: counter updates per subarray counter bank (observability)
+        self.subarray_updates: List[int] = [0] * subarrays
+        #: batched recoveries serviced per subarray
+        self.subarray_recoveries: List[int] = [0] * subarrays
+
+    def on_activation(self, row: int, interval: int) -> Sequence[MitigationAction]:
+        geometry = self.config.geometry
+        self.subarray_updates[geometry.subarray_of(row)] += 1
+        count = self._counters.get(row, 0) + 1
+        if count >= self.back_off_threshold:
+            # Defer: queue the alert, recover in batch at the next ref.
+            self._counters.pop(row, None)
+            self._cross(row, interval)
+            return ()
+        self._counters[row] = count
+        return ()
+
+    def on_refresh(self, interval: int) -> Sequence[MitigationAction]:
+        super().on_refresh(interval)
+        actions: List[MitigationAction] = []
+        for subarray, events in self.channel.drain_by_subarray().items():
+            rows: List[int] = []
+            for event in events:
+                if event.row not in rows:
+                    rows.append(event.row)
+            self.subarray_recoveries[subarray] += 1
+            actions.append(
+                RecoveryRefresh(rows=tuple(rows), trigger_row=rows[0])
+            )
+        return tuple(actions)
+
+    def observe_run(
+        self, row: int, interval: int, count: int
+    ) -> Tuple[int, Sequence[MitigationAction]]:
+        """Run-batching hook: crossings only queue alerts, never trigger.
+
+        A run of ``count`` activations crosses the threshold
+        ``(current + count) // threshold`` times (the counter resets on
+        each crossing); every crossing queues one alert for the next
+        refresh tick, so the run is always clean.
+        """
+        self.subarray_updates[self.config.geometry.subarray_of(row)] += count
+        threshold = self.back_off_threshold
+        current = self._counters.get(row, 0)
+        total = current + count
+        crossings, remainder = divmod(total, threshold)
+        for _ in range(crossings):
+            self._cross(row, interval)
+        if remainder:
+            self._counters[row] = remainder
+        else:
+            self._counters.pop(row, None)
+        return count, ()

@@ -1,0 +1,100 @@
+"""PVAC -- per-victim-row activation counting (Kim et al., arXiv:2604.20576).
+
+Where :class:`~repro.mitigations.modern.rvc.RVC` accepts a bounded
+victim table, PVAC keeps a disturbance counter for *every* row in the
+bank -- the victim-centric sibling of CRA's per-aggressor-row storage.
+Every activation charges both assumed neighbours; a victim whose
+counter reaches the threshold is refreshed directly and its counter
+cleared.  With exhaustive storage there is nothing to evict and
+nothing to thrash, so PVAC (like CRA) is deterministic and
+false-positive-free at the price of counters-in-DRAM storage.
+
+The counter of a row also resets when the periodic refresh restores
+that row, under the same sequential ``f_r`` mapping the paper's
+robustness experiment stresses.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import ClassVar, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import SimConfig
+from repro.mitigations.base import Mitigation, MitigationAction, RefreshRow
+
+
+class PVAC(Mitigation):
+    name: ClassVar[str] = "PVAC"
+    known_vulnerabilities: ClassVar[Tuple[str, ...]] = ()
+    consumes_rng: ClassVar[bool] = False
+    consumes_pbase: ClassVar[bool] = False
+
+    def __init__(
+        self,
+        config: SimConfig,
+        bank: int = 0,
+        seed: int = 0,
+        trigger_threshold: Optional[int] = None,
+    ):
+        super().__init__(config, bank)
+        self.trigger_threshold = (
+            max(1, config.flip_threshold // 2)
+            if trigger_threshold is None
+            else trigger_threshold
+        )
+        if self.trigger_threshold < 1:
+            raise ValueError(
+                f"trigger_threshold must be positive: {self.trigger_threshold}"
+            )
+        #: victim row -> accumulated disturbance (sparse; zero not stored)
+        self._counts: Dict[int, int] = {}
+
+    def on_activation(self, row: int, interval: int) -> Sequence[MitigationAction]:
+        actions: List[MitigationAction] = []
+        for victim in self.config.geometry.assumed_neighbors(row):
+            count = self._counts.get(victim, 0) + 1
+            if count >= self.trigger_threshold:
+                self._counts.pop(victim, None)
+                actions.append(RefreshRow(row=victim, trigger_row=row))
+            else:
+                self._counts[victim] = count
+        return tuple(actions)
+
+    def on_refresh(self, interval: int) -> Sequence[MitigationAction]:
+        """Periodic refresh clears the counters of restored rows."""
+        for row in self.config.geometry.rows_of_interval(
+            self.window_interval(interval)
+        ):
+            self._counts.pop(row, None)
+        return ()
+
+    def counter(self, victim: int) -> int:
+        return self._counts.get(victim, 0)
+
+    def observe_run(
+        self, row: int, interval: int, count: int
+    ) -> Tuple[int, Sequence[MitigationAction]]:
+        """Run-batching hook: pure counter arithmetic, no eviction."""
+        victims = self.config.geometry.assumed_neighbors(row)
+        threshold = self.trigger_threshold
+        counts = self._counts
+        need = min(threshold - counts.get(victim, 0) for victim in victims)
+        if need > count:
+            for victim in victims:
+                counts[victim] = counts.get(victim, 0) + count
+            return count, ()
+        triggered: List[MitigationAction] = []
+        for victim in victims:
+            charged = counts.get(victim, 0) + need
+            if charged >= threshold:
+                counts.pop(victim, None)
+                triggered.append(RefreshRow(row=victim, trigger_row=row))
+            else:
+                counts[victim] = charged
+        return need - 1, tuple(triggered)
+
+    @property
+    def table_bytes(self) -> int:
+        count_bits = max(1, math.ceil(math.log2(self.trigger_threshold + 1)))
+        total_bits = self.config.geometry.rows_per_bank * count_bits
+        return (total_bits + 7) // 8

@@ -1,0 +1,160 @@
+"""RVC -- victim-centric Row-Hammer counting (Jain & Tavva, arXiv:2604.24287).
+
+Aggressor-centric trackers (TWiCe, Graphene lineage) count *who
+hammers*; RVC inverts the bookkeeping and counts *who is being
+disturbed*.  A bounded table keeps one disturbance counter per victim
+row: every activation of row ``r`` charges the counters of ``r``'s
+assumed neighbours, and a victim whose accumulated disturbance reaches
+the threshold is refreshed directly.  Because a victim's counter sums
+the contributions of *both* of its aggressors, double-sided and
+many-sided patterns are seen as one stream -- there is no per-aggressor
+dilution to exploit.
+
+Model implemented here:
+
+* ``entries``-deep victim table; a miss with a full table evicts the
+  minimum-count victim (first inserted on ties) -- the bounded-storage
+  trade-off the paper accepts;
+* threshold defaults to half the flip threshold (a victim's counter is
+  the *sum* over its aggressors, so half covers the double-sided
+  worst case with margin);
+* periodic refresh retires the counters of the rows it restores, like
+  CRA, since a refreshed victim starts from zero disturbance.
+
+Deterministic: no RNG stream, no ``pbase`` dependence, so the fused
+engine dedups RVC across both grid axes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import ClassVar, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import SimConfig
+from repro.mitigations.base import Mitigation, MitigationAction, RefreshRow
+
+
+class RVC(Mitigation):
+    name: ClassVar[str] = "RVC"
+    known_vulnerabilities: ClassVar[Tuple[str, ...]] = (
+        "victim-table eviction thrash: > entries/2 interleaved aggressor "
+        "pairs recycle counters before they mature (bounded-storage "
+        "trade-off, arXiv:2604.24287)",
+    )
+    consumes_rng: ClassVar[bool] = False
+    consumes_pbase: ClassVar[bool] = False
+
+    def __init__(
+        self,
+        config: SimConfig,
+        bank: int = 0,
+        seed: int = 0,
+        entries: Optional[int] = None,
+        trigger_threshold: Optional[int] = None,
+    ):
+        super().__init__(config, bank)
+        self.entries = config.counter_table_entries if entries is None else entries
+        if self.entries < 1:
+            raise ValueError(f"entries must be positive: {self.entries}")
+        self.trigger_threshold = (
+            max(1, config.flip_threshold // 2)
+            if trigger_threshold is None
+            else trigger_threshold
+        )
+        if self.trigger_threshold < 1:
+            raise ValueError(
+                f"trigger_threshold must be positive: {self.trigger_threshold}"
+            )
+        #: victim row -> accumulated disturbance (insertion-ordered)
+        self._counts: Dict[int, int] = {}
+        self.max_occupancy = 0
+        self.evictions = 0
+
+    def _charge(self, victim: int) -> int:
+        """Add one disturbance to *victim*; return its new count."""
+        count = self._counts.get(victim)
+        if count is not None:
+            count += 1
+            self._counts[victim] = count
+            return count
+        if len(self._counts) >= self.entries:
+            self._counts.pop(self._coldest())
+            self.evictions += 1
+        self._counts[victim] = 1
+        if len(self._counts) > self.max_occupancy:
+            self.max_occupancy = len(self._counts)
+        return 1
+
+    def _coldest(self) -> int:
+        coldest = -1
+        coldest_count = -1
+        for victim, count in self._counts.items():
+            if coldest_count < 0 or count < coldest_count:
+                coldest, coldest_count = victim, count
+        return coldest
+
+    def on_activation(self, row: int, interval: int) -> Sequence[MitigationAction]:
+        actions: List[MitigationAction] = []
+        for victim in self.config.geometry.assumed_neighbors(row):
+            if self._charge(victim) >= self.trigger_threshold:
+                self._counts.pop(victim, None)
+                actions.append(RefreshRow(row=victim, trigger_row=row))
+        return tuple(actions)
+
+    def on_refresh(self, interval: int) -> Sequence[MitigationAction]:
+        """Periodic refresh retires the counters of restored rows."""
+        for row in self.config.geometry.rows_of_interval(
+            self.window_interval(interval)
+        ):
+            self._counts.pop(row, None)
+        return ()
+
+    def counter(self, victim: int) -> int:
+        return self._counts.get(victim, 0)
+
+    def observe_run(
+        self, row: int, interval: int, count: int
+    ) -> Tuple[int, Sequence[MitigationAction]]:
+        """Run-batching hook: a run of one row charges a fixed victim set.
+
+        Once every victim of *row* holds a table entry, further
+        activations are pure ``+1`` arithmetic per victim (hits never
+        evict), so the first threshold crossing is computed directly.
+        The per-record loop is kept for the rare degenerate capacity
+        where inserting one victim evicts the other.
+        """
+        victims = self.config.geometry.assumed_neighbors(row)
+        threshold = self.trigger_threshold
+        consumed = 0
+        while consumed < count:
+            actions = self.on_activation(row, interval)
+            consumed += 1
+            if actions:
+                return consumed - 1, actions
+            if consumed >= count:
+                break
+            counts = self._counts
+            if not all(victim in counts for victim in victims):
+                continue
+            remaining = count - consumed
+            need = min(threshold - counts[victim] for victim in victims)
+            if need > remaining:
+                for victim in victims:
+                    counts[victim] += remaining
+                return count, ()
+            triggered: List[MitigationAction] = []
+            for victim in victims:
+                counts[victim] += need
+                if counts[victim] >= threshold:
+                    counts.pop(victim, None)
+                    triggered.append(RefreshRow(row=victim, trigger_row=row))
+            consumed += need
+            return consumed - 1, tuple(triggered)
+        return count, ()
+
+    @property
+    def table_bytes(self) -> int:
+        row_bits = max(1, math.ceil(math.log2(self.config.geometry.rows_per_bank)))
+        count_bits = max(1, math.ceil(math.log2(self.trigger_threshold + 1)))
+        total_bits = self.entries * (row_bits + count_bits + 1)  # +valid
+        return (total_bits + 7) // 8

@@ -21,6 +21,9 @@ class PARA(StatelessMixin, Mitigation):
     name: ClassVar[str] = "PARA"
     known_vulnerabilities: ClassVar[Tuple[str, ...]] = (
         "sequential multi-aggressor activation (shown by ProHit [17])",
+        "non-selection: the unchosen neighbour gets no refresh, so the "
+        "per-victim protection probability is halved and many-sided "
+        "patterns dilute it further (Loaded Dice, arXiv:2605.17358)",
     )
     #: fixed ``probability`` parameter, independent of ``config.pbase``
     consumes_pbase: ClassVar[bool] = False

@@ -37,7 +37,11 @@ _ROW_BITS = 17
 
 class ProHit(Mitigation):
     name: ClassVar[str] = "ProHit"
-    known_vulnerabilities: ClassVar[Tuple[str, ...]] = ()
+    known_vulnerabilities: ClassVar[Tuple[str, ...]] = (
+        "non-selection: a hammered row whose victims never win the "
+        "probabilistic hot-table promotion stays unprotected (Loaded "
+        "Dice, arXiv:2605.17358)",
+    )
     #: fixed ``insert_probability``, independent of ``config.pbase``
     consumes_pbase: ClassVar[bool] = False
 

@@ -1,9 +1,21 @@
-"""Registry of all nine mitigation techniques evaluated in the paper.
+"""Registry of every mitigation technique the repo can simulate.
 
 Gives the simulation and benchmark layers one factory API:
 ``make_mitigation("LoLiPRoMi", config, bank=0, seed=7)``.  The paper's
 five state-of-the-art baselines live in :mod:`repro.mitigations`; the
-four TiVaPRoMi variants in :mod:`repro.core`.
+four TiVaPRoMi variants in :mod:`repro.core`; the 2024-2025 tracker
+families in :mod:`repro.mitigations.modern`.
+
+Three tiers keep Table III reproducible while the benchmark grows:
+
+* :data:`TECHNIQUES` -- the paper's nine Table III rows, in row order;
+  the default for comparisons, campaigns and the golden suite.
+* :data:`EXTENDED_TECHNIQUES` -- techniques the paper discusses
+  (Section II) but does not evaluate.
+* :data:`MODERN_TECHNIQUES` -- the post-2021 families from PAPERS.md
+  (Loaded Dice, RVC, PVAC, PRAC/PRACtical, probabilistic tracker
+  management), opt-in via ``include_modern=True`` so existing golden
+  results stay bit-identical.
 """
 
 from __future__ import annotations
@@ -15,6 +27,11 @@ from repro.core.capromi import CaPRoMi
 from repro.core.tivapromi import LiPRoMi, LoLiPRoMi, LoPRoMi
 from repro.mitigations.base import Mitigation
 from repro.mitigations.counter_tree import CounterTree
+from repro.mitigations.modern.loaded_dice import LoadedDice
+from repro.mitigations.modern.policies import ProbabilisticTracker
+from repro.mitigations.modern.prac import PRAC, PRACtical
+from repro.mitigations.modern.pvac import PVAC
+from repro.mitigations.modern.rvc import RVC
 from repro.mitigations.software import SoftwareDetector
 from repro.mitigations.cra import CRA
 from repro.mitigations.mrloc import MRLoc
@@ -42,28 +59,73 @@ EXTENDED_TECHNIQUES: Dict[str, Type[Mitigation]] = {
     "SoftwareDetector": SoftwareDetector,
 }
 
+#: the 2024-2025 tracker families (see repro.mitigations.modern)
+MODERN_TECHNIQUES: Dict[str, Type[Mitigation]] = {
+    "LoadedDice": LoadedDice,
+    "RVC": RVC,
+    "PVAC": PVAC,
+    "PRAC": PRAC,
+    "PRACtical": PRACtical,
+    "ProbTracker": ProbabilisticTracker,
+}
+
 #: the four variants proposed by the paper
 TIVAPROMI_VARIANTS = ("LiPRoMi", "LoPRoMi", "LoLiPRoMi", "CaPRoMi")
 
 #: the five state-of-the-art baselines
 BASELINES = ("PARA", "ProHit", "MRLoc", "TWiCe", "CRA")
 
+#: the five modern families (PRAC and PRACtical share one family)
+MODERN_FAMILIES = (
+    "LoadedDice",
+    "RVC",
+    "PVAC",
+    "PRAC/PRACtical",
+    "ProbTracker",
+)
 
-def technique_names(include_extended: bool = False) -> List[str]:
+
+def technique_names(
+    include_extended: bool = False, include_modern: bool = False
+) -> List[str]:
     names = list(TECHNIQUES)
     if include_extended:
         names.extend(EXTENDED_TECHNIQUES)
+    if include_modern:
+        names.extend(MODERN_TECHNIQUES)
     return names
+
+
+def _all_names() -> str:
+    return ", ".join(technique_names(include_extended=True, include_modern=True))
+
+
+def _lookup(name: str) -> Type[Mitigation] | None:
+    return (
+        TECHNIQUES.get(name)
+        or EXTENDED_TECHNIQUES.get(name)
+        or MODERN_TECHNIQUES.get(name)
+    )
+
+
+def technique_tier(name: str) -> str:
+    """Which registry tier a canonical name belongs to."""
+    if name in TECHNIQUES:
+        return "paper"
+    if name in EXTENDED_TECHNIQUES:
+        return "extended"
+    if name in MODERN_TECHNIQUES:
+        return "modern"
+    raise ValueError(f"unknown technique {name!r}; choose from {_all_names()}")
 
 
 def make_mitigation(
     name: str, config: SimConfig, bank: int = 0, seed: int = 0, **kwargs
 ) -> Mitigation:
     """Instantiate a technique by name; *kwargs* go to its constructor."""
-    cls = TECHNIQUES.get(name) or EXTENDED_TECHNIQUES.get(name)
+    cls = _lookup(name)
     if cls is None:
-        known = ", ".join(technique_names(include_extended=True))
-        raise ValueError(f"unknown technique {name!r}; choose from {known}")
+        raise ValueError(f"unknown technique {name!r}; choose from {_all_names()}")
     return cls(config, bank=bank, seed=seed, **kwargs)
 
 
@@ -74,10 +136,9 @@ def technique_class(name: str) -> Type[Mitigation]:
     ``consumes_pbase``, ``known_vulnerabilities``) without
     instantiating; the fused engine's cell dedup depends on it.
     """
-    cls = TECHNIQUES.get(name) or EXTENDED_TECHNIQUES.get(name)
+    cls = _lookup(name)
     if cls is None:
-        known = ", ".join(technique_names(include_extended=True))
-        raise ValueError(f"unknown technique {name!r}; choose from {known}")
+        raise ValueError(f"unknown technique {name!r}; choose from {_all_names()}")
     return cls
 
 
@@ -118,10 +179,10 @@ def resolve_technique(name: str) -> str:
     with the list of valid choices (the CLI's ``--technique`` parser).
     """
     lookup = {
-        known.lower(): known for known in technique_names(include_extended=True)
+        known.lower(): known
+        for known in technique_names(include_extended=True, include_modern=True)
     }
     resolved = lookup.get(name.lower())
     if resolved is None:
-        known = ", ".join(technique_names(include_extended=True))
-        raise ValueError(f"unknown technique {name!r}; choose from {known}")
+        raise ValueError(f"unknown technique {name!r}; choose from {_all_names()}")
     return resolved

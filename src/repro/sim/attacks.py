@@ -509,12 +509,12 @@ def vulnerability_verdicts(
     measured activations before the first mitigation and per-window
     activation budget -- alongside the literature verdict.
     """
-    from repro.mitigations.registry import EXTENDED_TECHNIQUES
+    from repro.mitigations.registry import technique_class
 
     names = list(techniques) if techniques is not None else list(TECHNIQUES)
     verdicts: Dict[str, Tuple[bool, str]] = {}
     for name in names:
-        cls = TECHNIQUES.get(name) or EXTENDED_TECHNIQUES[name]
+        cls = technique_class(name)
         if cls.known_vulnerabilities:
             vulnerable, reason = True, "; ".join(cls.known_vulnerabilities)
         else:

@@ -64,7 +64,12 @@ from repro.core.tivapromi import LiPRoMi, LoLiPRoMi, LoPRoMi, TiVaPRoMiBase
 from repro.core.weights import linear_weight, log_weight, trigger_probability
 from repro.dram.disturbance import FlipEvent
 from repro.dram.refresh import RefreshPolicy, SequentialRefresh
-from repro.mitigations.base import ActivateNeighbors, Mitigation, RefreshRow
+from repro.mitigations.base import (
+    ActivateNeighbors,
+    Mitigation,
+    RecoveryRefresh,
+    RefreshRow,
+)
 from repro.mitigations.para import PARA
 from repro.rng import derive_seed
 from repro.sim.metrics import SimResult
@@ -122,6 +127,23 @@ class _GenericDecider:
         # only reachable when trivial_refresh, i.e. on_refresh is the
         # stateless base no-op: nothing to clear
         pass
+
+
+class _RunMethodDecider(_GenericDecider):
+    """Run-batching adapter for techniques exposing ``observe_run``.
+
+    A technique that can consume a run of identical activations in one
+    step (the modern counter families) implements
+    ``observe_run(row, interval, count) -> (clean, actions)`` with the
+    same contract as :meth:`decide_run`; this adapter simply forwards,
+    keeping the batching arithmetic inside the technique module while
+    decisions remain the reference object's own.
+    """
+
+    __slots__ = ()
+
+    def decide_run(self, row: int, interval: int, count: int):
+        return self.mitigation.observe_run(row, interval, count)
 
 
 class _TiVaPRoMiDecider:
@@ -436,6 +458,8 @@ def _make_decider(mitigation: Mitigation):
         return _TiVaPRoMiDecider(mitigation)
     if kind is PARA:
         return _PARADecider(mitigation)
+    if hasattr(mitigation, "observe_run"):
+        return _RunMethodDecider(mitigation)
     return _GenericDecider(mitigation)
 
 
@@ -572,6 +596,17 @@ def run_simulation_fast(
             elif isinstance(action, RefreshRow):
                 do_activation(bank, action.row)
                 cost = 1
+            elif isinstance(action, RecoveryRefresh):
+                cost = 0
+                for aggressor in action.rows:
+                    neighbors = neighbors_of.get(aggressor)
+                    if neighbors is None:
+                        neighbors = neighbors_of[aggressor] = geometry.neighbors(
+                            aggressor
+                        )
+                    for victim in neighbors:
+                        do_activation(bank, victim)
+                    cost += len(neighbors)
             else:  # pragma: no cover - future action kinds
                 raise TypeError(f"unknown mitigation action {action!r}")
             extra_activations += cost

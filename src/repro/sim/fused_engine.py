@@ -59,7 +59,12 @@ from repro.core.capromi import CaPRoMi
 from repro.core.tivapromi import LiPRoMi, LoLiPRoMi, LoPRoMi
 from repro.dram.disturbance import FlipEvent
 from repro.dram.refresh import RefreshPolicy, SequentialRefresh
-from repro.mitigations.base import ActivateNeighbors, Mitigation, RefreshRow
+from repro.mitigations.base import (
+    ActivateNeighbors,
+    Mitigation,
+    RecoveryRefresh,
+    RefreshRow,
+)
 from repro.mitigations.cra import CRA
 from repro.mitigations.mrloc import MRLoc
 from repro.mitigations.para import PARA
@@ -75,6 +80,7 @@ from repro.sim.fast_engine import (
     _SKIP_THRESHOLD,
     _GenericDecider,
     _PARADecider,
+    _RunMethodDecider,
     _TiVaPRoMiDecider,
 )
 from repro.sim.metrics import SimResult
@@ -712,6 +718,10 @@ def _make_fused_decider(mitigation: Mitigation):
         return _FusedCRADecider(mitigation)
     if kind is CaPRoMi:
         return _FusedCaPRoMiDecider(mitigation)
+    if hasattr(mitigation, "observe_run"):
+        # modern counter families batch runs through their own
+        # observe_run arithmetic (same contract as decide_run)
+        return _RunMethodDecider(mitigation)
     # unknown techniques run as real Mitigation objects: equivalence by
     # construction, per-record replay (no run batching)
     return _GenericDecider(mitigation)
@@ -869,7 +879,18 @@ class _Lane:
             if isinstance(action, RefreshRow):
                 self.do_activation(bank, action.row)
                 cost = 1
-            else:  # ActivateNeighbors
+            elif isinstance(action, RecoveryRefresh):
+                cost = 0
+                for aggressor in action.rows:
+                    neighbors = sh.neighbors_of.get(aggressor)
+                    if neighbors is None:
+                        neighbors = sh.neighbors_of[aggressor] = (
+                            sh.geometry.neighbors(aggressor)
+                        )
+                    for victim in neighbors:
+                        self.do_activation(bank, victim)
+                    cost += len(neighbors)
+            elif isinstance(action, ActivateNeighbors):
                 row = action.row
                 neighbors = sh.neighbors_of.get(row)
                 if neighbors is None:
@@ -877,6 +898,8 @@ class _Lane:
                 for victim in neighbors:
                     self.do_activation(bank, victim)
                 cost = len(neighbors)
+            else:  # pragma: no cover - future action kinds
+                raise TypeError(f"unknown mitigation action {action!r}")
             self.extra_activations += cost
             if not was_attack:
                 self.fp_extra_activations += cost

@@ -73,6 +73,64 @@ class TestPaperTables:
         lo_row = next(line for line in text.splitlines() if line.startswith("LoPRoMi"))
         assert "No" in lo_row
 
+    def test_table3_vulnerable_column_pinned(self):
+        """Regression: the rendered vulnerable column, paper + modern rows."""
+        from repro.analysis.area import table3_resources
+
+        expected = {
+            "ProHit": "Yes",     # Loaded Dice non-selection
+            "MRLoc": "Yes",
+            "PARA": "Yes",
+            "TWiCe": "No",
+            "CRA": "No",
+            "CaPRoMi": "No",
+            "LiPRoMi": "Yes",
+            "LoPRoMi": "No",
+            "LoLiPRoMi": "No",
+            "LoadedDice": "No",
+            "RVC": "Yes",        # victim-table eviction thrash
+            "PVAC": "No",
+            "PRAC": "Yes",       # ALERT wave attack
+            "PRACtical": "No",
+            "ProbTracker": "Yes",  # insertion lottery
+        }
+        config = SimConfig()
+        text = render_table3(
+            config, {}, table3_resources(config, include_modern=True)
+        )
+        for name, verdict in expected.items():
+            row = next(
+                line for line in text.splitlines()
+                if line.startswith(name + " ")
+            )
+            cells = row.split()
+            assert verdict in cells, f"{name}: expected {verdict} in {row!r}"
+            other = "No" if verdict == "Yes" else "Yes"
+            assert other not in cells, f"{name}: ambiguous row {row!r}"
+
+    def test_render_techniques_lists_tiers_and_traits(self):
+        from repro.analysis.report import render_techniques
+
+        text = render_techniques(SimConfig())
+        for name in ("PARA", "CounterTree", "LoadedDice", "RVC", "PVAC",
+                     "PRAC", "PRACtical", "ProbTracker"):
+            assert name in text
+        para_row = next(
+            line for line in text.splitlines() if line.startswith("PARA ")
+        )
+        assert "paper" in para_row
+        prac_row = next(
+            line for line in text.splitlines() if line.startswith("PRAC ")
+        )
+        assert "modern" in prac_row
+
+        paper_only = render_techniques(
+            SimConfig(), include_extended=False, include_modern=False
+        )
+        assert "LoadedDice" not in paper_only
+        assert "CounterTree" not in paper_only
+        assert "PARA" in paper_only
+
     def test_table3_reports_discovered_worst_case(self):
         from repro.adversary import AdversaryFrontier, FrontierPoint
 

@@ -29,8 +29,11 @@ class TestConstruction:
         large = ProHit(small_test_config(), hot_entries=8, cold_entries=24)
         assert large.table_bytes == 2 * small.table_bytes
 
-    def test_not_marked_vulnerable(self):
-        assert ProHit.known_vulnerabilities == ()
+    def test_marked_vulnerable_to_non_selection(self):
+        # Loaded Dice (arXiv:2605.17358) documents the non-selection
+        # bypass against ProHit's probabilistic promotion
+        assert len(ProHit.known_vulnerabilities) == 1
+        assert "non-selection" in ProHit.known_vulnerabilities[0]
 
 
 class TestTables:

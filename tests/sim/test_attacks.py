@@ -124,7 +124,7 @@ class TestVerdicts:
     def test_matches_paper_column(self):
         verdicts = vulnerability_verdicts()
         vulnerable = {name for name, (flag, _) in verdicts.items() if flag}
-        assert vulnerable == {"PARA", "MRLoc", "LiPRoMi"}
+        assert vulnerable == {"PARA", "MRLoc", "LiPRoMi", "ProHit"}
 
     def test_reasons_cite_attacks(self):
         verdicts = vulnerability_verdicts(["LiPRoMi"])

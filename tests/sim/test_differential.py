@@ -14,7 +14,11 @@ import pytest
 
 from repro.config import small_test_config
 from repro.dram.refresh import all_policies
-from repro.mitigations.registry import make_factory, technique_names
+from repro.mitigations.registry import (
+    MODERN_TECHNIQUES,
+    make_factory,
+    technique_names,
+)
 from repro.traces.attacker import AttackSpec
 from repro.traces.mixer import build_trace, paper_mixed_workload
 
@@ -25,6 +29,9 @@ TOTAL_INTERVALS = 48
 SEEDS = (0, 1, 2)
 #: all nine Table III techniques plus the unmitigated baseline
 TECHNIQUES = technique_names() + [None]
+#: the modern tracker families (Loaded Dice, RVC, PVAC, PRAC family,
+#: probabilistic tracker management)
+MODERN = list(MODERN_TECHNIQUES)
 
 
 def _factory(technique):
@@ -67,6 +74,34 @@ def test_mixed_workload_equivalence(technique, seed):
 def test_flooding_workload_equivalence(technique, seed):
     assert_engines_equivalent(
         CONFIG, _flooding(seed), _factory(technique), seed=seed
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("technique", MODERN)
+def test_modern_mixed_workload_equivalence(technique, seed):
+    assert_engines_equivalent(CONFIG, _mixed(seed), _factory(technique), seed=seed)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("technique", MODERN)
+def test_modern_flooding_workload_equivalence(technique, seed):
+    assert_engines_equivalent(
+        CONFIG, _flooding(seed), _factory(technique), seed=seed
+    )
+
+
+@pytest.mark.parametrize("technique", MODERN)
+def test_modern_multi_subarray_equivalence(technique):
+    """Two banks x four subarrays: boundary rows lose one neighbour and
+    PRACtical's recovery batching groups per subarray; both engines must
+    still agree record-for-record."""
+    config = small_test_config(num_banks=2, subarrays_per_bank=4)
+    assert_engines_equivalent(
+        config, _mixed(0, config=config), _factory(technique), seed=0
+    )
+    assert_engines_equivalent(
+        config, _flooding(1, config=config), _factory(technique), seed=1
     )
 
 

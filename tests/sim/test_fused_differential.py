@@ -16,7 +16,11 @@ from pathlib import Path
 import pytest
 
 from repro.config import ddr4_paper_config, small_test_config
-from repro.mitigations.registry import technique_class, technique_names
+from repro.mitigations.registry import (
+    MODERN_TECHNIQUES,
+    technique_class,
+    technique_names,
+)
 from repro.sim.fused_engine import GridCell, grid_cells, run_simulation_grid
 from repro.telemetry.metrics import MetricsRegistry
 from repro.traces.attacker import AttackSpec
@@ -31,6 +35,8 @@ SEEDS = (0, 1, 2)
 PBASE_SCALES = (0.5, 1.0, 2.0)
 #: all nine Table III techniques plus the unmitigated baseline
 TECHNIQUES = technique_names() + [None]
+#: the modern tracker families
+MODERN = list(MODERN_TECHNIQUES)
 
 FIXTURES = Path(__file__).resolve().parents[1] / "fixtures" / "traces"
 
@@ -89,6 +95,54 @@ def test_bounded_smoke_grid():
     assert_grid_equivalent(CONFIG, _mixed(2), cells)
 
 
+@pytest.mark.parametrize("technique", MODERN)
+def test_modern_grid_equivalence(technique):
+    """Modern techniques: full seed x pbase plane vs per-cell reference."""
+    cells = grid_cells(
+        [technique], SEEDS, pbase_scales=PBASE_SCALES, config=CONFIG
+    )
+    assert_grid_equivalent(CONFIG, _mixed(0), cells)
+    assert_grid_equivalent(CONFIG, _flooding(1), cells)
+
+
+def test_modern_multi_subarray_grid_equivalence():
+    """One fused grid over every modern family on a two-bank,
+    four-subarray geometry, checked cell-by-cell against reference."""
+    config = small_test_config(num_banks=2, subarrays_per_bank=4)
+    cells = grid_cells(MODERN + [None], (0, 1), config=config)
+    assert_grid_equivalent(config, _mixed(0, config=config), cells)
+
+
+@pytest.mark.mitigation_matrix
+def test_mitigation_matrix_smoke():
+    """The CI mitigation-matrix job: every registered technique -- the
+    nine paper rows, the extended trackers and the modern families --
+    in one tiny fused campaign grid, each cell pinned to a solo
+    reference run."""
+    all_names = technique_names(include_extended=True, include_modern=True)
+    cells = grid_cells(all_names + [None], (0,), config=CONFIG)
+    assert_grid_equivalent(CONFIG, _mixed(3), cells)
+
+
+def test_modern_dedup_collapses_deterministic_lanes():
+    """RVC/PVAC/PRAC/PRACtical consume neither rng nor pbase, so a
+    seed x pbase plane collapses to one lane each; LoadedDice and
+    ProbTracker keep one lane per seed."""
+    techniques = MODERN
+    cells = grid_cells(
+        techniques, SEEDS, pbase_scales=PBASE_SCALES, config=CONFIG
+    )
+    metrics = MetricsRegistry()
+    trace = _mixed(1)().materialize()
+    run_simulation_grid(CONFIG, trace, cells, metrics=metrics)
+    requested = metrics.counters["fused.cells_requested"].value
+    computed = metrics.counters["fused.cells_computed"].value
+    assert requested == len(cells) == 6 * len(SEEDS) * len(PBASE_SCALES)
+    # 4 deterministic families keep 1 lane; 2 rng families keep one
+    # lane per seed
+    assert computed == 4 + 2 * len(SEEDS)
+
+
 def test_grid_dedup_is_invisible():
     """Dedup collapses cells yet every replica still matches reference.
 
@@ -129,6 +183,12 @@ def test_dedup_traits_match_registry():
         cls = technique_class(name)
         assert cls.consumes_rng and cls.consumes_pbase
     for name in ("PARA", "ProHit", "MRLoc"):
+        cls = technique_class(name)
+        assert cls.consumes_rng and not cls.consumes_pbase
+    for name in ("RVC", "PVAC", "PRAC", "PRACtical"):
+        cls = technique_class(name)
+        assert not cls.consumes_rng and not cls.consumes_pbase
+    for name in ("LoadedDice", "ProbTracker"):
         cls = technique_class(name)
         assert cls.consumes_rng and not cls.consumes_pbase
 

@@ -51,6 +51,7 @@ DOC_PAGES = (
     "adversary.md",
     "architecture.md",
     "campaigns.md",
+    "mitigations.md",
     "observability.md",
     "reproducing.md",
     "serve.md",

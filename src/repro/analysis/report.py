@@ -390,12 +390,16 @@ def render_campaign(
     return "\n\n".join(sections)
 
 
-def render_campaign_status(status) -> str:
+def render_campaign_status(status, aggregates=None) -> str:
     """Render a :class:`~repro.campaign.store.CampaignStatus`.
 
     Header recaps the stored spec; the body shows per-technique
     completed seeds so an interrupted campaign's remaining work is
-    visible at a glance.
+    visible at a glance.  Pass the store's incremental
+    ``partial_aggregates()`` as *aggregates* to append the summary
+    lines of every technique with at least one landed shard -- the
+    mid-run numbers, folded in canonical order, that the completed
+    campaign will report for those cells.
     """
     spec = status.spec
     header_rows = [
@@ -422,6 +426,14 @@ def render_campaign_status(status) -> str:
         for technique in spec.techniques
     ]
     sections.append(render_table(("technique", "done", "missing"), rows))
+    if aggregates:
+        lines = [
+            aggregate.summary()
+            for aggregate in aggregates.values()
+            if aggregate.results
+        ]
+        if lines:
+            sections.append("\n".join(lines))
     if status.failures:
         sections.append(render_campaign_failures(status.failures))
     return "\n\n".join(sections)

@@ -13,7 +13,11 @@ Public surface:
   :class:`ShardRecord` -- the checkpoint persistence layer;
 * :class:`FaultInjector` -- deterministic crash/hang/error injection
   for fault-tolerance tests (never active unless explicitly supplied
-  or set through ``REPRO_FAULT_INJECT``).
+  or set through ``REPRO_FAULT_INJECT``);
+* :class:`QueueExecutor` / :func:`run_worker` / :class:`WorkQueue` --
+  the distributed lane: campaigns over a shared filesystem work queue
+  drained by ``repro campaign-worker`` processes on any host (see
+  ``docs/distributed.md``).
 """
 
 from repro.campaign.faults import (
@@ -23,6 +27,14 @@ from repro.campaign.faults import (
     FaultRule,
     InjectedFault,
     SimulatedCrash,
+)
+from repro.campaign.queue import (
+    DEFAULT_LEASE_TIMEOUT_S,
+    QueueExecutor,
+    RemoteShardError,
+    ShardTicket,
+    WorkQueue,
+    run_worker,
 )
 from repro.campaign.runner import campaign_status, run_durable_campaign
 from repro.campaign.store import (
@@ -51,4 +63,10 @@ __all__ = [
     "CampaignStore",
     "CheckpointMismatchError",
     "ShardRecord",
+    "DEFAULT_LEASE_TIMEOUT_S",
+    "QueueExecutor",
+    "RemoteShardError",
+    "ShardTicket",
+    "WorkQueue",
+    "run_worker",
 ]

@@ -1,0 +1,895 @@
+"""Filesystem work-queue executor: multi-host campaigns, no wire protocol.
+
+The distributed lane of the executor contract
+(:mod:`repro.sim.executors`; spec in ``docs/distributed.md``).  The
+runner turns every campaign shard into a JSON *ticket* in a shared
+queue directory; independent worker processes -- started anywhere the
+directory is mounted via ``repro campaign-worker <queue-dir>`` --
+*lease* tickets by atomic ``os.rename``, run them with the exact same
+:func:`~repro.sim.executors._run_job` the pool uses, and push results
+back as JSON records the runner folds into the campaign.  Every
+coordination primitive is a filesystem operation with POSIX atomicity
+semantics, so the only infrastructure a multi-host campaign needs is a
+shared directory::
+
+    <queue_dir>/
+        queue.json        # banner: campaign identity, written by the runner
+        tickets/
+            <shard>.json  # pending work, one ShardTicket per shard attempt
+        leases/
+            <shard>.json  # in flight: renamed from tickets/, mtime = liveness
+        results/
+            <shard>.json  # completed ShardOutcome records (atomic writes)
+        failed/
+            <shard>.json  # per-attempt failure reports from workers
+        traces/
+            trace-<n>.npz # pre-generated traces shared by every worker
+        status/           # a plain StatusBus: worker heartbeats + snapshot
+        stop              # sentinel: workers drain and exit when it appears
+
+Lease protocol: claiming is ``os.rename(tickets/X, leases/X)`` --
+atomic on POSIX, so exactly one worker wins a ticket and a shard is
+always in exactly one stage.  While a shard runs, the worker's
+:class:`~repro.telemetry.statusbus.Heartbeater` refreshes the lease
+file's mtime alongside its status-bus heartbeat; a SIGKILLed, crashed
+or hung worker stops refreshing, the lease ages past the runner's
+``lease_timeout``, and the runner *reclaims* it -- re-ticketing the
+shard with the next attempt number, charged to the campaign's
+:class:`~repro.sim.executors.RetryPolicy` as a ``timeout``.  Results
+and failure reports are written atomically (temp file +
+``os.replace``), so no reader ever observes a torn record; foreign or
+torn files are quarantined/swept, and the runner re-publishes any
+unresolved shard that is absent from every stage, which makes the
+queue self-healing against lost files.
+
+Determinism: a shard is a pure function of its ticket (config, seed,
+engine, trace), results are rehydrated through the exact serialisation
+the checkpoint store uses, and the runner returns outcomes in
+canonical input order -- so a queue campaign's aggregates are
+bit-identical to a serial or pool run of the same grid, no matter how
+many workers raced, died, or were SIGKILLed along the way
+(``tests/campaign/test_executors.py`` asserts this).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, ClassVar, Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.faults import FaultInjector
+from repro.sim.executors import (
+    FAULT_COUNTERS,
+    CampaignJob,
+    ExecutionContext,
+    Executor,
+    JobOutcome,
+    ShardOutcome,
+    ShardTimeout,
+    _count,
+    _exhaust,
+    _run_job,
+    _shard_id,
+)
+from repro.telemetry.manifest import config_as_dict, config_from_dict
+from repro.telemetry.statusbus import (
+    DEFAULT_STALE_AFTER_S,
+    Heartbeater,
+    StatusBus,
+    write_json_atomic,
+)
+
+#: bump when the on-disk queue layout changes incompatibly
+QUEUE_SCHEMA_VERSION = 1
+
+BANNER_FILENAME = "queue.json"
+TICKETS_DIRNAME = "tickets"
+LEASES_DIRNAME = "leases"
+RESULTS_DIRNAME = "results"
+FAILED_DIRNAME = "failed"
+TRACES_DIRNAME = "traces"
+STATUS_DIRNAME = "status"
+STOP_FILENAME = "stop"
+
+#: a lease whose mtime is older than this is presumed dead and reclaimed
+DEFAULT_LEASE_TIMEOUT_S = 60.0
+
+
+class RemoteShardError(RuntimeError):
+    """A worker-reported shard failure, rehydrated on the runner side."""
+
+    def __init__(self, message: str, kind: str = "error") -> None:
+        super().__init__(message)
+        self.shard_fault_kind = kind
+
+
+@dataclass
+class ShardTicket:
+    """One shard attempt as a self-contained JSON work order.
+
+    Everything a worker on another host needs to run the shard: the
+    full simulation config (as the nested plain dict
+    :func:`~repro.telemetry.manifest.config_as_dict` produces), the
+    grid coordinates, the engine, the workload knobs or the queue-local
+    trace filename, and the serialised fault-injection spec for tests.
+    Status-bus paths deliberately do **not** travel in tickets: workers
+    heartbeat into the queue's own ``status/`` directory (the only
+    path guaranteed shared), and the runner relays those records into
+    the campaign's bus.
+    """
+
+    shard: str
+    technique: Optional[str]
+    seed: int
+    #: retry attempt this ticket represents (0 = first try); stamped by
+    #: the runner on publish and re-publish, consumed by fault matching
+    attempt: int
+    engine: str
+    total_intervals: int
+    config: Dict[str, Any]
+    #: sorted (key, value) workload knob pairs, JSON-friendly
+    workload_kwargs: List[List[Any]]
+    #: filename under ``traces/``; None regenerates from the knobs
+    trace: Optional[str] = None
+    collect_metrics: bool = False
+    collect_spans: bool = False
+    span_seed: str = ""
+    #: :meth:`FaultInjector.spec` JSON, or None (production campaigns)
+    fault_spec: Optional[str] = None
+    schema_version: int = QUEUE_SCHEMA_VERSION
+
+    @classmethod
+    def from_job(
+        cls,
+        job: CampaignJob,
+        trace: Optional[str] = None,
+        attempt: Optional[int] = None,
+    ) -> "ShardTicket":
+        return cls(
+            shard=_shard_id(job.technique, job.seed),
+            technique=job.technique,
+            seed=job.seed,
+            attempt=job.attempt if attempt is None else attempt,
+            engine=job.engine,
+            total_intervals=job.total_intervals,
+            config=config_as_dict(job.config),
+            workload_kwargs=[list(pair) for pair in job.workload_kwargs],
+            trace=trace,
+            collect_metrics=job.collect_metrics,
+            collect_spans=job.collect_spans,
+            span_seed=job.span_seed,
+            fault_spec=(
+                job.fault_injector.spec()
+                if job.fault_injector is not None else None
+            ),
+        )
+
+    def to_job(self, queue_root) -> CampaignJob:
+        """Rehydrate the runnable job on the worker side."""
+        trace_path = (
+            str(Path(queue_root) / TRACES_DIRNAME / self.trace)
+            if self.trace else None
+        )
+        return CampaignJob(
+            config=config_from_dict(self.config),
+            technique=self.technique,
+            seed=self.seed,
+            total_intervals=self.total_intervals,
+            workload_kwargs=tuple(
+                (key, value) for key, value in self.workload_kwargs
+            ),
+            trace_path=trace_path,
+            engine=self.engine,
+            collect_metrics=self.collect_metrics,
+            attempt=self.attempt,
+            fault_injector=(
+                FaultInjector.from_spec(self.fault_spec)
+                if self.fault_spec else None
+            ),
+            collect_spans=self.collect_spans,
+            span_seed=self.span_seed,
+            status_dir=None,  # workers own their heartbeats (queue bus)
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "shard": self.shard,
+            "technique": self.technique,
+            "seed": self.seed,
+            "attempt": self.attempt,
+            "engine": self.engine,
+            "total_intervals": self.total_intervals,
+            "config": self.config,
+            "workload_kwargs": self.workload_kwargs,
+            "trace": self.trace,
+            "collect_metrics": self.collect_metrics,
+            "collect_spans": self.collect_spans,
+            "span_seed": self.span_seed,
+            "fault_spec": self.fault_spec,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ShardTicket":
+        return cls(
+            shard=data["shard"],
+            technique=data.get("technique"),
+            seed=int(data["seed"]),
+            attempt=int(data.get("attempt", 0)),
+            engine=data["engine"],
+            total_intervals=int(data["total_intervals"]),
+            config=dict(data["config"]),
+            workload_kwargs=[
+                list(pair) for pair in data.get("workload_kwargs", [])
+            ],
+            trace=data.get("trace"),
+            collect_metrics=bool(data.get("collect_metrics", False)),
+            collect_spans=bool(data.get("collect_spans", False)),
+            span_seed=data.get("span_seed", ""),
+            fault_spec=data.get("fault_spec"),
+            schema_version=int(
+                data.get("schema_version", QUEUE_SCHEMA_VERSION)
+            ),
+        )
+
+
+class WorkQueue:
+    """Layout helper for one queue directory (see the module docstring).
+
+    Runner and workers share this class; every mutation is either an
+    atomic write (:func:`~repro.telemetry.statusbus.write_json_atomic`)
+    or an atomic rename, so the queue is crash-consistent on both
+    sides: no observer ever reads a torn ticket, lease, or result that
+    this code wrote.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.tickets_dir = self.root / TICKETS_DIRNAME
+        self.leases_dir = self.root / LEASES_DIRNAME
+        self.results_dir = self.root / RESULTS_DIRNAME
+        self.failed_dir = self.root / FAILED_DIRNAME
+        self.traces_dir = self.root / TRACES_DIRNAME
+        self.banner_path = self.root / BANNER_FILENAME
+        self.stop_path = self.root / STOP_FILENAME
+
+    def ensure_layout(self) -> None:
+        """Create every queue subdirectory (idempotent, racing-safe)."""
+        for path in (
+            self.tickets_dir, self.leases_dir, self.results_dir,
+            self.failed_dir, self.traces_dir,
+        ):
+            path.mkdir(parents=True, exist_ok=True)
+
+    def reset(self) -> None:
+        """Clear work files from a previous campaign (runner, at start).
+
+        One queue directory serves one campaign at a time; stale
+        results from an earlier run must not be ingested as this run's.
+        The banner and status directory are overwritten separately.
+        """
+        self.ensure_layout()
+        self.clear_stop()
+        for directory in (
+            self.tickets_dir, self.leases_dir, self.results_dir,
+            self.failed_dir, self.traces_dir,
+        ):
+            for path in directory.iterdir():
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - racing a straggler
+                    pass
+
+    def status_bus(
+        self, stale_after: float = DEFAULT_STALE_AFTER_S
+    ) -> StatusBus:
+        """The queue's own status bus (``<queue>/status``) -- the one
+        directory runner and remote workers are guaranteed to share."""
+        return StatusBus(self.root / STATUS_DIRNAME, stale_after=stale_after)
+
+    # -- banner / stop sentinel ---------------------------------------
+
+    def write_banner(self, banner: Dict[str, Any]) -> None:
+        payload = {"schema_version": QUEUE_SCHEMA_VERSION}
+        payload.update(banner)
+        write_json_atomic(self.banner_path, payload)
+
+    def read_banner(self) -> Optional[Dict[str, Any]]:
+        try:
+            return json.loads(self.banner_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def request_stop(self) -> None:
+        """Raise the drain sentinel: workers exit at their next poll."""
+        write_json_atomic(self.stop_path, {"stop": True})
+
+    def clear_stop(self) -> None:
+        try:
+            self.stop_path.unlink()
+        except OSError:
+            pass
+
+    @property
+    def stop_requested(self) -> bool:
+        return self.stop_path.exists()
+
+    # -- tickets and leases (worker side) -----------------------------
+
+    def ticket_path(self, shard: str) -> Path:
+        return self.tickets_dir / f"{shard}.json"
+
+    def lease_path(self, shard: str) -> Path:
+        return self.leases_dir / f"{shard}.json"
+
+    def publish_ticket(self, ticket: ShardTicket) -> Path:
+        path = self.ticket_path(ticket.shard)
+        write_json_atomic(path, ticket.as_dict())
+        return path
+
+    def claim_ticket(self) -> Optional[Tuple[ShardTicket, Path]]:
+        """Lease the first available ticket via atomic rename.
+
+        Exactly one claimant wins each ticket: ``os.rename`` either
+        moves the file into ``leases/`` or raises because another
+        worker (or a runner reclaim) got there first, in which case the
+        next ticket is tried.  A won lease is immediately ``touch``ed
+        so its liveness clock starts at claim time, not publish time.
+        A ticket that cannot be parsed (torn by a non-atomic foreign
+        writer, or corrupted on disk) is quarantined into
+        ``failed/<name>.corrupt`` rather than retried forever; the
+        runner's self-heal pass re-publishes the shard from its
+        in-memory job list.
+        """
+        if not self.tickets_dir.is_dir():
+            return None
+        for path in sorted(self.tickets_dir.glob("*.json")):
+            lease = self.leases_dir / path.name
+            try:
+                os.rename(path, lease)
+            except OSError:
+                continue  # lost the race; try the next ticket
+            try:
+                ticket = ShardTicket.from_dict(
+                    json.loads(lease.read_text(encoding="utf-8"))
+                )
+            except (OSError, json.JSONDecodeError, KeyError, TypeError,
+                    ValueError):
+                quarantine = self.failed_dir / f"{path.name}.corrupt"
+                try:
+                    os.replace(lease, quarantine)
+                except OSError:  # pragma: no cover - racing reclaim
+                    pass
+                continue
+            self.touch(lease)
+            return ticket, lease
+        return None
+
+    def touch(self, lease: Path) -> None:
+        """Refresh a lease's mtime: the holder is alive."""
+        try:
+            os.utime(lease)
+        except OSError:  # lease reclaimed under us; the run still counts
+            pass
+
+    def release(self, lease: Path) -> None:
+        try:
+            lease.unlink()
+        except OSError:
+            pass
+
+    # -- leases (runner side) -----------------------------------------
+
+    def expired_leases(
+        self, timeout: float, now: Optional[float] = None
+    ) -> List[Tuple[str, Path]]:
+        """(shard, lease-path) pairs whose holder has gone quiet.
+
+        Liveness is the lease file's mtime -- one clock, the shared
+        filesystem's, which is the only clock a multi-host queue can
+        agree on.  Size *timeout* generously above the worker's
+        refresh interval (and any cross-host clock skew).
+        """
+        if now is None:
+            now = time.time()
+        expired: List[Tuple[str, Path]] = []
+        if not self.leases_dir.is_dir():
+            return expired
+        for path in sorted(self.leases_dir.glob("*.json")):
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue  # released while we looked
+            if age > timeout:
+                expired.append((path.stem, path))
+        return expired
+
+    def reclaim_lease(self, lease: Path) -> Optional[ShardTicket]:
+        """Take a dead worker's lease back (runner only).
+
+        Returns the leased ticket, or None if the lease vanished or
+        cannot be parsed (the self-heal pass covers the shard either
+        way).  The lease file is removed; re-publishing with a bumped
+        attempt is the caller's decision, under its retry policy.
+        """
+        try:
+            data = json.loads(lease.read_text(encoding="utf-8"))
+            ticket = ShardTicket.from_dict(data)
+        except (OSError, json.JSONDecodeError, KeyError, TypeError,
+                ValueError):
+            ticket = None
+        self.release(lease)
+        return ticket
+
+    # -- results and failure reports ----------------------------------
+
+    def result_path(self, shard: str) -> Path:
+        return self.results_dir / f"{shard}.json"
+
+    def write_result(self, record: Dict[str, Any]) -> Path:
+        path = self.result_path(record["shard"])
+        write_json_atomic(path, record)
+        return path
+
+    def read_results(self) -> Dict[str, Dict[str, Any]]:
+        """Every parseable result record, keyed by shard id."""
+        results: Dict[str, Dict[str, Any]] = {}
+        if not self.results_dir.is_dir():
+            return results
+        for path in sorted(self.results_dir.glob("*.json")):
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue
+            if isinstance(record, dict) and "shard" in record:
+                results[record["shard"]] = record
+        return results
+
+    def sweep_torn_results(self) -> int:
+        """Unlink unparseable result files (foreign writers only --
+        this module's writes are atomic); the shard re-runs via
+        self-heal.  Returns the number swept."""
+        swept = 0
+        if not self.results_dir.is_dir():
+            return swept
+        for path in sorted(self.results_dir.glob("*.json")):
+            try:
+                json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                try:
+                    path.unlink()
+                    swept += 1
+                except OSError:  # pragma: no cover - racing rewrite
+                    pass
+        return swept
+
+    def failure_path(self, shard: str) -> Path:
+        return self.failed_dir / f"{shard}.json"
+
+    def write_failure(
+        self, ticket: ShardTicket, kind: str, error: str
+    ) -> Path:
+        path = self.failure_path(ticket.shard)
+        write_json_atomic(path, {
+            "schema_version": QUEUE_SCHEMA_VERSION,
+            "shard": ticket.shard,
+            "technique": ticket.technique,
+            "seed": ticket.seed,
+            "attempt": ticket.attempt,
+            "kind": kind,
+            "error": error,
+            "worker": {"pid": os.getpid(), "host": socket.gethostname()},
+        })
+        return path
+
+    def take_failures(self) -> List[Dict[str, Any]]:
+        """Read-and-consume every failure report (runner only)."""
+        reports: List[Dict[str, Any]] = []
+        if not self.failed_dir.is_dir():
+            return reports
+        for path in sorted(self.failed_dir.glob("*.json")):
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                record = None
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing writer
+                continue
+            if isinstance(record, dict) and "shard" in record:
+                reports.append(record)
+        return reports
+
+    def present_shards(self) -> set:
+        """Shard ids visible in *any* queue stage right now.
+
+        The self-heal invariant's evidence set: an unresolved shard
+        absent from tickets, leases, results *and* failure reports has
+        been lost (quarantined corrupt ticket, swept torn result,
+        foreign deletion) and must be re-published by the runner.
+        """
+        present: set = set()
+        for directory in (self.tickets_dir, self.leases_dir,
+                          self.failed_dir):
+            if directory.is_dir():
+                present.update(
+                    path.stem for path in directory.glob("*.json")
+                )
+        present.update(self.read_results())
+        return present
+
+    def stage_trace(self, source: str, name: str) -> str:
+        """Copy a trace file into ``traces/`` (atomically) and return
+        *name*; a file already staged under that name is reused."""
+        dest = self.traces_dir / name
+        if not dest.exists():
+            handle, tmp = tempfile.mkstemp(
+                dir=str(self.traces_dir), prefix=name + ".", suffix=".tmp"
+            )
+            os.close(handle)
+            try:
+                shutil.copyfile(source, tmp)
+                os.replace(tmp, dest)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        return name
+
+
+class QueueExecutor(Executor):
+    """Campaign execution over a shared filesystem work queue.
+
+    The runner side of the queue protocol: publishes one ticket per
+    shard, optionally spawns ``workers`` local ``campaign-worker``
+    subprocesses against the queue, then polls -- ingesting results as
+    they land (checkpointing and progress fire per shard, like every
+    executor), consuming worker failure reports and reclaiming expired
+    leases under the campaign's retry policy, re-publishing lost
+    shards, and relaying worker heartbeats from the queue's status bus
+    into the campaign's.  On completion (or failure) it raises the
+    ``stop`` sentinel so attached workers drain and exit.
+
+    ``workers=0`` publishes work and waits for *external* workers --
+    the multi-host mode: start ``repro campaign-worker <queue-dir>`` on
+    any machine sharing the directory, before or after the campaign
+    starts.  ``lease_timeout`` is the hung/vanished-worker bound (the
+    queue's analogue of ``shard_timeout``); it must comfortably exceed
+    the workers' lease-refresh interval plus any cross-host clock skew.
+    """
+
+    name: ClassVar[str] = "queue"
+    profile_section: ClassVar[str] = "campaign:queue"
+
+    def __init__(
+        self,
+        queue_dir,
+        workers: int = 0,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT_S,
+        poll_interval: float = 0.2,
+        stop_workers: bool = True,
+        max_respawns: Optional[int] = None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0: {workers}")
+        if lease_timeout <= 0:
+            raise ValueError(
+                f"lease_timeout must be positive: {lease_timeout}"
+            )
+        self.queue_dir = Path(queue_dir)
+        self.workers = workers
+        self.lease_timeout = lease_timeout
+        self.poll_interval = poll_interval
+        self.stop_workers = stop_workers
+        self.max_respawns = max_respawns
+
+    # -- worker subprocess management ---------------------------------
+
+    def _lease_refresh(self) -> float:
+        return max(0.05, min(1.0, self.lease_timeout / 5.0))
+
+    def _spawn_worker(self) -> subprocess.Popen:
+        import repro
+
+        env = dict(os.environ)
+        src_root = str(Path(repro.__file__).resolve().parents[1])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root + os.pathsep + existing if existing else src_root
+        )
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "campaign-worker",
+                str(self.queue_dir),
+                "--poll-interval", str(min(0.5, max(0.05, self.poll_interval))),
+                "--lease-refresh", str(self._lease_refresh()),
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+        )
+
+    def _reap_workers(self, procs: List[subprocess.Popen]) -> None:
+        for proc in procs:
+            if proc.poll() is None:
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.terminate()
+                    try:
+                        proc.wait(timeout=5)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
+                        proc.wait()
+
+    # -- the executor contract ----------------------------------------
+
+    def execute(
+        self, jobs: Sequence[CampaignJob], ctx: ExecutionContext
+    ) -> List[Optional[JobOutcome]]:
+        policy = ctx.policy
+        wq = WorkQueue(self.queue_dir)
+        wq.reset()
+        queue_bus = wq.status_bus()
+        queue_bus.clear_workers()
+        total = len(jobs)
+        # stage each distinct memoized trace once; workers read them
+        # from the queue directory (the runner's tmpdir is host-local)
+        trace_names: Dict[str, str] = {}
+        for job in jobs:
+            if job.trace_path and job.trace_path not in trace_names:
+                name = f"trace-{len(trace_names)}.npz"
+                trace_names[job.trace_path] = wq.stage_trace(
+                    job.trace_path, name
+                )
+        wq.write_banner({
+            "engine": jobs[0].engine if jobs else None,
+            "shards": total,
+            "created_unix": time.time(),
+        })
+        shard_index: Dict[str, int] = {}
+        for index, job in enumerate(jobs):
+            shard_index[_shard_id(job.technique, job.seed)] = index
+        outcomes: List[Optional[JobOutcome]] = [None] * total
+        resolved = [False] * total
+        attempts = [0] * total
+        done = 0
+
+        def ticket_for(index: int) -> ShardTicket:
+            job = jobs[index]
+            return ShardTicket.from_job(
+                job,
+                trace=trace_names.get(job.trace_path),
+                attempt=attempts[index],
+            )
+
+        for index in range(total):
+            wq.publish_ticket(ticket_for(index))
+        procs = [self._spawn_worker() for _ in range(self.workers)]
+        respawns = 0
+        respawn_budget = (
+            self.max_respawns
+            if self.max_respawns is not None
+            else max(4, 2 * total)
+        )
+        try:
+            while not all(resolved):
+                progressed = False
+                # 1. fold in completed shards
+                for shard, record in wq.read_results().items():
+                    index = shard_index.get(shard)
+                    if index is None or resolved[index]:
+                        continue
+                    try:
+                        outcome = ShardOutcome.from_dict(record)
+                    except (KeyError, TypeError, ValueError):
+                        continue  # torn by a foreign writer; swept below
+                    outcomes[index] = outcome.as_tuple()
+                    resolved[index] = True
+                    done += 1
+                    progressed = True
+                    if ctx.shard_callback is not None:
+                        ctx.shard_callback(
+                            outcomes[index], attempts[index] + 1
+                        )
+                    if ctx.progress is not None:
+                        ctx.progress(done + len(ctx.failures), total)
+
+                def charge_failure(
+                    index: int, exc: BaseException, kind: str
+                ) -> None:
+                    """One failed attempt: count, then retry or exhaust."""
+                    nonlocal progressed
+                    attempts[index] += 1
+                    _count(ctx.metrics,
+                           FAULT_COUNTERS.get(kind, FAULT_COUNTERS["error"]))
+                    if attempts[index] > policy.max_retries:
+                        _exhaust(
+                            jobs[index], attempts[index], exc, policy,
+                            ctx.failures, ctx.metrics,
+                        )
+                        resolved[index] = True
+                        if ctx.progress is not None:
+                            ctx.progress(done + len(ctx.failures), total)
+                    else:
+                        _count(ctx.metrics, "campaign.shard_retries")
+                        delay = policy.delay(attempts[index])
+                        if delay > 0:
+                            ctx.sleep(delay)
+                        wq.publish_ticket(ticket_for(index))
+                    progressed = True
+
+                # 2. consume worker failure reports
+                for report in wq.take_failures():
+                    index = shard_index.get(report.get("shard"))
+                    if index is None or resolved[index]:
+                        continue
+                    kind = report.get("kind", "error")
+                    charge_failure(index, RemoteShardError(
+                        f"worker {report.get('worker', {})} failed shard "
+                        f"{report.get('shard')} on attempt "
+                        f"{report.get('attempt', 0)}: "
+                        f"{report.get('error', '')}",
+                        kind=kind,
+                    ), kind)
+
+                # 3. reclaim leases whose holder has gone quiet
+                for shard, lease in wq.expired_leases(self.lease_timeout):
+                    index = shard_index.get(shard)
+                    wq.reclaim_lease(lease)
+                    if index is None or resolved[index]:
+                        continue
+                    charge_failure(index, ShardTimeout(
+                        f"queue shard {shard} lease expired after "
+                        f"{self.lease_timeout}s on attempt {attempts[index]}"
+                    ), "timeout")
+
+                # 4. self-heal: re-publish unresolved shards lost from
+                # every stage (quarantined corrupt tickets, swept torn
+                # results, foreign deletions)
+                swept = wq.sweep_torn_results()
+                if swept:
+                    _count(ctx.metrics, "campaign.queue_torn_swept", swept)
+                present = wq.present_shards()
+                for shard, index in shard_index.items():
+                    if not resolved[index] and shard not in present:
+                        wq.publish_ticket(ticket_for(index))
+                        progressed = True
+
+                # 5. keep the local worker complement alive
+                if procs and not all(resolved):
+                    for slot, proc in enumerate(procs):
+                        if proc.poll() is not None:
+                            respawns += 1
+                            if respawns > respawn_budget:
+                                raise RuntimeError(
+                                    "queue workers keep dying "
+                                    f"({respawns} respawns); aborting the "
+                                    "campaign rather than looping"
+                                )
+                            procs[slot] = self._spawn_worker()
+
+                # 6. relay worker heartbeats into the campaign's bus so
+                # campaign-status on the checkpoint shows remote workers
+                if ctx.status is not None and \
+                        ctx.status.root != queue_bus.root:
+                    for heartbeat in queue_bus.read_heartbeats():
+                        ctx.status.publish_heartbeat(heartbeat)
+                    snapshot = ctx.status.read_snapshot()
+                    if snapshot is not None:
+                        queue_bus.publish_snapshot(snapshot)
+
+                if not progressed and not all(resolved):
+                    time.sleep(self.poll_interval)
+        finally:
+            if self.stop_workers:
+                wq.request_stop()
+            self._reap_workers(procs)
+        return outcomes
+
+
+def run_worker(
+    queue_dir,
+    poll_interval: float = 0.5,
+    idle_exit: Optional[float] = None,
+    max_shards: Optional[int] = None,
+    lease_refresh: float = 1.0,
+    hostname: Optional[str] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> int:
+    """The ``repro campaign-worker`` loop: lease, run, push, repeat.
+
+    Polls *queue_dir* every ``poll_interval`` seconds for tickets,
+    leases one at a time (atomic rename), runs it through the same
+    :func:`~repro.sim.executors._run_job` every other executor uses,
+    and pushes the result (or a failure report) back.  While a shard
+    runs, a background :class:`~repro.telemetry.statusbus.Heartbeater`
+    refreshes the lease mtime and publishes a status-bus heartbeat
+    every ``lease_refresh`` seconds with this worker's host and pid.
+
+    Exits (returning 0) when the queue's ``stop`` sentinel appears,
+    after ``max_shards`` completed shards, or after ``idle_exit``
+    seconds without available work; runs forever otherwise.  Safe to
+    start before the queue directory exists and safe to run in any
+    multiplicity -- the lease protocol serialises claims.
+    """
+    wq = WorkQueue(queue_dir)
+    wq.ensure_layout()
+    bus = wq.status_bus()
+    host = hostname or socket.gethostname()
+    emit = log if log is not None else (lambda message: None)
+    completed = 0
+    idle_since = time.monotonic()
+    emit(f"campaign-worker: polling {wq.root} (pid {os.getpid()})")
+    while True:
+        if wq.stop_requested:
+            emit("campaign-worker: stop sentinel seen; draining")
+            break
+        claim = wq.claim_ticket()
+        if claim is None:
+            if (
+                idle_exit is not None
+                and time.monotonic() - idle_since >= idle_exit
+            ):
+                emit(f"campaign-worker: idle for {idle_exit}s; exiting")
+                break
+            time.sleep(poll_interval)
+            continue
+        idle_since = time.monotonic()
+        ticket, lease = claim
+        job = ticket.to_job(wq.root)
+        beater = Heartbeater(
+            bus, ticket.shard,
+            interval_s=lease_refresh,
+            retries=ticket.attempt,
+            on_beat=lambda: wq.touch(lease),
+            host=host,
+        )
+        emit(
+            f"campaign-worker: leased {ticket.shard} "
+            f"(attempt {ticket.attempt})"
+        )
+        try:
+            with beater:
+                outcome = _run_job(job)
+        except Exception as exc:
+            kind = getattr(exc, "shard_fault_kind", "error")
+            wq.write_failure(
+                ticket, kind=kind, error=f"{type(exc).__name__}: {exc}"
+            )
+            wq.release(lease)
+            bus.beat(
+                ticket.shard, 0, 1, retries=ticket.attempt, phase="failed",
+                host=host,
+            )
+            emit(f"campaign-worker: {ticket.shard} failed ({kind}): {exc}")
+        else:
+            record = ShardOutcome.from_outcome(
+                outcome, attempts=ticket.attempt + 1
+            ).as_dict()
+            record.update({
+                "schema_version": QUEUE_SCHEMA_VERSION,
+                "shard": ticket.shard,
+                "worker": {"pid": os.getpid(), "host": host},
+            })
+            wq.write_result(record)
+            wq.release(lease)
+            bus.beat(
+                ticket.shard, 1, 1, retries=ticket.attempt, phase="done",
+                host=host,
+            )
+            completed += 1
+            emit(f"campaign-worker: {ticket.shard} done")
+            if max_shards is not None and completed >= max_shards:
+                emit(f"campaign-worker: {completed} shards done; exiting")
+                break
+    return 0

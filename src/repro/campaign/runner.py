@@ -25,7 +25,6 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.config import SimConfig
 from repro.mitigations.registry import technique_names
-from repro.sim.experiment import TechniqueAggregate
 from repro.sim.parallel import (
     CampaignResult,
     JobOutcome,
@@ -81,6 +80,7 @@ def run_durable_campaign(
     sleep: Callable[[float], None] = time.sleep,
     trace_path=None,
     trace_digest: Optional[str] = None,
+    executor=None,
     **workload_kwargs,
 ) -> CampaignResult:
     """Run (or resume) a campaign with per-shard checkpointing.
@@ -124,6 +124,16 @@ def run_durable_campaign(
     content digest as ``trace_digest`` so ``resume`` can refuse a
     checkpoint taken against different trace bytes -- the digest is
     folded into the stored spec, never into the worker jobs.
+
+    ``executor`` selects the execution lane (an executor name or a
+    configured :class:`~repro.sim.executors.Executor` instance, e.g. a
+    :class:`~repro.campaign.queue.QueueExecutor` for a multi-host
+    campaign over a shared queue directory).  Every durability
+    guarantee above -- per-shard checkpointing, config-hash-validated
+    resume, bit-identical rebuilt aggregates, degraded-shard
+    accounting -- holds identically for every executor: the shared
+    contract suite (``tests/campaign/test_executors.py``) asserts them
+    per lane.
     """
     names: List[Optional[str]] = (
         list(techniques) if techniques is not None else technique_names()
@@ -227,6 +237,7 @@ def run_durable_campaign(
             shard_callback=persist,
             sleep=sleep,
             trace_path=trace_path,
+            executor=executor,
             **workload_kwargs,
         )
         failures = result.failures
@@ -241,20 +252,12 @@ def run_durable_campaign(
         shards = store.load_shards()
     # canonical rebuild: technique-major, seed-minor, straight from the
     # store -- the order (and therefore every float accumulation) is
-    # identical whether or not the campaign was ever interrupted
-    aggregates = CampaignResult(failures=failures)
-    for name in names:
-        key = name or "none"
-        aggregate = TechniqueAggregate(technique=key)
-        for seed in seeds:
-            record = shards.get((key, seed))
-            if record is not None:
-                aggregate.results.append(record.result)
-            else:
-                # every pending shard was dispatched, so a missing one
-                # exhausted its attempts under on_failure="skip"
-                aggregate.degraded_seeds.append(seed)
-        aggregates[key] = aggregate
+    # identical whether or not the campaign was ever interrupted, and
+    # which executor ran the shards.  Every pending shard was
+    # dispatched, so degrade_missing is correct here: a still-missing
+    # shard exhausted its attempts under on_failure="skip".
+    aggregates = store.partial_aggregates(degrade_missing=True)
+    aggregates.failures = failures
     if metrics is not None:
         for key in spec.shard_keys():
             record = shards.get(key)

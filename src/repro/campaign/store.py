@@ -246,6 +246,43 @@ class CampaignStore:
             shards[(record.technique, record.seed)] = record
         return shards
 
+    def partial_aggregates(self, degrade_missing: bool = False):
+        """Aggregate whatever shards exist right now, in canonical order.
+
+        The incremental-aggregation primitive behind live campaign
+        views and every executor's final rebuild: results are folded
+        technique-major, seed-minor -- the campaign's canonical shard
+        order -- so the returned
+        :class:`~repro.sim.parallel.CampaignResult` is a pure function
+        of the *set* of stored shards.  Two stores holding the same
+        shards produce bit-identical aggregates no matter which
+        executor produced them, in what order they landed, or how many
+        times the campaign was killed and resumed along the way.
+
+        ``degrade_missing=True`` records absent shards as degraded
+        seeds (the completed-campaign view, where a missing shard means
+        it exhausted its retries); the default leaves them out (the
+        mid-run view, where a missing shard is simply still pending).
+        ``failures`` carries the store's persisted degraded-shard
+        records.
+        """
+        from repro.sim.experiment import TechniqueAggregate
+        from repro.sim.parallel import CampaignResult
+
+        spec = self.read_spec()
+        shards = self.load_shards()
+        aggregates = CampaignResult(failures=self.read_failures())
+        for name in spec.techniques:
+            aggregate = TechniqueAggregate(technique=name)
+            for seed in spec.seeds:
+                record = shards.get((name, seed))
+                if record is not None:
+                    aggregate.results.append(record.result)
+                elif degrade_missing:
+                    aggregate.degraded_seeds.append(seed)
+            aggregates[name] = aggregate
+        return aggregates
+
     # -- failures ------------------------------------------------------
 
     @property

@@ -12,6 +12,9 @@
     python -m repro run --technique NAME --trace-file CAPTURE[.gz]
     python -m repro compare [--trace-file CAPTURE] [--techniques ...]
     python -m repro campaign --checkpoint-dir DIR [--resume]
+    python -m repro campaign --checkpoint-dir DIR --executor queue \
+        --queue-dir SHARED [--queue-workers N]
+    python -m repro campaign-worker SHARED [--idle-exit SECONDS]
     python -m repro campaign-status DIR
     python -m repro adversary --technique NAME [--strategy evolve]
     python -m repro serve [--port 7777 --shards N --status-dir DIR]
@@ -43,7 +46,12 @@ checkpointing: kill it at any point and re-run with ``--resume`` to
 continue from the completed shards (see docs/campaigns.md).  Worker
 faults are handled by ``--max-retries/--shard-timeout`` with
 exponential backoff, and ``--on-shard-failure skip`` degrades failed
-shards instead of aborting the campaign.
+shards instead of aborting the campaign.  ``--executor`` picks the
+execution lane (serial, local pool, or a shared filesystem work
+queue); with ``--executor queue`` the shards are leased by
+``campaign-worker`` processes -- start any number of them, on any
+host that mounts the queue directory, and the campaign's aggregates
+stay bit-identical to a single-host run (see docs/distributed.md).
 
 ``serve`` starts the streaming evaluation service: a long-running
 server that accepts trace uploads over newline-delimited JSON,
@@ -531,6 +539,20 @@ def _cmd_campaign(args) -> int:
             shard_timeout=args.shard_timeout,
             on_failure=args.on_shard_failure,
         )
+    executor = None
+    if args.executor == "queue" or args.queue_dir:
+        from repro.campaign import QueueExecutor
+
+        queue_dir = args.queue_dir or os.path.join(
+            args.checkpoint_dir, "queue"
+        )
+        executor = QueueExecutor(
+            queue_dir,
+            workers=args.queue_workers,
+            lease_timeout=args.lease_timeout,
+        )
+    elif args.executor != "auto":
+        executor = args.executor
     extra = {"command": "campaign"}
     trace_path = trace_digest = None
     tmp_npz = None
@@ -578,6 +600,7 @@ def _cmd_campaign(args) -> int:
             spans=spans,
             trace_path=trace_path,
             trace_digest=trace_digest,
+            executor=executor,
         )
     finally:
         if tmp_npz is not None:
@@ -592,6 +615,32 @@ def _cmd_campaign(args) -> int:
         extra=extra, failures=aggregates.failures, spans=spans,
     )
     return 1 if aggregates.failures else 0
+
+
+def _cmd_campaign_worker(args) -> int:
+    """Drain campaign shards from a shared queue directory.
+
+    The worker half of ``--executor queue`` (spec: docs/distributed.md):
+    leases one ticket at a time by atomic rename, runs it with the
+    same shard function every executor uses, heartbeats its lease and
+    the queue's status bus while the shard runs, and pushes the result
+    (or a failure report) back into the queue.  Start any number of
+    these, on any host that mounts the queue directory, before or
+    after the campaign itself starts.
+    """
+    from repro.campaign import run_worker
+
+    def log(message: str) -> None:
+        print(message, file=sys.stderr)
+
+    return run_worker(
+        args.queue_dir,
+        poll_interval=args.poll_interval,
+        idle_exit=args.idle_exit,
+        max_shards=args.max_shards,
+        lease_refresh=args.lease_refresh,
+        log=None if args.quiet else log,
+    )
 
 
 def _cmd_adversary(args) -> int:
@@ -771,6 +820,8 @@ def _status_frame_json(store, bus):
         "stale": sorted(stale),
     }
     if store.exists:
+        from repro.telemetry.manifest import technique_summary
+
         status = store.status()
         frame["store"] = {
             "completed": len(status.completed),
@@ -778,8 +829,17 @@ def _status_frame_json(store, bus):
             "complete": status.complete,
             "failures": len(status.failures),
         }
+        # incremental aggregation: the canonical-order fold of whatever
+        # shards have landed so far -- the same numbers the finished
+        # campaign will report for these cells, available mid-run
+        frame["aggregates"] = {
+            name: technique_summary(aggregate)
+            for name, aggregate in store.partial_aggregates().items()
+            if aggregate.results
+        }
     else:
         frame["store"] = None
+        frame["aggregates"] = {}
     return frame
 
 
@@ -801,7 +861,9 @@ def _cmd_campaign_status(args) -> int:
             print(f"no campaign checkpoint at {args.checkpoint_dir}",
                   file=sys.stderr)
             return 2
-        print(render_campaign_status(store.status()))
+        print(render_campaign_status(
+            store.status(), aggregates=store.partial_aggregates()
+        ))
         return 0
 
     bus = StatusBus.for_checkpoint(args.checkpoint_dir,
@@ -983,6 +1045,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="pool width (default: one per CPU; 0 runs inline)",
     )
     campaign.add_argument(
+        "--executor", choices=("auto", "serial", "pool", "queue"),
+        default="auto",
+        help="execution lane: auto follows --workers (0 = serial, "
+             "else pool); queue leases shards to campaign-worker "
+             "processes over a shared directory (docs/distributed.md)",
+    )
+    campaign.add_argument(
+        "--queue-dir", metavar="DIR", default=None,
+        help="work-queue directory for the queue executor -- share it "
+             "(e.g. over NFS) with every campaign-worker (default: "
+             "<checkpoint-dir>/queue; setting it implies "
+             "--executor queue)",
+    )
+    campaign.add_argument(
+        "--queue-workers", type=int, default=0, metavar="N",
+        help="campaign-worker subprocesses to spawn locally against "
+             "the queue (default 0: rely on externally started "
+             "workers)",
+    )
+    campaign.add_argument(
+        "--lease-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="re-ticket a leased shard after this long without a "
+             "worker heartbeat -- the queue lane's hung/vanished-"
+             "worker bound (default %(default)s)",
+    )
+    campaign.add_argument(
         "--max-retries", type=int, default=0,
         help="extra attempts per crashed/hung/failed shard "
              "(exponential backoff between attempts)",
@@ -1003,6 +1091,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_ingest_args(campaign)
     campaign.set_defaults(func=_cmd_campaign)
+
+    campaign_worker = subparsers.add_parser(
+        "campaign-worker",
+        help="lease and run campaign shards from a shared queue "
+             "directory (docs/distributed.md)",
+    )
+    campaign_worker.add_argument(
+        "queue_dir", metavar="DIR",
+        help="queue directory of a '--executor queue' campaign; the "
+             "worker creates the layout if it starts first",
+    )
+    campaign_worker.add_argument(
+        "--poll-interval", type=float, default=0.5, metavar="SECONDS",
+        help="sleep between empty ticket polls (default %(default)s)",
+    )
+    campaign_worker.add_argument(
+        "--idle-exit", type=float, default=None, metavar="SECONDS",
+        help="exit after this long without available work (default: "
+             "keep polling until the campaign raises the stop "
+             "sentinel)",
+    )
+    campaign_worker.add_argument(
+        "--max-shards", type=int, default=None, metavar="N",
+        help="exit after completing N shards (default: unlimited)",
+    )
+    campaign_worker.add_argument(
+        "--lease-refresh", type=float, default=1.0, metavar="SECONDS",
+        help="heartbeat period while a shard runs; keep well under "
+             "the campaign's --lease-timeout (default %(default)s)",
+    )
+    campaign_worker.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-shard progress lines on stderr",
+    )
+    campaign_worker.set_defaults(func=_cmd_campaign_worker)
 
     adversary = subparsers.add_parser(
         "adversary",

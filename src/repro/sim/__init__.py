@@ -16,6 +16,18 @@ from repro.sim.attacks import (
     vulnerability_verdicts,
 )
 from repro.sim.engine import ENGINE_NAMES, get_engine, run_simulation
+from repro.sim.executors import (
+    EXECUTOR_NAMES,
+    ExecutionContext,
+    Executor,
+    PoolExecutor,
+    RetryPolicy,
+    SerialExecutor,
+    ShardFailure,
+    ShardOutcome,
+    ShardTimeout,
+    get_executor,
+)
 from repro.sim.fast_engine import run_simulation_fast
 from repro.sim.fused_engine import (
     GridCell,
@@ -39,6 +51,16 @@ from repro.sim.sweep import (
 
 __all__ = [
     "ENGINE_NAMES",
+    "EXECUTOR_NAMES",
+    "ExecutionContext",
+    "Executor",
+    "PoolExecutor",
+    "RetryPolicy",
+    "SerialExecutor",
+    "ShardFailure",
+    "ShardOutcome",
+    "ShardTimeout",
+    "get_executor",
     "FloodingOutcome",
     "HalfDoublePoint",
     "MultiAggressorPoint",

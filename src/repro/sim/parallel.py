@@ -2,7 +2,13 @@
 
 The paper's campaign (9 techniques x a 1.56 M-interval trace) is
 embarrassingly parallel across (technique, seed) pairs.  This module
-distributes those runs over a process pool.  Workers must receive
+turns the grid into :class:`CampaignJob` shards and hands them to a
+pluggable :class:`~repro.sim.executors.Executor` (see
+``docs/distributed.md`` for the contract): the local process pool by
+default, the in-process serial lane for ``workers=0``, or the
+filesystem work-queue executor
+(:class:`repro.campaign.queue.QueueExecutor`) for campaigns spread
+over independent worker processes and hosts.  Workers must receive
 picklable job descriptions, so a job carries either the workload knobs
 (each worker regenerates its trace deterministically from the seed) or
 -- the default -- the path of a trace that was generated **once** per
@@ -10,9 +16,9 @@ seed and serialised to a temporary ``.npz`` file: all nine technique
 jobs of a seed then share one trace generation instead of repeating it,
 which also keeps the comparison paired across techniques.
 
-Jobs are dispatched in chunks (one pool task runs a whole chunk) to
-amortise pickling overhead, and an optional ``progress`` callback is
-invoked as chunks complete.
+In pool mode, jobs are dispatched in chunks (one pool task runs a
+whole chunk) to amortise pickling overhead, and an optional
+``progress`` callback is invoked as chunks complete.
 
 Passing a :class:`RetryPolicy` turns on fault tolerance: a crashed or
 hung shard is retried with exponential backoff up to ``max_retries``
@@ -33,120 +39,46 @@ import shutil
 import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures import TimeoutError as FuturesTimeout
-from concurrent.futures.process import BrokenProcessPool
-from contextlib import ExitStack
-from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SimConfig
-from repro.mitigations.registry import make_factory, technique_names
+from repro.mitigations.registry import technique_names
 from repro.rng import derive_seed
 from repro.sim.engine import get_engine
+from repro.sim.executors import (  # noqa: F401  (re-exported compat surface)
+    EXECUTOR_NAMES,
+    FAULT_COUNTERS,
+    ON_FAILURE_MODES,
+    CampaignJob,
+    ExecutionContext,
+    Executor,
+    JobOutcome,
+    PoolExecutor,
+    ProgressCallback,
+    RetryPolicy,
+    SerialExecutor,
+    ShardCallback,
+    ShardFailure,
+    ShardOutcome,
+    ShardTimeout,
+    _count,
+    _exhaust,
+    _fault_kind,
+    _FusedBlock,
+    _kill_workers,
+    _run_block,
+    _run_chunk,
+    _run_job,
+    _shard_id,
+    get_executor,
+)
 from repro.sim.experiment import TechniqueAggregate
-from repro.sim.metrics import SimResult
-from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.profiler import section_of
 from repro.telemetry.progress import ProgressDispatcher, ProgressListener
 from repro.telemetry.spans import SpanTracer, span_of
 from repro.telemetry.statusbus import CampaignSnapshot, StatusBus
 from repro.traces.mixer import paper_mixed_workload
-from repro.traces.trace_io import load_trace_npz, save_trace_npz
-
-#: called as ``progress(completed_jobs, total_jobs)`` after each chunk
-ProgressCallback = Callable[[int, int], None]
-
-#: shard failure policies accepted by :class:`RetryPolicy`
-ON_FAILURE_MODES = ("raise", "skip")
-
-
-class ShardTimeout(RuntimeError):
-    """A shard attempt exceeded the retry policy's ``shard_timeout``."""
-
-    shard_fault_kind = "timeout"
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Worker-level fault handling for a campaign.
-
-    ``max_retries`` extra attempts are granted per shard beyond the
-    first; retry *n* (1-based) is preceded by a backoff delay of
-    ``min(backoff_cap, backoff_base * backoff_factor ** (n - 1))``
-    seconds.  ``shard_timeout`` bounds one pool dispatch round: a round
-    of *n* pending shards on a *w*-wide pool may take
-    ``shard_timeout * ceil(n / w)`` seconds before every unfinished
-    shard in it is declared hung (each then consumes one retry
-    attempt), so set it comfortably above a single shard's expected
-    duration.  Timeouts require pool mode; inline execution
-    (``workers=0``) is single-threaded and cannot interrupt a shard.
-
-    ``on_failure`` decides what happens when a shard exhausts its
-    attempts: ``"raise"`` re-raises the shard's final exception,
-    ``"skip"`` records a :class:`ShardFailure` and degrades the
-    campaign summary instead.
-    """
-
-    max_retries: int = 0
-    backoff_base: float = 0.5
-    backoff_factor: float = 2.0
-    backoff_cap: float = 30.0
-    shard_timeout: Optional[float] = None
-    on_failure: str = "raise"
-
-    def __post_init__(self) -> None:
-        if self.max_retries < 0:
-            raise ValueError(f"max_retries must be >= 0: {self.max_retries}")
-        if self.on_failure not in ON_FAILURE_MODES:
-            raise ValueError(
-                f"on_failure must be one of {ON_FAILURE_MODES}: "
-                f"{self.on_failure!r}"
-            )
-        if self.shard_timeout is not None and self.shard_timeout <= 0:
-            raise ValueError(
-                f"shard_timeout must be positive: {self.shard_timeout}"
-            )
-        if self.backoff_base < 0 or self.backoff_factor < 0:
-            raise ValueError("backoff parameters must be non-negative")
-
-    def delay(self, retry: int) -> float:
-        """Backoff before 1-based retry number *retry* (0 for retry 0)."""
-        if retry <= 0 or self.backoff_base == 0:
-            return 0.0
-        return min(
-            self.backoff_cap,
-            self.backoff_base * self.backoff_factor ** (retry - 1),
-        )
-
-
-@dataclass
-class ShardFailure:
-    """One shard that exhausted its attempts under ``on_failure="skip"``."""
-
-    technique: str
-    seed: int
-    attempts: int
-    kind: str  # "error" | "crash" | "timeout"
-    error: str
-
-    def as_dict(self) -> Dict[str, Any]:
-        return {
-            "technique": self.technique,
-            "seed": self.seed,
-            "attempts": self.attempts,
-            "kind": self.kind,
-            "error": self.error,
-        }
-
-    @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "ShardFailure":
-        return cls(
-            technique=data["technique"],
-            seed=int(data["seed"]),
-            attempts=int(data["attempts"]),
-            kind=data["kind"],
-            error=data.get("error", ""),
-        )
+from repro.traces.trace_io import save_trace_npz
 
 
 class CampaignResult(Dict[str, TechniqueAggregate]):
@@ -164,181 +96,6 @@ class CampaignResult(Dict[str, TechniqueAggregate]):
     @property
     def degraded(self) -> bool:
         return bool(self.failures)
-
-
-@dataclass(frozen=True)
-class CampaignJob:
-    """One (technique, seed) unit of work; fully picklable."""
-
-    config: SimConfig
-    technique: Optional[str]
-    seed: int
-    total_intervals: int
-    workload_kwargs: tuple = ()  # sorted (key, value) pairs
-    #: pre-serialised trace shared by every technique of this seed;
-    #: ``None`` regenerates the trace from the workload knobs instead
-    trace_path: Optional[str] = None
-    engine: str = "reference"
-    #: collect a per-job :class:`MetricsRegistry` in the worker and ship
-    #: it back for merging (tracers cannot cross process boundaries, but
-    #: metric counters merge exactly)
-    collect_metrics: bool = False
-    #: retry attempt number (0 = first try); informs fault injection
-    attempt: int = 0
-    #: test-only deterministic fault hook (see :mod:`repro.campaign.faults`)
-    fault_injector: Optional[Any] = None
-    #: record a worker-local span tree (shard -> trace/simulate) and ship
-    #: it back serialised for re-parenting, like the metrics registry
-    collect_spans: bool = False
-    #: deterministic id seed shared by the campaign's tracers
-    span_seed: str = ""
-    #: status-bus directory for worker heartbeats (None = no bus)
-    status_dir: Optional[str] = None
-
-
-#: (technique, seed, result, per-job metrics or None, serialised spans or None)
-JobOutcome = Tuple[
-    str, int, SimResult, Optional[MetricsRegistry], Optional[Dict[str, Any]]
-]
-
-#: called with each completed shard outcome and its attempt count; the
-#: durable campaign runner uses this to checkpoint shards as they land
-ShardCallback = Callable[[JobOutcome, int], None]
-
-
-def _shard_id(technique: Optional[str], seed: int) -> str:
-    """The shard's identity on the status bus and in span id seeds."""
-    return f"{technique or 'none'}__s{seed}"
-
-
-def _run_job(job: CampaignJob, tracer=None, in_worker: bool = True) -> JobOutcome:
-    if job.fault_injector is not None:
-        job.fault_injector.fire(
-            job.technique or "none", job.seed, job.attempt, in_worker=in_worker
-        )
-    shard = _shard_id(job.technique, job.seed)
-    bus = StatusBus(job.status_dir) if job.status_dir else None
-    if bus is not None:
-        bus.beat(shard, 0, 1, retries=job.attempt)
-    spans = (
-        SpanTracer(id_seed=f"{job.span_seed}|{shard}")
-        if job.collect_spans else None
-    )
-    with span_of(
-        spans, "shard",
-        technique=job.technique or "none", seed=job.seed, engine=job.engine,
-    ):
-        with span_of(spans, "trace"):
-            if job.trace_path is not None:
-                trace = load_trace_npz(job.trace_path)
-            else:
-                trace = paper_mixed_workload(
-                    job.config,
-                    total_intervals=job.total_intervals,
-                    seed=derive_seed(job.seed, "trace"),
-                    **dict(job.workload_kwargs),
-                )
-        factory = make_factory(job.technique) if job.technique else None
-        run = get_engine(job.engine)
-        metrics = MetricsRegistry() if job.collect_metrics else None
-        with span_of(spans, "simulate"):
-            result = run(
-                job.config, trace, factory, seed=job.seed, tracer=tracer,
-                metrics=metrics,
-            )
-    if bus is not None:
-        bus.beat(shard, 1, 1, retries=job.attempt, phase="done")
-    return (
-        job.technique or "none", job.seed, result, metrics,
-        spans.as_dict() if spans is not None else None,
-    )
-
-
-def _run_chunk(chunk: List[CampaignJob]) -> List[JobOutcome]:
-    return [_run_job(job) for job in chunk]
-
-
-@dataclass(frozen=True)
-class _FusedBlock:
-    """One fused cell-block: every technique of one seed, one replay.
-
-    The fused engine's sharding unit -- the trace axis stays per seed
-    (each seed has its own trace), while the whole technique axis of
-    that seed rides a single decode+replay.  Picklable for the pool.
-    """
-
-    config: SimConfig
-    techniques: Tuple[Optional[str], ...]
-    seed: int
-    total_intervals: int
-    workload_kwargs: tuple = ()
-    trace_path: Optional[str] = None
-    collect_metrics: bool = False
-    collect_spans: bool = False
-    span_seed: str = ""
-    status_dir: Optional[str] = None
-
-
-def _run_block(block: _FusedBlock) -> List[JobOutcome]:
-    from repro.sim.fused_engine import GridCell, run_simulation_grid
-
-    shards = [_shard_id(name, block.seed) for name in block.techniques]
-    bus = StatusBus(block.status_dir) if block.status_dir else None
-    if bus is not None:
-        for shard in shards:
-            bus.beat(shard, 0, 1)
-    # One tracer per cell, all spanning the shared decode+replay window:
-    # the per-shard span records a fused block ships are structurally
-    # identical to per-cell dispatch (same paths, same attribute keys),
-    # so block composition -- which changes on --resume -- can never
-    # leak into a span summary.
-    tracers: List[Optional[SpanTracer]] = [
-        SpanTracer(id_seed=f"{block.span_seed}|{shard}")
-        if block.collect_spans else None
-        for shard in shards
-    ]
-    with ExitStack() as shard_stack:
-        for name, tracer in zip(block.techniques, tracers):
-            shard_stack.enter_context(span_of(
-                tracer, "shard",
-                technique=name or "none", seed=block.seed, engine="fused",
-            ))
-        with ExitStack() as trace_stack:
-            for tracer in tracers:
-                trace_stack.enter_context(span_of(tracer, "trace"))
-            if block.trace_path is not None:
-                trace = load_trace_npz(block.trace_path)
-            else:
-                trace = paper_mixed_workload(
-                    block.config,
-                    total_intervals=block.total_intervals,
-                    seed=derive_seed(block.seed, "trace"),
-                    **dict(block.workload_kwargs),
-                )
-        metrics = MetricsRegistry() if block.collect_metrics else None
-        cells = [
-            GridCell(technique=name, seed=block.seed)
-            for name in block.techniques
-        ]
-        with ExitStack() as simulate_stack:
-            for tracer in tracers:
-                simulate_stack.enter_context(span_of(tracer, "simulate"))
-            results = run_simulation_grid(
-                block.config, trace, cells, metrics=metrics
-            )
-    if bus is not None:
-        for shard in shards:
-            bus.beat(shard, 1, 1, phase="done")
-    outcomes: List[JobOutcome] = []
-    for cell, result, tracer in zip(cells, results, tracers):
-        outcomes.append((
-            cell.technique or "none", block.seed, result, metrics,
-            tracer.as_dict() if tracer is not None else None,
-        ))
-        # the block shares one engine replay, so its registry ships on
-        # the first outcome only -- merging it once, not per cell
-        metrics = None
-    return outcomes
 
 
 def _map_chunk(
@@ -428,197 +185,6 @@ def parallel_map(
     return results
 
 
-def _count(metrics: Optional[MetricsRegistry], name: str, amount: int = 1) -> None:
-    if metrics is not None and amount:
-        metrics.counter(name).add(amount)
-
-
-#: metrics counter name per failure kind
-FAULT_COUNTERS = {
-    "error": "campaign.shard_errors",
-    "crash": "campaign.shard_crashes",
-    "timeout": "campaign.shard_timeouts",
-}
-
-
-def _fault_kind(exc: BaseException) -> str:
-    if isinstance(exc, BrokenProcessPool):
-        return "crash"
-    return getattr(exc, "shard_fault_kind", "error")
-
-
-def _kill_workers(pool: ProcessPoolExecutor) -> None:
-    """Tear a pool down without waiting for hung workers.
-
-    ``shutdown(cancel_futures=True)`` drops queued work; killing the
-    worker processes directly (private but stable CPython attribute)
-    keeps a truly hung shard from blocking the campaign or interpreter
-    exit.
-    """
-    processes = list((getattr(pool, "_processes", None) or {}).values())
-    pool.shutdown(wait=False, cancel_futures=True)
-    for process in processes:
-        try:
-            process.kill()
-        except Exception:  # pragma: no cover - racing process exit
-            pass
-
-
-def _exhaust(
-    job: CampaignJob,
-    attempts: int,
-    exc: BaseException,
-    policy: RetryPolicy,
-    failures: List[ShardFailure],
-    metrics: Optional[MetricsRegistry],
-) -> None:
-    """Handle a shard that used up every attempt: raise or degrade."""
-    if policy.on_failure == "raise":
-        raise exc
-    failure = ShardFailure(
-        technique=job.technique or "none",
-        seed=job.seed,
-        attempts=attempts,
-        kind=_fault_kind(exc),
-        error=f"{type(exc).__name__}: {exc}",
-    )
-    failures.append(failure)
-    _count(metrics, "campaign.shards_degraded")
-
-
-def _dispatch_inline(
-    jobs: Sequence[CampaignJob],
-    policy: RetryPolicy,
-    tracer,
-    metrics: Optional[MetricsRegistry],
-    progress: Optional[ProgressCallback],
-    shard_callback: Optional[ShardCallback],
-    failures: List[ShardFailure],
-    sleep: Callable[[float], None],
-) -> List[Optional[JobOutcome]]:
-    total = len(jobs)
-    outcomes: List[Optional[JobOutcome]] = [None] * total
-    done = 0
-    for index, job in enumerate(jobs):
-        attempt = 0
-        while True:
-            try:
-                outcome = _run_job(
-                    replace(job, attempt=attempt), tracer=tracer,
-                    in_worker=False,
-                )
-            except Exception as exc:
-                attempt += 1
-                _count(metrics, FAULT_COUNTERS[_fault_kind(exc)])
-                if attempt > policy.max_retries:
-                    _exhaust(job, attempt, exc, policy, failures, metrics)
-                    break
-                _count(metrics, "campaign.shard_retries")
-                delay = policy.delay(attempt)
-                if delay > 0:
-                    sleep(delay)
-            else:
-                outcomes[index] = outcome
-                if shard_callback is not None:
-                    shard_callback(outcome, attempt + 1)
-                break
-        done += 1
-        if progress is not None:
-            progress(done, total)
-    return outcomes
-
-
-def _dispatch_tolerant_pool(
-    jobs: Sequence[CampaignJob],
-    policy: RetryPolicy,
-    workers: Optional[int],
-    metrics: Optional[MetricsRegistry],
-    progress: Optional[ProgressCallback],
-    shard_callback: Optional[ShardCallback],
-    failures: List[ShardFailure],
-    sleep: Callable[[float], None],
-) -> List[Optional[JobOutcome]]:
-    """Per-job pool dispatch with retry rounds.
-
-    Shards run one per pool task (no chunking) so an ordinary worker
-    exception is attributed to exactly one shard's attempt.  Each round
-    submits every pending shard to a fresh pool; failures are retried
-    in the next round after the policy's backoff (one sleep per round,
-    the largest delay owed to any retried shard).
-
-    A worker *crash* breaks the whole pool, and a *timeout* ends the
-    round, so either one also fails every shard still in flight -- the
-    innocent shards are retried alongside the guilty one and each such
-    event consumes one attempt from all of them.  Size ``max_retries``
-    accordingly when crashes are expected to repeat.
-    """
-    total = len(jobs)
-    outcomes: List[Optional[JobOutcome]] = [None] * total
-    attempts = [0] * total
-    pending = list(range(total))
-    width = workers or os.cpu_count() or 1
-    done = 0
-    while pending:
-        failed: Dict[int, BaseException] = {}
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(
-                    _run_job, replace(jobs[index], attempt=attempts[index])
-                ): index
-                for index in pending
-            }
-            deadline = None
-            if policy.shard_timeout is not None:
-                deadline = policy.shard_timeout * max(
-                    1, math.ceil(len(pending) / width)
-                )
-            try:
-                for future in as_completed(futures, timeout=deadline):
-                    index = futures[future]
-                    try:
-                        outcome = future.result()
-                    except Exception as exc:
-                        failed[index] = exc
-                        continue
-                    outcomes[index] = outcome
-                    done += 1
-                    if shard_callback is not None:
-                        shard_callback(outcome, attempts[index] + 1)
-                    if progress is not None:
-                        progress(done + len(failures), total)
-            except FuturesTimeout:
-                for future, index in futures.items():
-                    if outcomes[index] is None and index not in failed:
-                        job = jobs[index]
-                        failed[index] = ShardTimeout(
-                            f"shard {job.technique or 'none'}/seed={job.seed} "
-                            f"exceeded shard_timeout={policy.shard_timeout}s "
-                            f"on attempt {attempts[index]}"
-                        )
-                _kill_workers(pool)
-        retry_next: List[int] = []
-        for index in sorted(failed):
-            exc = failed[index]
-            attempts[index] += 1
-            _count(metrics, FAULT_COUNTERS[_fault_kind(exc)])
-            if attempts[index] > policy.max_retries:
-                _exhaust(
-                    jobs[index], attempts[index], exc, policy, failures,
-                    metrics,
-                )
-                if progress is not None:
-                    progress(done + len(failures), total)
-            else:
-                _count(metrics, "campaign.shard_retries")
-                retry_next.append(index)
-        if retry_next:
-            delay = max(policy.delay(attempts[index]) for index in retry_next)
-            if delay > 0:
-                sleep(delay)
-        pending = retry_next
-    return outcomes
-
-
 def run_campaign(
     config: SimConfig,
     total_intervals: int,
@@ -643,15 +209,21 @@ def run_campaign(
     shard_callback: Optional[ShardCallback] = None,
     sleep: Callable[[float], None] = time.sleep,
     trace_path: Optional[str] = None,
+    executor: Any = None,
     **workload_kwargs,
 ) -> CampaignResult:
-    """Run the full comparison campaign over a process pool.
+    """Run the full comparison campaign over a pluggable executor.
 
     Semantically equivalent to
     :func:`repro.sim.experiment.compare_techniques` with the default
-    paper workload, but each (technique, seed) runs in its own process.
-    ``workers=None`` uses the pool default; ``workers=0`` runs inline
-    (useful under debuggers and coverage).
+    paper workload, but each (technique, seed) runs as a shard of the
+    selected :class:`~repro.sim.executors.Executor`.  ``executor``
+    accepts an instance, a name (``"auto"``/``"serial"``/``"pool"``),
+    or ``None`` for the historical behaviour: ``workers=None`` uses the
+    pool default, ``workers=0`` runs inline (useful under debuggers and
+    coverage).  Any executor yields bit-identical per-shard results --
+    the executor contract (``docs/distributed.md``) and its shared test
+    suite pin this.
 
     ``memoize_traces`` generates each seed's trace once and shares the
     serialised file across that seed's technique jobs; ``engine``
@@ -705,8 +277,9 @@ def run_campaign(
     shards degraded under ``on_failure="skip"``.
     """
     get_engine(engine)  # validate the name before spawning anything
+    runner = get_executor(executor, workers=workers, chunk_size=chunk_size)
     tracer_enabled = tracer is not None and getattr(tracer, "enabled", True)
-    if tracer_enabled and workers != 0:
+    if tracer_enabled and not runner.supports_tracer:
         raise ValueError(
             "event tracing requires workers=0: tracer streams cannot "
             "cross a process-pool boundary"
@@ -808,6 +381,16 @@ def run_campaign(
         total = len(jobs)
         outcomes: List[Optional[JobOutcome]] = [None] * total
         done = 0
+        ctx = ExecutionContext(
+            retry=retry,
+            metrics=metrics,
+            progress=progress_cb,
+            shard_callback=shard_callback,
+            failures=failures,
+            sleep=sleep,
+            tracer=tracer if tracer_enabled else None,
+            status=status,
+        )
         # Fused cell-blocks: one replay per seed covers that seed's whole
         # technique axis.  Retry / fault-injection need per-shard
         # attribution and a tracer is single-cell by contract, so those
@@ -818,6 +401,7 @@ def run_campaign(
             and retry is None
             and fault_injector is None
             and not tracer_enabled
+            and runner.supports_blocks
         )
         if use_blocks:
             index_of = {
@@ -853,62 +437,11 @@ def run_campaign(
                 if progress_cb is not None:
                     progress_cb(done, total)
 
-            if workers == 0:
-                with section_of(profiler, "campaign:inline"):
-                    for block in blocks:
-                        place(_run_block(block))
-            else:
-                with section_of(profiler, "campaign:pool"):
-                    with ProcessPoolExecutor(max_workers=workers) as pool:
-                        block_futures = [
-                            pool.submit(_run_block, block) for block in blocks
-                        ]
-                        for future in as_completed(block_futures):
-                            place(future.result())
-        elif workers == 0:
-            with section_of(profiler, "campaign:inline"):
-                outcomes = _dispatch_inline(
-                    jobs,
-                    retry or RetryPolicy(),
-                    tracer if tracer_enabled else None,
-                    metrics,
-                    progress_cb,
-                    shard_callback,
-                    failures,
-                    sleep,
-                )
-        elif retry is not None:
-            with section_of(profiler, "campaign:pool"):
-                outcomes = _dispatch_tolerant_pool(
-                    jobs, retry, workers, metrics, progress_cb, shard_callback,
-                    failures, sleep,
-                )
+            with section_of(profiler, runner.profile_section):
+                runner.execute_blocks(blocks, place)
         else:
-            if chunk_size is None:
-                pool_width = workers or os.cpu_count() or 1
-                chunk_size = max(1, math.ceil(total / (4 * pool_width)))
-            chunks = [
-                (start, jobs[start : start + chunk_size])
-                for start in range(0, total, chunk_size)
-            ]
-            with section_of(profiler, "campaign:pool"):
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = {
-                        pool.submit(_run_chunk, chunk): start
-                        for start, chunk in chunks
-                    }
-                    for future in as_completed(futures):
-                        start = futures[future]
-                        chunk_outcomes = future.result()
-                        outcomes[start : start + len(chunk_outcomes)] = (
-                            chunk_outcomes
-                        )
-                        if shard_callback is not None:
-                            for outcome in chunk_outcomes:
-                                shard_callback(outcome, 1)
-                        done += len(chunk_outcomes)
-                        if progress_cb is not None:
-                            progress_cb(done, total)
+            with section_of(profiler, runner.profile_section):
+                outcomes = runner.execute(jobs, ctx)
     finally:
         if tmpdir is not None:
             shutil.rmtree(tmpdir, ignore_errors=True)

@@ -36,6 +36,7 @@ from repro.telemetry.progress import (
 from repro.telemetry.spans import Span, SpanTracer, span_id_for, span_of
 from repro.telemetry.statusbus import (
     CampaignSnapshot,
+    Heartbeater,
     StatusBus,
     WorkerHeartbeat,
     write_json_atomic,
@@ -65,6 +66,7 @@ __all__ = [
     "span_id_for",
     "span_of",
     "CampaignSnapshot",
+    "Heartbeater",
     "StatusBus",
     "WorkerHeartbeat",
     "write_json_atomic",

@@ -43,6 +43,29 @@ def config_as_dict(config: SimConfig) -> Dict[str, Any]:
     return asdict(config)
 
 
+def config_from_dict(data: Mapping[str, Any]) -> SimConfig:
+    """Exact inverse of :func:`config_as_dict`.
+
+    Rebuilds the frozen dataclass tree (geometry and timing included)
+    from the nested plain-dict view, so a config that travelled through
+    JSON -- a campaign spec, a queue ticket -- hashes identically to
+    the original: ``config_digest(config_from_dict(config_as_dict(c)))
+    == config_digest(c)`` for every valid config.
+    """
+    from repro.config import DRAMGeometry, DRAMTiming
+
+    rest = {
+        key: value
+        for key, value in data.items()
+        if key not in ("geometry", "timing")
+    }
+    return SimConfig(
+        geometry=DRAMGeometry(**dict(data["geometry"])),
+        timing=DRAMTiming(**dict(data["timing"])),
+        **rest,
+    )
+
+
 def config_digest(config: SimConfig) -> str:
     """Stable short hash of the full configuration.
 

@@ -34,6 +34,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -319,3 +320,85 @@ class StatusBus:
                 path.unlink()
             except OSError:  # pragma: no cover - racing a writer
                 pass
+
+
+class Heartbeater:
+    """Background thread that republishes one worker's heartbeat.
+
+    The liveness half of the queue-worker protocol
+    (``docs/distributed.md``): while a shard runs, a daemon thread
+    re-publishes its :class:`WorkerHeartbeat` every ``interval_s``
+    seconds and invokes ``on_beat`` alongside each publish -- the
+    queue worker passes a lease-``touch`` callback there, so the
+    heartbeat that keeps the live view fresh is the same signal that
+    keeps the shard's lease from expiring.  SIGKILL the process and
+    both stop together: the bus record goes stale *and* the lease
+    mtime ages out, which is exactly how the runner learns to re-run
+    the shard.
+
+    Publishing is advisory: any exception from the bus or the callback
+    is swallowed (a full disk must not fail the shard), and the thread
+    is a daemon so a dying worker never blocks on it.  Use as a
+    context manager around the shard's execution::
+
+        with Heartbeater(bus, shard, on_beat=touch, host=hostname):
+            outcome = run(...)
+    """
+
+    def __init__(
+        self,
+        bus: StatusBus,
+        worker: str,
+        cells_total: int = 1,
+        interval_s: float = 1.0,
+        retries: int = 0,
+        on_beat: Optional[Any] = None,
+        **attrs: Any,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive: {interval_s}")
+        self.bus = bus
+        self.worker = worker
+        self.cells_total = cells_total
+        self.interval_s = interval_s
+        self.retries = retries
+        self.on_beat = on_beat
+        self.attrs = dict(attrs)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def _publish(self) -> None:
+        try:
+            self.bus.beat(
+                self.worker, 0, self.cells_total, retries=self.retries,
+                **self.attrs,
+            )
+            if self.on_beat is not None:
+                self.on_beat()
+        except Exception:  # advisory: never fail the shard over telemetry
+            pass
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self._publish()
+
+    def start(self) -> "Heartbeater":
+        """Publish immediately, then keep publishing until :meth:`stop`."""
+        self._publish()
+        self._thread = threading.Thread(
+            target=self._loop, name=f"heartbeat-{self.worker}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "Heartbeater":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,443 @@
+"""Filesystem work-queue: protocol units plus worker-kill integration.
+
+Unit coverage of the on-disk protocol (ticket round trips, atomic
+claim semantics, lease expiry, torn-file quarantine and sweeping,
+self-heal evidence) and the headline integration scenarios from
+``docs/distributed.md``: a leased worker SIGKILLed mid-shard is
+reclaimed via lease expiry and the campaign still finishes
+bit-identical to a single-host pool run, and a queue campaign whose
+*driver* is SIGKILLed resumes bit-identically on another executor.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import threading
+import time
+
+import pytest
+
+from repro.campaign import (
+    CampaignStore,
+    FaultInjector,
+    QueueExecutor,
+    ShardTicket,
+    WorkQueue,
+    run_durable_campaign,
+    run_worker,
+)
+from repro.campaign.faults import FAULT_ENV_VAR
+from repro.config import small_test_config
+from repro.sim.executors import CampaignJob
+from repro.sim.parallel import RetryPolicy, run_campaign
+from repro.telemetry.metrics import MetricsRegistry
+
+TECHNIQUES = ("PARA", "TWiCe")
+SEEDS = (0, 1)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+def canonical(aggregates):
+    return {
+        name: [result.as_dict() for result in aggregate.results]
+        for name, aggregate in aggregates.items()
+    }
+
+
+def make_job(config, technique="PARA", seed=0, **kwargs):
+    kwargs.setdefault("engine", "fast")
+    return CampaignJob(
+        config=config, technique=technique, seed=seed, total_intervals=8,
+        **kwargs,
+    )
+
+
+def spawn_worker(queue_dir, *extra):
+    """An external ``repro campaign-worker`` subprocess, like another
+    host's would be."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "campaign-worker",
+            str(queue_dir), "--poll-interval", "0.05",
+            "--lease-refresh", "0.2", *extra,
+        ],
+        env=env, cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def reap(procs, queue_dir):
+    """Drain external workers: raise the stop sentinel, then escalate."""
+    WorkQueue(queue_dir).request_stop()
+    for proc in procs:
+        if proc.poll() is None:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+
+def wait_until(predicate, timeout=60.0, interval=0.05, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    pytest.fail(f"timed out after {timeout:.0f}s waiting for {message}")
+
+
+class TestQueueProtocol:
+    def test_ticket_round_trips_through_json(self, tmp_path):
+        config = small_test_config(num_banks=2)
+        injector = FaultInjector.from_rules([{"mode": "error"}])
+        job = make_job(
+            config, workload_kwargs=(("attack_fraction", 0.5),),
+            collect_metrics=True, collect_spans=True, span_seed="abc",
+            fault_injector=injector,
+        )
+        ticket = ShardTicket.from_job(job, attempt=3)
+        rebuilt = ShardTicket.from_dict(json.loads(json.dumps(
+            ticket.as_dict()
+        )))
+        back = rebuilt.to_job(tmp_path)
+        assert back.config == job.config
+        assert back.workload_kwargs == job.workload_kwargs
+        assert (back.technique, back.seed, back.engine) == ("PARA", 0, "fast")
+        assert back.attempt == 3
+        assert back.collect_metrics and back.collect_spans
+        assert back.span_seed == "abc"
+        assert back.fault_injector == injector
+        assert back.status_dir is None  # workers heartbeat the queue bus
+
+    def test_claim_is_exclusive_and_starts_the_liveness_clock(self, tmp_path):
+        config = small_test_config(num_banks=2)
+        wq = WorkQueue(tmp_path)
+        wq.ensure_layout()
+        wq.publish_ticket(ShardTicket.from_job(make_job(config)))
+        before = time.time()
+        ticket, lease = wq.claim_ticket()
+        assert ticket.shard == "PARA__s0"
+        assert lease.is_file() and not wq.ticket_path("PARA__s0").exists()
+        # claim re-stamps the lease mtime: liveness starts at claim
+        # time, not at whenever the runner published the ticket
+        assert lease.stat().st_mtime >= before - 1.0
+        assert wq.claim_ticket() is None  # nothing left to lease
+
+    def test_torn_ticket_is_quarantined_not_retried(self, tmp_path):
+        wq = WorkQueue(tmp_path)
+        wq.ensure_layout()
+        wq.ticket_path("PARA__s0").write_text("{torn", encoding="utf-8")
+        assert wq.claim_ticket() is None
+        assert not wq.ticket_path("PARA__s0").exists()
+        assert not wq.lease_path("PARA__s0").exists()
+        quarantined = list(wq.failed_dir.glob("*.corrupt"))
+        assert len(quarantined) == 1
+        # a quarantined shard counts as absent: the runner's self-heal
+        # evidence set must demand a fresh ticket for it
+        assert "PARA__s0" not in wq.present_shards()
+
+    def test_lease_expiry_and_reclaim(self, tmp_path):
+        config = small_test_config(num_banks=2)
+        wq = WorkQueue(tmp_path)
+        wq.ensure_layout()
+        wq.publish_ticket(ShardTicket.from_job(make_job(config)))
+        _, lease = wq.claim_ticket()
+        assert wq.expired_leases(timeout=60.0) == []
+        os.utime(lease, (1, 1))  # the holder went silent long ago
+        expired = wq.expired_leases(timeout=60.0)
+        assert [shard for shard, _ in expired] == ["PARA__s0"]
+        ticket = wq.reclaim_lease(lease)
+        assert ticket is not None and ticket.shard == "PARA__s0"
+        assert not lease.exists()
+        # a touch from a live holder resets the clock
+        wq.publish_ticket(ShardTicket.from_job(make_job(config)))
+        _, lease = wq.claim_ticket()
+        os.utime(lease, (1, 1))
+        wq.touch(lease)
+        assert wq.expired_leases(timeout=60.0) == []
+
+    def test_torn_lease_reclaim_and_result_sweep(self, tmp_path):
+        wq = WorkQueue(tmp_path)
+        wq.ensure_layout()
+        torn_lease = wq.lease_path("PARA__s0")
+        torn_lease.write_text("{torn", encoding="utf-8")
+        assert wq.reclaim_lease(torn_lease) is None
+        assert not torn_lease.exists()
+        wq.result_path("PARA__s1").write_text("{torn", encoding="utf-8")
+        assert wq.read_results() == {}
+        assert wq.sweep_torn_results() == 1
+        assert not wq.result_path("PARA__s1").exists()
+
+    def test_present_shards_covers_every_stage(self, tmp_path):
+        config = small_test_config(num_banks=2)
+        wq = WorkQueue(tmp_path)
+        wq.ensure_layout()
+        wq.publish_ticket(ShardTicket.from_job(make_job(config, seed=0)))
+        wq.publish_ticket(ShardTicket.from_job(make_job(config, seed=1)))
+        _, lease = wq.claim_ticket()  # seed 0 moves to leases/
+        wq.write_result({"shard": "TWiCe__s0", "technique": "TWiCe"})
+        wq.write_failure(
+            ShardTicket.from_job(make_job(config, technique="TWiCe", seed=1)),
+            kind="error", error="boom",
+        )
+        assert wq.present_shards() == {
+            "PARA__s0", "PARA__s1", "TWiCe__s0", "TWiCe__s1",
+        }
+        # failure reports are consumed exactly once
+        reports = wq.take_failures()
+        assert [r["shard"] for r in reports] == ["TWiCe__s1"]
+        assert reports[0]["kind"] == "error"
+        assert wq.take_failures() == []
+
+    def test_stop_sentinel_drains_an_idle_worker(self, tmp_path):
+        wq = WorkQueue(tmp_path)
+        wq.ensure_layout()
+        wq.request_stop()
+        assert run_worker(tmp_path, poll_interval=0.01) == 0
+
+    def test_worker_runs_a_ticket_and_pushes_the_result(self, tmp_path):
+        config = small_test_config(num_banks=2)
+        wq = WorkQueue(tmp_path)
+        wq.ensure_layout()
+        wq.publish_ticket(ShardTicket.from_job(make_job(config)))
+        assert run_worker(tmp_path, poll_interval=0.01, max_shards=1) == 0
+        results = wq.read_results()
+        assert set(results) == {"PARA__s0"}
+        record = results["PARA__s0"]
+        assert record["technique"] == "PARA" and record["seed"] == 0
+        assert record["worker"]["pid"] == os.getpid()
+        assert not list(wq.leases_dir.glob("*.json"))  # lease released
+        beats = {
+            beat.worker: beat for beat in wq.status_bus().read_heartbeats()
+        }
+        assert beats["PARA__s0"].phase == "done"
+
+    def test_worker_reports_a_failing_shard(self, tmp_path):
+        config = small_test_config(num_banks=2)
+        wq = WorkQueue(tmp_path)
+        wq.ensure_layout()
+        injector = FaultInjector.from_rules([{"mode": "error"}])
+        wq.publish_ticket(ShardTicket.from_job(
+            make_job(config, fault_injector=injector)
+        ))
+        assert run_worker(tmp_path, poll_interval=0.01, idle_exit=0.2) == 0
+        assert wq.read_results() == {}
+        reports = wq.take_failures()
+        assert len(reports) == 1
+        assert reports[0]["shard"] == "PARA__s0"
+        assert reports[0]["kind"] == "error"
+        assert "InjectedFault" in reports[0]["error"]
+        assert not list(wq.leases_dir.glob("*.json"))
+
+
+class TestQueueCampaigns:
+    def test_external_workers_only(self, tmp_path):
+        """The multi-host mode: the runner publishes work and waits;
+        workers started separately (here: subprocesses) drain it."""
+        config = small_test_config(num_banks=2)
+        qdir = tmp_path / "q"
+        workers = [spawn_worker(qdir), spawn_worker(qdir)]
+        try:
+            queued = run_campaign(
+                config, 8, techniques=TECHNIQUES, seeds=SEEDS,
+                engine="fast",
+                executor=QueueExecutor(
+                    qdir, workers=0, lease_timeout=30.0, poll_interval=0.05,
+                ),
+            )
+        finally:
+            reap(workers, qdir)
+        reference = run_campaign(
+            config, 8, techniques=TECHNIQUES, seeds=SEEDS, workers=2,
+            engine="fast",
+        )
+        assert canonical(queued) == canonical(reference)
+
+    def test_sigkilled_worker_is_reclaimed_bit_identically(self, tmp_path):
+        """The headline distributed guarantee: SIGKILL a worker while
+        it holds a lease; the lease expires, the shard re-runs on the
+        surviving worker, and the final aggregates are bit-identical
+        to a single-host pool run -- with the kill accounted as one
+        ``timeout`` retry."""
+        config = small_test_config(num_banks=2)
+        qdir = tmp_path / "q"
+        ckpt = tmp_path / "ckpt"
+        # first attempt of PARA/seed 0 stalls long enough to be killed
+        # mid-shard; the re-ticketed attempt 1 runs clean
+        injector = FaultInjector.from_rules([{
+            "mode": "hang", "technique": "PARA", "seed": 0,
+            "attempts": [0], "seconds": 120.0,
+        }])
+        metrics = MetricsRegistry()
+        box = {}
+
+        def drive():
+            box["aggregates"] = run_durable_campaign(
+                config, 8, ckpt, techniques=TECHNIQUES, seeds=SEEDS,
+                engine="fast",
+                executor=QueueExecutor(
+                    qdir, workers=0, lease_timeout=2.0, poll_interval=0.05,
+                ),
+                retry=RetryPolicy(max_retries=2, backoff_base=0),
+                fault_injector=injector, sleep=lambda seconds: None,
+                metrics=metrics,
+            )
+
+        workers = [spawn_worker(qdir), spawn_worker(qdir)]
+        driver = threading.Thread(target=drive, name="queue-driver")
+        driver.start()
+        try:
+            bus = WorkQueue(qdir).status_bus()
+
+            def hung_worker_pid():
+                for beat in bus.read_heartbeats():
+                    if beat.worker == "PARA__s0" and beat.phase == "running":
+                        return beat.pid
+                return None
+
+            pid = wait_until(hung_worker_pid,
+                             message="a worker to lease the hung shard")
+            os.kill(pid, signal.SIGKILL)
+            driver.join(timeout=120)
+            assert not driver.is_alive(), "campaign did not finish"
+        finally:
+            reap(workers, qdir)
+            driver.join(timeout=10)
+        assert "aggregates" in box
+        reference = run_campaign(
+            config, 8, techniques=TECHNIQUES, seeds=SEEDS, workers=2,
+            engine="fast",
+        )
+        assert canonical(box["aggregates"]) == canonical(reference)
+        assert not box["aggregates"].failures
+        counters = metrics.as_dict()["counters"]
+        assert counters["campaign.shard_timeouts"]["value"] >= 1
+        assert counters["campaign.shard_retries"]["value"] >= 1
+        assert CampaignStore(ckpt).status().complete
+
+    def test_sigkilled_driver_resumes_bit_identical(self, tmp_path):
+        """Kill the *runner* of a queue campaign mid-run: the shards
+        its workers completed are already checkpointed, and a serial
+        resume finishes the rest bit-identically -- executor choice is
+        invisible to the durable-campaign contract."""
+        ckpt = tmp_path / "ckpt"
+        qdir = tmp_path / "q"
+        driver = textwrap.dedent(
+            """
+            from repro.campaign import (
+                FaultInjector, QueueExecutor, run_durable_campaign,
+            )
+            from repro.config import small_test_config
+
+            run_durable_campaign(
+                small_test_config(num_banks=2),
+                total_intervals=8,
+                checkpoint_dir={ckpt!r},
+                techniques=("PARA", "TWiCe"),
+                seeds=(0, 1),
+                engine="fast",
+                executor=QueueExecutor(
+                    {qdir!r}, workers=2, poll_interval=0.05,
+                ),
+                fault_injector=FaultInjector.from_env(),
+            )
+            """
+        ).format(ckpt=str(ckpt), qdir=str(qdir))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        env[FAULT_ENV_VAR] = json.dumps([{
+            "mode": "hang", "technique": "TWiCe", "seed": 1,
+            "seconds": 120,
+        }])
+        proc = subprocess.Popen(
+            [sys.executable, "-c", driver], env=env, cwd=REPO_ROOT,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        )
+        store = CampaignStore(ckpt)
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if store.exists and store.status().completed:
+                    break
+                if proc.poll() is not None:
+                    _, stderr = proc.communicate()
+                    pytest.fail(
+                        "queue campaign exited before being killed:\n"
+                        + stderr.decode("utf-8", "replace")
+                    )
+                time.sleep(0.05)
+            else:
+                pytest.fail("no shard was checkpointed within 60s")
+        finally:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+            # the dead driver cannot raise the stop sentinel; do it for
+            # its orphaned workers
+            WorkQueue(qdir).request_stop()
+
+        completed = len(store.status().completed)
+        assert 1 <= completed < len(TECHNIQUES) * len(SEEDS)
+        resumed = run_durable_campaign(
+            small_test_config(num_banks=2), 8, ckpt, resume=True,
+            techniques=TECHNIQUES, seeds=SEEDS, workers=0, engine="fast",
+        )
+        reference = run_campaign(
+            small_test_config(num_banks=2), 8, techniques=TECHNIQUES,
+            seeds=SEEDS, workers=0, engine="fast",
+        )
+        assert canonical(resumed) == canonical(reference)
+        assert store.status().complete
+
+    def test_lost_files_self_heal(self, tmp_path):
+        """Deleting queue files mid-run only costs time: the runner
+        re-publishes any unresolved shard absent from every stage."""
+        config = small_test_config(num_banks=2)
+        qdir = tmp_path / "q"
+        executor = QueueExecutor(
+            qdir, workers=0, lease_timeout=30.0, poll_interval=0.05,
+        )
+        wq = WorkQueue(qdir)
+        box = {}
+
+        def drive():
+            box["aggregates"] = run_campaign(
+                config, 8, techniques=("PARA",), seeds=(0,),
+                engine="fast", executor=executor,
+            )
+
+        driver = threading.Thread(target=drive, name="heal-driver")
+        driver.start()
+        workers = []
+        try:
+            wait_until(
+                lambda: list(wq.tickets_dir.glob("*.json")) or None,
+                message="the ticket to be published",
+            )
+            # simulate a lost ticket (foreign deletion / corrupt
+            # quarantine): the runner must notice and re-publish
+            for path in wq.tickets_dir.glob("*.json"):
+                path.unlink()
+            wait_until(
+                lambda: list(wq.tickets_dir.glob("*.json")) or None,
+                message="the self-heal pass to re-publish the ticket",
+            )
+            workers.append(spawn_worker(qdir))
+            driver.join(timeout=120)
+            assert not driver.is_alive()
+        finally:
+            reap(workers, qdir)
+            driver.join(timeout=10)
+        reference = run_campaign(
+            config, 8, techniques=("PARA",), seeds=(0,), workers=0,
+            engine="fast",
+        )
+        assert canonical(box["aggregates"]) == canonical(reference)

@@ -316,3 +316,102 @@ class TestCampaignStatusPipe:
         assert "Traceback" not in proc.stderr
         frame = json.loads(proc.stdout.strip())
         assert frame["snapshot"] is None  # empty dir: bus not written yet
+
+
+class TestDistributedCli:
+    """The queue executor lane and campaign-worker entry point."""
+
+    CAMPAIGN = ["campaign", "--intervals", "8", "--seeds", "2",
+                "--techniques", "PARA", "TWiCe", "--engine", "fast"]
+
+    @staticmethod
+    def canonical(ckpt):
+        from repro.campaign import CampaignStore
+
+        aggregates = CampaignStore(ckpt).partial_aggregates()
+        return {
+            name: [result.as_dict() for result in aggregate.results]
+            for name, aggregate in aggregates.items()
+        }
+
+    def test_campaign_parses_executor_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(self.CAMPAIGN + [
+            "--checkpoint-dir", "ckpt",
+            "--executor", "queue", "--queue-dir", "q",
+            "--queue-workers", "2", "--lease-timeout", "5",
+        ])
+        assert args.executor == "queue"
+        assert args.queue_dir == "q"
+        assert args.queue_workers == 2
+        assert args.lease_timeout == 5.0
+        # executor lane names are validated at parse time
+        with pytest.raises(SystemExit):
+            parser.parse_args(self.CAMPAIGN + ["--checkpoint-dir", "ckpt",
+                                               "--executor", "rdma"])
+
+    def test_campaign_worker_parses(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "campaign-worker", "qdir", "--poll-interval", "0.1",
+            "--idle-exit", "3", "--max-shards", "7",
+            "--lease-refresh", "0.5", "--quiet",
+        ])
+        assert args.command == "campaign-worker"
+        assert args.queue_dir == "qdir"
+        assert args.poll_interval == 0.1
+        assert args.idle_exit == 3.0
+        assert args.max_shards == 7
+        assert args.lease_refresh == 0.5
+        assert args.quiet
+
+    def test_queue_campaign_matches_serial(self, tmp_path, capsys):
+        """`--executor queue` with self-spawned workers lands the same
+        bytes in the store as the serial lane, and the queue directory
+        defaults to living under the checkpoint."""
+        serial = tmp_path / "serial"
+        code = main(self.CAMPAIGN + ["--workers", "0",
+                                     "--checkpoint-dir", str(serial)])
+        assert code == 0
+        queued = tmp_path / "queued"
+        code = main(self.CAMPAIGN + [
+            "--executor", "queue", "--queue-workers", "2",
+            "--lease-timeout", "30", "--checkpoint-dir", str(queued),
+        ])
+        capsys.readouterr()
+        assert code == 0
+        assert (queued / "queue" / "queue.json").is_file()
+        assert self.canonical(queued) == self.canonical(serial)
+
+    def test_queue_dir_flag_selects_queue_lane(self, tmp_path, capsys):
+        """--queue-dir alone implies the queue executor; the campaign
+        completes through it without --executor spelled out."""
+        ckpt = tmp_path / "ckpt"
+        code = main(self.CAMPAIGN + [
+            "--queue-dir", str(tmp_path / "fabric"),
+            "--queue-workers", "2", "--lease-timeout", "30",
+            "--checkpoint-dir", str(ckpt),
+        ])
+        capsys.readouterr()
+        assert code == 0
+        assert (tmp_path / "fabric" / "queue.json").is_file()
+        from repro.campaign import CampaignStore
+
+        assert CampaignStore(ckpt).status().complete
+
+    def test_status_frame_carries_incremental_aggregates(self, tmp_path,
+                                                         capsys):
+        import json
+
+        ckpt = tmp_path / "ckpt"
+        assert main(self.CAMPAIGN + ["--workers", "0",
+                                     "--checkpoint-dir", str(ckpt)]) == 0
+        capsys.readouterr()
+        assert main(["campaign-status", str(ckpt), "--once"]) == 0
+        frame = json.loads(capsys.readouterr().out)
+        assert set(frame["aggregates"]) == {"PARA", "TWiCe"}
+        assert frame["aggregates"]["PARA"]["runs"] == 2
+        # the human view folds the same partial aggregates in
+        assert main(["campaign-status", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "PARA" in out and "TWiCe" in out

@@ -51,6 +51,7 @@ DOC_PAGES = (
     "adversary.md",
     "architecture.md",
     "campaigns.md",
+    "distributed.md",
     "mitigations.md",
     "observability.md",
     "reproducing.md",
